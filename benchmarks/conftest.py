@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports.  Figure sweeps are full
+simulations, so every benchmark runs one round/one iteration by default;
+scale the workload with REPRO_ROWS (default 8192 here — raise it for
+paper-scale shapes at proportional runtime).
+"""
+
+import os
+
+import pytest
+
+#: rows used by the figure benches unless REPRO_ROWS overrides
+BENCH_ROWS = int(os.environ.get("REPRO_ROWS", 8192))
+
+
+@pytest.fixture(scope="session")
+def bench_rows() -> int:
+    """Rows per figure benchmark."""
+    return BENCH_ROWS

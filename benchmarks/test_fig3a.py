@@ -1,0 +1,41 @@
+"""Benchmark: Figure 3a — tuple-at-a-time (NSM) op-size sweep.
+
+Prints the paper's series (execution time per configuration) and asserts
+the figure's qualitative shape: PIM offload loses at small operation
+sizes, HMC-256B crosses over to beat the best x86, HIVE trails HMC.
+"""
+
+import pytest
+
+from repro.experiments.fig3a import run_fig3a
+
+
+@pytest.fixture(scope="module")
+def fig3a(bench_rows):
+    return run_fig3a(rows=min(bench_rows, 8192))
+
+
+def test_fig3a_sweep(benchmark, bench_rows):
+    """Regenerate the full Figure 3a sweep (13 simulations)."""
+    result = benchmark.pedantic(
+        run_fig3a, kwargs={"rows": min(bench_rows, 8192)}, rounds=1, iterations=1
+    )
+    print()
+    print(result.report(baseline=result.run_for("x86", 64)))
+    print()
+    for key, value in result.headline.items():
+        print(f"  {key:24s} {value:6.2f}x")
+
+
+def test_fig3a_shape(fig3a):
+    """The paper's orderings hold (paper factors in comments)."""
+    h = fig3a.headline
+    assert h["hmc16_vs_x86_16"] > 1.5  # paper: 1.97x slower
+    assert h["hmc64_vs_x86_64"] > 1.3  # paper: 2.19x slower
+    assert h["hmc256_vs_best_x86"] < 1.0  # paper: 0.82x — HMC-256B wins
+    assert h["hive16_vs_x86_16"] > h["hmc16_vs_x86_16"] * 0.9  # HIVE worst
+    # HMC gets monotonically better with op size
+    t16 = fig3a.run_for("hmc", 16).cycles
+    t64 = fig3a.run_for("hmc", 64).cycles
+    t256 = fig3a.run_for("hmc", 256).cycles
+    assert t16 > t64 > t256

@@ -1,0 +1,39 @@
+"""Benchmark: Figure 3b — column-at-a-time (DSM) op-size sweep.
+
+Prints the paper's series and asserts the shape: HMC-256B beats x86 by
+roughly the paper's 4.38x; un-unrolled HIVE loses to x86 (isolated
+lock/unlock blocks + DRAM-resident bitmask reads).
+"""
+
+import pytest
+
+from repro.experiments.fig3b import run_fig3b
+
+
+@pytest.fixture(scope="module")
+def fig3b(bench_rows):
+    return run_fig3b(rows=bench_rows)
+
+
+def test_fig3b_sweep(benchmark, bench_rows):
+    """Regenerate the full Figure 3b sweep (13 simulations)."""
+    result = benchmark.pedantic(
+        run_fig3b, kwargs={"rows": bench_rows}, rounds=1, iterations=1
+    )
+    print()
+    print(result.report(baseline=result.run_for("x86", 64)))
+    print()
+    for key, value in result.headline.items():
+        print(f"  {key:24s} {value:6.2f}x")
+
+
+def test_fig3b_shape(fig3b):
+    """The paper's orderings hold (paper: 4.38x and ~2x)."""
+    h = fig3b.headline
+    assert h["x86_vs_hmc256"] > 2.5  # paper: 4.38x faster than x86
+    assert h["hive256_vs_best_x86"] > 1.5  # paper: ~2x slower
+    # HMC improves monotonically with op size in column mode too.
+    times = [fig3b.run_for("hmc", op).cycles for op in (16, 64, 256)]
+    assert times[0] > times[1] > times[2]
+    # HIVE-256B beats HIVE-16B (row-buffer amortisation).
+    assert fig3b.run_for("hive", 16).cycles > fig3b.run_for("hive", 256).cycles

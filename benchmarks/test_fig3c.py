@@ -1,0 +1,46 @@
+"""Benchmark: Figure 3c — column-at-a-time unroll-depth sweep.
+
+Prints the paper's series and asserts the shape: unrolling is
+transformative for HIVE (lock-block amortisation + interlock overlap,
+paper 7.57x over x86 at 32x) and marginal for x86; HMC lands near its
+paper 5.15x.
+"""
+
+import pytest
+
+from repro.experiments.fig3c import run_fig3c
+
+
+@pytest.fixture(scope="module")
+def fig3c(bench_rows):
+    return run_fig3c(rows=bench_rows)
+
+
+def test_fig3c_sweep(benchmark, bench_rows):
+    """Regenerate the full Figure 3c sweep (16 simulations)."""
+    result = benchmark.pedantic(
+        run_fig3c, kwargs={"rows": bench_rows}, rounds=1, iterations=1
+    )
+    print()
+    print(result.report(baseline=result.run_for("x86", 64, unroll=1)))
+    print()
+    for key, value in result.headline.items():
+        print(f"  {key:24s} {value:6.2f}x")
+
+
+def test_fig3c_shape(fig3c):
+    """The paper's orderings hold (paper factors in comments)."""
+    h = fig3c.headline
+    assert h["hmc256_32x_speedup"] > 3.0  # paper: 5.15x
+    assert h["hive256_32x_speedup"] > 4.0  # paper: 7.57x
+    # Unrolled HIVE overtakes unrolled HMC (paper: 7.57 vs 5.15).
+    assert (fig3c.run_for("hive", 256, unroll=32).cycles
+            < fig3c.run_for("hmc", 256, unroll=32).cycles)
+    # The unroll gain for HIVE is dramatic (>5x), for x86 marginal.
+    assert h["hive_unroll_gain"] > 5.0
+    x86_gain = (fig3c.run_for("x86", 64, unroll=1).cycles
+                / fig3c.run_for("x86", 64, unroll=8).cycles)
+    assert x86_gain < 2.0
+    # HIVE improves monotonically with unroll depth.
+    times = [fig3c.run_for("hive", 256, unroll=u).cycles for u in (1, 4, 32)]
+    assert times[0] > times[1] > times[2]

@@ -1,0 +1,49 @@
+"""Benchmark: Figure 3d — best case of each architecture + DRAM energy.
+
+The paper's headline: HMC 5.15x, HIVE 7.55x, HIPE 6.46x over x86; HIPE
+within ~15 % of HIVE while saving DRAM energy (5 % vs x86, 1 % vs HMC,
+4 % vs HIVE; ~3 % average).
+"""
+
+import pytest
+
+from repro.experiments.fig3d import run_fig3d
+
+
+@pytest.fixture(scope="module")
+def fig3d(bench_rows):
+    return run_fig3d(rows=bench_rows)
+
+
+def test_fig3d_sweep(benchmark, bench_rows):
+    """Regenerate Figure 3d (4 simulations + energy accounting)."""
+    result = benchmark.pedantic(
+        run_fig3d, kwargs={"rows": bench_rows}, rounds=1, iterations=1
+    )
+    print()
+    print(result.report(baseline=result.run_for("x86", 64, unroll=8)))
+    print()
+    for key, value in result.headline.items():
+        unit = "x" if "speedup" in key or "slowdown" in key else ""
+        print(f"  {key:26s} {value:7.3f}{unit}")
+
+
+def test_fig3d_speedup_shape(fig3d):
+    """Speedup orderings and bands (paper: 5.15 / 7.55 / 6.46)."""
+    h = fig3d.headline
+    assert h["hive_speedup"] > h["hipe_speedup"] > h["hmc_speedup"]
+    assert 3.0 < h["hmc_speedup"] < 8.0
+    assert 4.0 < h["hive_speedup"] < 11.0
+    assert 3.5 < h["hipe_speedup"] < 10.0
+    # HIPE gives back roughly the paper's 15 % against HIVE.
+    assert 1.02 < h["hipe_vs_hive_slowdown"] < 1.45
+
+
+def test_fig3d_energy_shape(fig3d):
+    """HIPE saves DRAM energy against every other architecture."""
+    h = fig3d.headline
+    assert h["energy_saving_vs_x86"] > 0.0  # paper: ~5 %
+    assert h["energy_saving_vs_hive"] > 0.0  # paper: ~4 %
+    assert -0.05 < h["energy_saving_vs_hmc"] < 0.25  # paper: ~1 %
+    # The savings are modest (region squashing only), not a free lunch.
+    assert h["energy_saving_vs_hive"] < 0.30

@@ -1,0 +1,29 @@
+"""Benchmark: Table I — building and validating the evaluated systems."""
+
+from repro.experiments.table1 import run_table1, verify_table1
+from repro.sim.machine import build_machine
+
+
+def test_table1_render(benchmark):
+    """Render Table I from the live configuration (and print it)."""
+    table = benchmark(run_table1)
+    print()
+    print(table)
+    assert "HMC v2.1" in table
+    assert "HIPE Logic" in table or "HIPE" in table
+
+
+def test_table1_fidelity(benchmark):
+    """Every Table I parameter matches the paper's values."""
+    benchmark(verify_table1)
+
+
+def test_table1_machine_construction(benchmark):
+    """Constructing all four full systems from the Table I parameters."""
+
+    def build_all():
+        return [build_machine(arch) for arch in ("x86", "hmc", "hive", "hipe")]
+
+    machines = benchmark(build_all)
+    assert len(machines) == 4
+    assert machines[3].engine is not None

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scan with a user-defined predicate set (not just Q6).
+
+Shows the public API for running *your own* conjunctive selection on the
+simulated architectures: define predicates over the lineitem columns,
+build a workload, and compare HIVE's full scans against HIPE's
+predicated evaluation as the conjunction gets more selective.
+"""
+
+from repro import ScanConfig, generate_lineitem
+from repro.codegen import hipe as hipe_codegen
+from repro.codegen import hive as hive_codegen
+from repro.cpu.isa import AluFunc
+from repro.db.query6 import Predicate
+from repro.sim.machine import build_machine
+from repro.sim.runner import build_workload
+
+ROWS = 8192
+
+
+def run_with_predicates(arch: str, predicates, unroll: int = 32):
+    """Simulate one architecture on a custom conjunction."""
+    codegen = {"hive": hive_codegen, "hipe": hipe_codegen}[arch]
+    machine = build_machine(arch)
+    data = generate_lineitem(ROWS, seed=42)
+    workload = build_workload(machine, data, "dsm", predicates=predicates)
+    result = machine.run(
+        codegen.generate(workload, ScanConfig("dsm", "column", 256, unroll=unroll))
+    )
+    machine.hmc.collect_stats()
+    stats = machine.stats.flatten()
+    selectivity = workload.final_mask.mean()
+    return result.cycles, stats, selectivity
+
+
+def main() -> None:
+    print("Custom conjunctions: HIVE (full scans) vs HIPE (predicated)\n")
+    scenarios = {
+        # A barely-selective first column: predication can skip nothing.
+        "low-selectivity  ": (
+            Predicate("l_quantity", AluFunc.CMP_GE, 2),  # ~98 %
+            Predicate("l_discount", AluFunc.CMP_RANGE, 3, 9),  # ~64 %
+            Predicate("l_shipdate", AluFunc.CMP_GE, 400),  # ~84 %
+        ),
+        # Q6-like: moderately selective, the paper's regime.
+        "q6-like          ": (
+            Predicate("l_shipdate", AluFunc.CMP_RANGE, 731, 1094),  # ~15 %
+            Predicate("l_discount", AluFunc.CMP_RANGE, 5, 7),  # ~27 %
+            Predicate("l_quantity", AluFunc.CMP_LT, 24),  # ~46 %
+        ),
+        # A needle-in-haystack first column: most regions squash.
+        "high-selectivity ": (
+            Predicate("l_shipdate", AluFunc.CMP_RANGE, 731, 742),  # ~0.5 %
+            Predicate("l_discount", AluFunc.CMP_EQ, 6),  # ~9 %
+            Predicate("l_quantity", AluFunc.CMP_LT, 10),  # ~18 %
+        ),
+    }
+    for name, predicates in scenarios.items():
+        hive_cycles, __, sel = run_with_predicates("hive", predicates)
+        hipe_cycles, hipe_stats, __ = run_with_predicates("hipe", predicates)
+        squashed = hipe_stats.get("hipe.hipe.squashed_loads", 0)
+        ratio = hipe_cycles / hive_cycles
+        print(f"  {name} selectivity {sel * 100:5.2f}%  "
+              f"HIVE {hive_cycles:>9,} cyc  HIPE {hipe_cycles:>9,} cyc "
+              f"(HIPE/HIVE {ratio:4.2f})  squashed regions: {int(squashed)}")
+    print("\nPredication pays off as the leading predicate gets selective —")
+    print("exactly the trade-off §IV.A.3 of the paper describes.")
+
+
+if __name__ == "__main__":
+    main()

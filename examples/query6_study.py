@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Full Query 6 study: regenerate every figure of the paper's evaluation.
+
+Runs the Figure 3a-3d sweeps back to back and prints the paper-versus-
+measured headline factors.  Scale with REPRO_ROWS (higher = closer to the
+paper's regime, proportionally slower).
+
+Usage::
+
+    REPRO_ROWS=16384 python examples/query6_study.py
+"""
+
+from repro.experiments import run_fig3a, run_fig3b, run_fig3c, run_fig3d, run_table1
+
+PAPER = {
+    "fig3a": {
+        "hmc16_vs_x86_16": 1.97,
+        "hmc64_vs_x86_64": 2.19,
+        "hmc256_vs_best_x86": 0.82,
+        "hive16_vs_x86_16": 3.0,
+        "hive256_vs_best_x86": 1.11,
+    },
+    "fig3b": {"x86_vs_hmc256": 4.38, "hive256_vs_best_x86": 2.0},
+    "fig3c": {"hmc256_32x_speedup": 5.15, "hive256_32x_speedup": 7.57},
+    "fig3d": {
+        "hmc_speedup": 5.15,
+        "hive_speedup": 7.55,
+        "hipe_speedup": 6.46,
+        "hipe_vs_hive_slowdown": 1.15,
+        "energy_saving_vs_x86": 0.05,
+        "energy_saving_vs_hmc": 0.01,
+        "energy_saving_vs_hive": 0.04,
+    },
+}
+
+
+def show(name: str, result) -> None:
+    print()
+    print(result.report())
+    print(f"\n  {name} headline (measured vs paper):")
+    for key, value in result.headline.items():
+        paper = PAPER.get(name, {}).get(key)
+        paper_str = f"(paper {paper:5.2f})" if paper is not None else ""
+        print(f"    {key:26s} {value:7.3f} {paper_str}")
+
+
+def main() -> None:
+    print(run_table1())
+    for name, runner in (("fig3a", run_fig3a), ("fig3b", run_fig3b),
+                         ("fig3c", run_fig3c), ("fig3d", run_fig3d)):
+        show(name, runner())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate TPC-H Q6's select scan on all four architectures.
+
+Runs a small scan on the x86 baseline, the extended HMC ISA, HIVE and
+HIPE, prints per-architecture cycles, speedups and DRAM energy, and
+checks that the in-memory engines produced the exact reference bitmask.
+
+Usage::
+
+    python examples/quickstart.py [rows]
+"""
+
+import sys
+
+from repro import ScanConfig, format_table, generate_lineitem, run_scan
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 8192
+    data = generate_lineitem(rows, seed=1994)
+    print(f"TPC-H Q6 selection scan over {rows:,} lineitem tuples\n")
+
+    configs = {
+        "x86": ScanConfig("dsm", "column", 64, unroll=8),
+        "hmc": ScanConfig("dsm", "column", 256, unroll=32),
+        "hive": ScanConfig("dsm", "column", 256, unroll=32),
+        "hipe": ScanConfig("dsm", "column", 256, unroll=32),
+    }
+    results = []
+    for arch, config in configs.items():
+        result = run_scan(arch, config, rows=rows, data=data)
+        results.append(result)
+        status = {True: "verified", False: "MISMATCH", None: "reference"}[result.verified]
+        print(f"  {arch:5s} done: {result.cycles:>12,} cycles ({status})")
+
+    baseline = results[0]
+    print()
+    print(format_table(results, "Best configuration of each architecture",
+                       baseline=baseline))
+    print()
+    for result in results[1:]:
+        print(f"  {result.arch.upper():5s} speedup over x86: "
+              f"{baseline.cycles / result.cycles:5.2f}x; DRAM energy "
+              f"{result.energy.dram_total_pj / 1e6:8.2f} uJ "
+              f"({(1 - result.energy.dram_total_pj / baseline.energy.dram_total_pj) * 100:+.1f}% vs x86)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Loop-unrolling study (the paper's Figure 3c axis, §IV.A.2).
+
+Sweeps unroll depth for every architecture and shows *why* it matters:
+each HIVE lock/unlock block covers `unroll` chunks, so deeper unrolling
+amortises the processor round trip and lets the interlocked register
+bank overlap loads across vaults.
+"""
+
+from repro import ScanConfig, generate_lineitem, run_scan
+from repro.codegen.base import PIM_UNROLLS, X86_UNROLLS
+
+ROWS = 8192
+
+
+def main() -> None:
+    data = generate_lineitem(ROWS, seed=1994)
+    print(f"Column-at-a-time Q6 scan, {ROWS:,} rows — cycles by unroll depth\n")
+    header = f"{'unroll':>7}" + "".join(f"{a:>12}" for a in ("x86", "hmc", "hive", "hipe"))
+    print(header)
+    print("-" * len(header))
+    table = {}
+    for unroll in PIM_UNROLLS:
+        row = f"{unroll:>6}x"
+        for arch in ("x86", "hmc", "hive", "hipe"):
+            if arch == "x86":
+                if unroll not in X86_UNROLLS:
+                    row += f"{'-':>12}"
+                    continue
+                config = ScanConfig("dsm", "column", 64, unroll=unroll)
+            else:
+                config = ScanConfig("dsm", "column", 256, unroll=unroll)
+            result = run_scan(arch, config, rows=ROWS, data=data)
+            table[(arch, unroll)] = result.cycles
+            row += f"{result.cycles:>12,}"
+        print(row)
+    print()
+    for arch in ("hmc", "hive", "hipe"):
+        gain = table[(arch, 1)] / table[(arch, 32)]
+        print(f"  {arch.upper():5s} 1x -> 32x improvement: {gain:5.2f}x")
+    print("\nHIVE's gain dwarfs HMC's: wide blocks amortise the lock/unlock")
+    print("round trip that serialises its un-unrolled streaming (§IV.A.2).")
+
+
+if __name__ == "__main__":
+    main()

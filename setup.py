@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+The offline evaluation environment has no ``wheel`` package, so modern
+``pip install -e .`` (which builds an editable wheel) cannot run; this
+classic setup script keeps ``python setup.py develop`` and
+``pip install -e . --no-build-isolation`` working there.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'HIPE: HMC Instruction Predication Extension "
+        "Applied on Database Processing' (DATE 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

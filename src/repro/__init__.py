@@ -1,0 +1,82 @@
+"""repro: a reproduction of "HIPE: HMC Instruction Predication Extension
+Applied on Database Processing" (Tomé et al., DATE 2018).
+
+The package provides a trace-driven timing simulator of the paper's four
+evaluated systems — an out-of-order x86 host with the HMC as plain
+memory, the extended HMC update ISA, the HIVE logic-layer vector engine,
+and HIPE (HIVE + predication) — together with the TPC-H Query 6 database
+workload, per-architecture scan code generators, an energy model, and
+the harnesses that regenerate every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ScanConfig, run_scan
+
+    result = run_scan("hipe", ScanConfig("dsm", "column", 256, unroll=32),
+                      rows=16_384)
+    print(result.cycles, result.energy.dram_total_pj, result.verified)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .codegen.base import (
+    PIM_OP_SIZES,
+    PIM_UNROLLS,
+    ScanConfig,
+    ScanWorkload,
+    X86_OP_SIZES,
+    X86_UNROLLS,
+)
+from .common.config import (
+    ARCHITECTURES,
+    DEFAULT_SCALE,
+    MachineConfig,
+    hipe_logic_config,
+    hive_logic_config,
+    machine_for,
+    paper_config,
+    scaled_config,
+)
+from .db.datagen import LineitemData, generate_lineitem
+from .db.query6 import Q6_PREDICATES, Predicate, reference_mask, reference_revenue
+from .energy.model import EnergyReport, compute_energy
+from .sim.machine import Machine, build_machine
+from .sim.results import RunResult, format_table, normalised, speedup
+from .sim.runner import DEFAULT_ROWS, build_workload, run_scan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARCHITECTURES",
+    "DEFAULT_ROWS",
+    "DEFAULT_SCALE",
+    "EnergyReport",
+    "LineitemData",
+    "Machine",
+    "MachineConfig",
+    "PIM_OP_SIZES",
+    "PIM_UNROLLS",
+    "Predicate",
+    "Q6_PREDICATES",
+    "RunResult",
+    "ScanConfig",
+    "ScanWorkload",
+    "X86_OP_SIZES",
+    "X86_UNROLLS",
+    "build_machine",
+    "build_workload",
+    "compute_energy",
+    "format_table",
+    "generate_lineitem",
+    "hipe_logic_config",
+    "hive_logic_config",
+    "machine_for",
+    "normalised",
+    "paper_config",
+    "reference_mask",
+    "reference_revenue",
+    "run_scan",
+    "scaled_config",
+    "speedup",
+]

@@ -1,0 +1,199 @@
+"""One set-associative cache level: functional tags + timing.
+
+The cache is *functional* in its tag/replacement state (real sets, ways,
+LRU stacks, dirty bits — so hit ratios are genuine) and *timed* through
+the resource algebra (ports, latency, MSHR pools, downstream requests).
+Data values are not stored here; the memory image holds them.
+
+Write policy: write-back, write-allocate (store misses fetch the line).
+Writebacks arriving from an upper level install the full line without a
+fetch.  Prefetch requests fill the level but never recurse into the
+prefetcher.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from ..common.config import CacheConfig
+from ..common.resources import SlottedResource
+from ..common.stats import StatGroup, ratio
+from ..common.units import align_down
+from .mshr import MshrFile
+from .prefetcher import make_prefetcher
+from .replacement import make_policy
+
+
+class AccessType(enum.Enum):
+    """What a request wants from the cache."""
+
+    LOAD = "load"
+    STORE = "store"
+    PREFETCH = "prefetch"
+    WRITEBACK = "writeback"
+
+
+class _Set:
+    """Tags + dirty bits + replacement state of one set."""
+
+    __slots__ = ("policy", "dirty")
+
+    def __init__(self, policy_name: str) -> None:
+        self.policy = make_policy(policy_name)
+        self.dirty: dict = {}
+
+
+class CacheLevel:
+    """A single cache level wired to a downstream memory (cache or HMC)."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        next_level,
+        stats: Optional[StatGroup] = None,
+        policy: str = "lru",
+    ) -> None:
+        self.config = config
+        self.next_level = next_level
+        self.line_bytes = config.line_bytes
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self._sets = [_Set(policy) for _ in range(self.num_sets)]
+        self._ports = SlottedResource(config.ports)
+        self.mshr = MshrFile(config)
+        self.prefetcher = make_prefetcher(
+            config.prefetcher, config.line_bytes, config.prefetch_degree
+        )
+        self.stats = stats if stats is not None else StatGroup(config.name)
+        self.stats.derive("hit_ratio", ratio("hits", "accesses"))
+        self._invalidate_upstream: List[Callable[[int], None]] = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def register_upstream(self, invalidate: Callable[[int], None]) -> None:
+        """Add an upper-level invalidation hook (inclusive back-invalidation)."""
+        self._invalidate_upstream.append(invalidate)
+
+    # -- geometry -------------------------------------------------------------
+
+    def _line_of(self, address: int) -> int:
+        return align_down(address, self.line_bytes)
+
+    def _set_index(self, line_address: int) -> int:
+        return (line_address // self.line_bytes) % self.num_sets
+
+    def contains(self, address: int) -> bool:
+        """Functional presence check (used by tests and the directory)."""
+        line = self._line_of(address)
+        return line in self._sets[self._set_index(line)].policy
+
+    def is_dirty(self, address: int) -> bool:
+        """Dirty-bit check for a resident line."""
+        line = self._line_of(address)
+        return bool(self._sets[self._set_index(line)].dirty.get(line, False))
+
+    # -- invalidation ----------------------------------------------------------
+
+    def invalidate(self, line_address: int) -> None:
+        """Drop a line (no timing; used for coherence/back-invalidation
+        and for the HIVE/HIPE engines' uncached stores)."""
+        line = self._line_of(line_address)
+        cache_set = self._sets[self._set_index(line)]
+        if line in cache_set.policy:
+            cache_set.policy.remove(line)
+            cache_set.dirty.pop(line, None)
+            self.stats.bump("invalidations")
+
+    # -- the access path ---------------------------------------------------------
+
+    def access(self, cycle: int, address: int, acc_type: AccessType, pc: int = 0) -> int:
+        """Access one line; returns the completion cycle.
+
+        ``address`` may point anywhere inside the line.  Multi-line
+        requests are the hierarchy's job to split.
+        """
+        line = self._line_of(address)
+        cache_set = self._sets[self._set_index(line)]
+        granted = self._ports.reserve(cycle)
+        lookup_done = granted + self.config.latency
+        self.stats.bump("accesses")
+
+        present = line in cache_set.policy
+        if present:
+            completion = self._hit(lookup_done, line, cache_set, acc_type)
+        else:
+            completion = self._miss(lookup_done, line, cache_set, acc_type, pc)
+
+        # Train the prefetcher on demand traffic only.
+        if acc_type in (AccessType.LOAD, AccessType.STORE):
+            for pf_line in self.prefetcher.observe(pc, line, was_miss=not present):
+                self.stats.bump("prefetches_issued")
+                self.access(granted, pf_line, AccessType.PREFETCH, pc)
+        return completion
+
+    def _hit(self, cycle: int, line: int, cache_set: _Set, acc_type: AccessType) -> int:
+        self.stats.bump("hits")
+        cache_set.policy.touch(line)
+        if acc_type in (AccessType.STORE, AccessType.WRITEBACK):
+            cache_set.dirty[line] = True
+        if acc_type == AccessType.PREFETCH:
+            self.stats.bump("prefetch_hits")
+        return cycle
+
+    def _miss(
+        self, cycle: int, line: int, cache_set: _Set, acc_type: AccessType, pc: int
+    ) -> int:
+        self.stats.bump("misses")
+        self.stats.bump(f"misses_{acc_type.value}")
+
+        if acc_type == AccessType.WRITEBACK:
+            # Full-line install from above: no fetch needed.
+            granted = self.mshr.allocate_write(cycle, cycle + 1)
+            self._install(granted, line, cache_set, dirty=True)
+            return granted
+
+        merged = self.mshr.lookup_in_flight(line, cycle)
+        if merged is not None:
+            # An earlier miss already fetched this line; ride its fill.
+            if acc_type == AccessType.STORE:
+                cache_set.dirty[line] = True
+            return max(merged, cycle)
+
+        if acc_type == AccessType.PREFETCH and self.mshr.requests.earliest_free(cycle) > cycle:
+            # Prefetches never steal MSHRs from demand traffic: when the
+            # pool is contended the prefetch is simply dropped.
+            self.stats.bump("prefetches_dropped")
+            return cycle
+
+        # An MSHR entry is held from allocation until the fill returns.
+        if acc_type == AccessType.STORE:
+            granted = self.mshr.writes.earliest_free(cycle)
+        else:
+            granted = self.mshr.requests.earliest_free(cycle)
+        granted = max(granted, cycle)
+        fill = self.next_level.access(granted, line, AccessType.LOAD, pc)
+        if acc_type == AccessType.STORE:
+            self.mshr.writes.acquire(granted, fill)
+        else:
+            self.mshr.requests.acquire(granted, fill)
+        self.mshr.allocations += 1
+        self.mshr.record_fill(line, fill)
+        self._install(fill, line, cache_set, dirty=(acc_type == AccessType.STORE))
+        return fill
+
+    def _install(self, cycle: int, line: int, cache_set: _Set, dirty: bool) -> None:
+        if len(cache_set.policy) >= self.ways:
+            victim = cache_set.policy.evict()
+            was_dirty = cache_set.dirty.pop(victim, False)
+            self.stats.bump("evictions")
+            if was_dirty:
+                self.stats.bump("writebacks")
+                wb_granted = self.mshr.allocate_eviction(cycle, cycle + 1)
+                self.next_level.access(wb_granted, victim, AccessType.WRITEBACK)
+            if self.config.inclusive:
+                for invalidate in self._invalidate_upstream:
+                    invalidate(victim)
+        cache_set.policy.insert(line)
+        if dirty:
+            cache_set.dirty[line] = True

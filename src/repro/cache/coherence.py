@@ -1,0 +1,116 @@
+"""MOESI-lite directory coherence for the shared L3 (Table I: MOESI, inclusive).
+
+The paper's experiments are single-threaded, but the modelled machine has
+16 cores and an inclusive MOESI L3; this module provides the directory
+used by the multicore partitioned-scan extension.  It is a *timing and
+bookkeeping* model: per-line state plus sharer sets, charging a snoop
+latency when a request must consult or downgrade a remote core.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from ..common.stats import StatGroup
+
+
+class MoesiState(enum.Enum):
+    """Stable line states of the MOESI protocol."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory knowledge about one line."""
+
+    state: MoesiState = MoesiState.INVALID
+    sharers: Set[int] = field(default_factory=set)
+    owner: int | None = None
+
+
+class MoesiDirectory:
+    """Directory-at-L3: answers "may core C read/write line L, and at what cost"."""
+
+    def __init__(self, snoop_latency: int = 24, stats: StatGroup | None = None) -> None:
+        self.snoop_latency = snoop_latency
+        self.stats = stats if stats is not None else StatGroup("directory")
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def _entry(self, line: int) -> DirectoryEntry:
+        entry = self._entries.get(line)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line] = entry
+        return entry
+
+    def state_of(self, line: int) -> MoesiState:
+        """Current directory state of ``line`` (INVALID if untracked)."""
+        entry = self._entries.get(line)
+        return entry.state if entry else MoesiState.INVALID
+
+    def sharers_of(self, line: int) -> Set[int]:
+        """Cores the directory believes hold ``line``."""
+        entry = self._entries.get(line)
+        return set(entry.sharers) if entry else set()
+
+    def read(self, core: int, line: int) -> int:
+        """Core ``core`` reads ``line``; returns extra snoop latency."""
+        entry = self._entry(line)
+        extra = 0
+        if entry.state == MoesiState.INVALID or not entry.sharers:
+            entry.state = MoesiState.EXCLUSIVE
+            entry.sharers = {core}
+            entry.owner = core
+        elif core in entry.sharers:
+            pass  # already a sharer; silent upgrade of recency only
+        else:
+            if entry.state in (MoesiState.MODIFIED, MoesiState.EXCLUSIVE):
+                # Dirty/exclusive remote copy: fetch from owner, who keeps
+                # an owned (O) or shared copy.
+                extra = self.snoop_latency
+                self.stats.bump("owner_forwards")
+                entry.state = (
+                    MoesiState.OWNED
+                    if entry.state == MoesiState.MODIFIED
+                    else MoesiState.SHARED
+                )
+            entry.sharers.add(core)
+            if entry.state == MoesiState.EXCLUSIVE:
+                entry.state = MoesiState.SHARED
+        self.stats.bump("reads")
+        return extra
+
+    def write(self, core: int, line: int) -> int:
+        """Core ``core`` writes ``line``; returns extra invalidation latency."""
+        entry = self._entry(line)
+        extra = 0
+        others = entry.sharers - {core}
+        if others:
+            extra = self.snoop_latency
+            self.stats.bump("invalidations_sent", len(others))
+        entry.sharers = {core}
+        entry.owner = core
+        entry.state = MoesiState.MODIFIED
+        self.stats.bump("writes")
+        return extra
+
+    def evict(self, core: int, line: int) -> None:
+        """Core ``core`` dropped its copy of ``line``."""
+        entry = self._entries.get(line)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if not entry.sharers:
+            entry.state = MoesiState.INVALID
+            entry.owner = None
+
+    def invalidate_line(self, line: int) -> None:
+        """Forced global invalidation (HIVE/HIPE in-memory stores)."""
+        self._entries.pop(line, None)

@@ -1,0 +1,141 @@
+"""The full cache hierarchy of one core, backed by the HMC.
+
+L1 (private, stride prefetch) -> L2 (private, stream prefetch) ->
+L3 (shared, inclusive, MOESI directory) -> HMC serial links -> vaults.
+
+The hierarchy is the x86 baseline's whole memory system; the PIM
+architectures use it only for the core-side accesses that remain
+(materialisation writes, cached bitmask reads, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import MachineConfig
+from ..common.stats import StatGroup
+from ..memory.hmc import Hmc
+from .cache import AccessType, CacheLevel
+from .coherence import MoesiDirectory
+
+
+class HmcPort:
+    """Adapter presenting the HMC with the cache's downstream interface."""
+
+    def __init__(self, hmc: Hmc, line_bytes: int = 64) -> None:
+        self.hmc = hmc
+        self.line_bytes = line_bytes
+
+    def access(self, cycle: int, line_address: int, acc_type: AccessType, pc: int = 0) -> int:
+        """Forward one line request over the serial links."""
+        if acc_type in (AccessType.LOAD, AccessType.PREFETCH):
+            return self.hmc.read_line(cycle, line_address, self.line_bytes).completion
+        # Stores/writebacks are posted: the core-side completes when the
+        # packet is accepted by the links; DRAM absorbs it asynchronously.
+        return self.hmc.write_line(cycle, line_address, self.line_bytes).issue
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 on a (possibly shared) L3 over the HMC."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        hmc: Hmc,
+        stats: Optional[StatGroup] = None,
+        core_id: int = 0,
+        shared_l3: Optional[CacheLevel] = None,
+        directory: Optional[MoesiDirectory] = None,
+    ) -> None:
+        self.config = config
+        self.core_id = core_id
+        self.stats = stats if stats is not None else StatGroup(f"core{core_id}.caches")
+        self.directory = directory
+        self.line_bytes = config.l1.line_bytes
+
+        if shared_l3 is not None:
+            self.l3 = shared_l3
+        else:
+            port = HmcPort(hmc, config.l3.line_bytes)
+            self.l3 = CacheLevel(config.l3, port, self.stats.child("l3"))
+        self.l2 = CacheLevel(config.l2, self._l3_adapter(), self.stats.child("l2"))
+        self.l1 = CacheLevel(config.l1, self.l2, self.stats.child("l1"))
+        # Inclusive L3: evictions there must purge the private levels.
+        self.l3.register_upstream(self.l1.invalidate)
+        self.l3.register_upstream(self.l2.invalidate)
+
+    def _l3_adapter(self):
+        """Wrap L3 access with the coherence directory when present."""
+        if self.directory is None:
+            return self.l3
+        hierarchy = self
+
+        class _DirectoryPort:
+            def access(self, cycle: int, line: int, acc_type: AccessType, pc: int = 0) -> int:
+                directory = hierarchy.directory
+                if acc_type in (AccessType.LOAD, AccessType.PREFETCH):
+                    extra = directory.read(hierarchy.core_id, line)
+                elif acc_type == AccessType.STORE:
+                    extra = directory.write(hierarchy.core_id, line)
+                else:  # writeback
+                    directory.evict(hierarchy.core_id, line)
+                    extra = 0
+                return hierarchy.l3.access(cycle + extra, line, acc_type, pc)
+
+        return _DirectoryPort()
+
+    # -- the core-facing interface ------------------------------------------
+
+    def _split_lines(self, address: int, nbytes: int):
+        line = self.line_bytes
+        first = address - (address % line)
+        last = (address + max(nbytes, 1) - 1) // line * line
+        cursor = first
+        while cursor <= last:
+            yield cursor
+            cursor += line
+
+    def load(self, cycle: int, address: int, nbytes: int, pc: int = 0) -> int:
+        """A demand load of ``nbytes``; returns data-ready cycle."""
+        completion = cycle
+        for line in self._split_lines(address, nbytes):
+            done = self.l1.access(cycle, line, AccessType.LOAD, pc)
+            completion = max(completion, done)
+        self.stats.bump("loads")
+        return completion
+
+    def store(self, cycle: int, address: int, nbytes: int, pc: int = 0) -> int:
+        """A committed store of ``nbytes``; returns L1-accept cycle."""
+        completion = cycle
+        for line in self._split_lines(address, nbytes):
+            done = self.l1.access(cycle, line, AccessType.STORE, pc)
+            completion = max(completion, done)
+        self.stats.bump("stores")
+        return completion
+
+    def prefetch(self, cycle: int, address: int, pc: int = 0) -> None:
+        """A software prefetch hint into L1."""
+        self.l1.access(cycle, address, AccessType.PREFETCH, pc)
+
+    def invalidate_range(self, address: int, nbytes: int) -> None:
+        """Purge every line of a range from all levels.
+
+        Used when the HIVE/HIPE engine stores to DRAM behind the caches:
+        any stale cached copy must disappear, which is also why the
+        processor's subsequent bitmask reads pay DRAM latency (Fig. 3b's
+        HIVE penalty).
+        """
+        for line in self._split_lines(address, nbytes):
+            self.l1.invalidate(line)
+            self.l2.invalidate(line)
+            self.l3.invalidate(line)
+            if self.directory is not None:
+                self.directory.invalidate_line(line)
+
+    def contains(self, address: int) -> bool:
+        """True if any level holds the line (tests/debugging)."""
+        return (
+            self.l1.contains(address)
+            or self.l2.contains(address)
+            or self.l3.contains(address)
+        )

@@ -1,0 +1,72 @@
+"""Miss-status holding registers.
+
+Table I gives each level three entry pools — request, write and eviction
+MSHRs.  The file tracks misses in flight so that a second miss to the
+same line *merges* (waits for the first fill instead of issuing a second
+memory request), and bounds the level's memory-level parallelism: when
+the relevant pool is exhausted, a new miss stalls until an entry frees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..common.config import CacheConfig
+from ..common.resources import OccupancyResource
+
+
+class MshrFile:
+    """Request/write/eviction entry pools plus the in-flight merge table."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.requests = OccupancyResource(config.mshr_request)
+        self.writes = OccupancyResource(config.mshr_write)
+        self.evictions = OccupancyResource(config.mshr_eviction)
+        self._in_flight: Dict[int, int] = {}  # line address -> fill completion
+        self.merges = 0
+        self.allocations = 0
+
+    def lookup_in_flight(self, line_address: int, cycle: int) -> int | None:
+        """Completion time of an in-flight fill of this line, if any.
+
+        Entries whose fill already completed are pruned lazily — the
+        request stream visits times in (approximately) increasing order,
+        so stale entries are dead weight.
+        """
+        done = self._in_flight.get(line_address)
+        if done is None:
+            return None
+        if done <= cycle:
+            del self._in_flight[line_address]
+            return None
+        self.merges += 1
+        return done
+
+    def allocate_request(self, line_address: int, cycle: int, completion: int) -> int:
+        """Take a request entry for a demand/prefetch miss.
+
+        Returns the cycle the entry was actually granted (== ``cycle``
+        unless the pool was full).  The caller must re-plan its memory
+        request starting at the granted cycle and then call
+        :meth:`record_fill` with the final completion.
+        """
+        self.allocations += 1
+        return self.requests.acquire(cycle, completion)
+
+    def record_fill(self, line_address: int, completion: int) -> None:
+        """Publish the fill completion so later misses can merge."""
+        current = self._in_flight.get(line_address, 0)
+        self._in_flight[line_address] = max(current, completion)
+        if len(self._in_flight) > 4096:
+            horizon = min(self._in_flight.values())
+            self._in_flight = {
+                line: t for line, t in self._in_flight.items() if t > horizon
+            }
+
+    def allocate_write(self, cycle: int, completion: int) -> int:
+        """Take a write entry (store miss); returns granted cycle."""
+        return self.writes.acquire(cycle, completion)
+
+    def allocate_eviction(self, cycle: int, completion: int) -> int:
+        """Take an eviction entry (dirty writeback); returns granted cycle."""
+        return self.evictions.acquire(cycle, completion)

@@ -1,0 +1,131 @@
+"""Cache replacement policies.
+
+Table I uses LRU everywhere; FIFO and random are provided for the
+ablation benches.  A policy is a small strategy object owning the
+recency/insertion bookkeeping of one set, keyed by line tag.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class ReplacementPolicy:
+    """Interface: tracks the tags resident in one set."""
+
+    def touch(self, tag: Hashable) -> None:
+        """Record a hit on ``tag``."""
+        raise NotImplementedError
+
+    def insert(self, tag: Hashable) -> None:
+        """Record a fill of ``tag``."""
+        raise NotImplementedError
+
+    def evict(self) -> Hashable:
+        """Choose and remove the victim tag."""
+        raise NotImplementedError
+
+    def remove(self, tag: Hashable) -> None:
+        """Drop ``tag`` (invalidation)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, tag: Hashable) -> bool:
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used: classic recency stack."""
+
+    def __init__(self) -> None:
+        self._stack: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def touch(self, tag: Hashable) -> None:
+        self._stack.move_to_end(tag)
+
+    def insert(self, tag: Hashable) -> None:
+        self._stack[tag] = None
+        self._stack.move_to_end(tag)
+
+    def evict(self) -> Hashable:
+        tag, __ = self._stack.popitem(last=False)
+        return tag
+
+    def remove(self, tag: Hashable) -> None:
+        self._stack.pop(tag, None)
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __contains__(self, tag: Hashable) -> bool:
+        return tag in self._stack
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: insertion order, hits do not promote."""
+
+    def __init__(self) -> None:
+        self._queue: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def touch(self, tag: Hashable) -> None:
+        pass  # FIFO ignores recency
+
+    def insert(self, tag: Hashable) -> None:
+        self._queue[tag] = None
+
+    def evict(self) -> Hashable:
+        tag, __ = self._queue.popitem(last=False)
+        return tag
+
+    def remove(self, tag: Hashable) -> None:
+        self._queue.pop(tag, None)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, tag: Hashable) -> bool:
+        return tag in self._queue
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random victim selection with a seeded generator (deterministic)."""
+
+    def __init__(self, seed: int = 0xC0FFEE) -> None:
+        self._tags: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._rng = random.Random(seed)
+
+    def touch(self, tag: Hashable) -> None:
+        pass
+
+    def insert(self, tag: Hashable) -> None:
+        self._tags[tag] = None
+
+    def evict(self) -> Hashable:
+        victim = self._rng.choice(list(self._tags.keys()))
+        del self._tags[victim]
+        return victim
+
+    def remove(self, tag: Hashable) -> None:
+        self._tags.pop(tag, None)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __contains__(self, tag: Hashable) -> bool:
+        return tag in self._tags
+
+
+def make_policy(name: str, seed: Optional[int] = None) -> ReplacementPolicy:
+    """Factory: ``"lru"`` (default everywhere), ``"fifo"`` or ``"random"``."""
+    name = name.lower()
+    if name == "lru":
+        return LruPolicy()
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "random":
+        return RandomPolicy(seed if seed is not None else 0xC0FFEE)
+    raise ValueError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,182 @@
+"""Shared codegen infrastructure.
+
+A *codegen* plays the role of the compiler in the paper's methodology
+("no source code change is required, but it needs to be compiled to use
+HIPE instructions", §III): it lowers the Q6 select scan onto one
+architecture's instruction repertoire, for a given storage layout,
+processing strategy, operation size and unroll depth — and, because the
+simulator is trace-driven, it resolves branch directions and skip
+decisions from the actual data while doing so.
+
+Every codegen consumes a :class:`ScanWorkload` (the materialised tables,
+output buffers and predicates) and a :class:`ScanConfig`, and yields
+:class:`~repro.cpu.isa.Uop` streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cpu.isa import AluFunc
+from ..db.datagen import LineitemData
+from ..db.query6 import Predicate
+from ..db.table import DsmTable, NsmTable, ScanBuffers
+
+#: operation sizes of each architecture (Table I)
+X86_OP_SIZES = (16, 32, 64)  # up to AVX-512's 64 B
+PIM_OP_SIZES = (16, 32, 64, 128, 256)
+#: unroll depths evaluated in Figure 3c
+X86_UNROLLS = (1, 2, 4, 8)  # bounded by the general-purpose register file
+PIM_UNROLLS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """One point of the evaluation space."""
+
+    layout: str  # "nsm" | "dsm"
+    strategy: str  # "tuple" | "column"
+    op_bytes: int
+    unroll: int = 1
+
+    def __post_init__(self) -> None:
+        if self.layout not in ("nsm", "dsm"):
+            raise ValueError(f"unknown layout {self.layout!r}")
+        if self.strategy not in ("tuple", "column"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.op_bytes not in PIM_OP_SIZES:
+            raise ValueError(f"op_bytes must be one of {PIM_OP_SIZES}")
+        if self.unroll < 1:
+            raise ValueError("unroll must be >= 1")
+
+    @property
+    def rows_per_op(self) -> int:
+        """Tuples covered by one vector operation in column mode."""
+        return self.op_bytes // 4
+
+
+@dataclass
+class ScanWorkload:
+    """Everything a codegen needs about the data and its placement."""
+
+    data: LineitemData
+    predicates: Tuple[Predicate, ...]
+    buffers: ScanBuffers
+    nsm: Optional[NsmTable] = None
+    dsm: Optional[DsmTable] = None
+    _mask_cache: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    @property
+    def rows(self) -> int:
+        return self.data.rows
+
+    # -- reference predicate evaluations (drive branch directions) ---------
+
+    def predicate_mask(self, index: int) -> np.ndarray:
+        """Boolean match vector of predicate ``index`` alone."""
+        key = index
+        if key not in self._mask_cache:
+            predicate = self.predicates[index]
+            self._mask_cache[key] = predicate.evaluate(self.data[predicate.column])
+        return self._mask_cache[key]
+
+    def running_mask(self, upto: int) -> np.ndarray:
+        """Conjunction of predicates ``0..upto`` inclusive."""
+        key = -(upto + 1)  # separate cache namespace
+        if key not in self._mask_cache:
+            mask = np.ones(self.rows, dtype=bool)
+            for i in range(upto + 1):
+                mask &= self.predicate_mask(i)
+            self._mask_cache[key] = mask
+        return self._mask_cache[key]
+
+    @property
+    def final_mask(self) -> np.ndarray:
+        """The full conjunction (the scan's expected result)."""
+        return self.running_mask(len(self.predicates) - 1)
+
+
+class PcAllocator:
+    """Stable static-instruction identifiers for predictor/prefetcher PCs."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(0x1000)
+        self._sites: Dict[str, int] = {}
+
+    def site(self, name: str) -> int:
+        """The pc of the named static instruction (created on first use)."""
+        if name not in self._sites:
+            self._sites[name] = next(self._counter)
+        return self._sites[name]
+
+
+class RegAllocator:
+    """Core-register name space (rotating pool, models renaming).
+
+    Ids cycle within a window large enough that no two live values ever
+    collide (the ROB bounds liveness at 168 uops), while keeping the
+    core's ready-time table bounded for long traces.
+    """
+
+    def __init__(self, start: int = 100, window: int = 4096) -> None:
+        self._start = start
+        self._window = window
+        self._next = 0
+
+    def new(self) -> int:
+        """A fresh register id (eventually recycled)."""
+        reg = self._start + (self._next % self._window)
+        self._next += 1
+        return reg
+
+    def batch(self, count: int) -> List[int]:
+        """``count`` fresh register ids."""
+        return [self.new() for _ in range(count)]
+
+
+def compare_uop_count(predicate: Predicate) -> int:
+    """Core compare uops one predicate costs (range = 2 compares + AND)."""
+    return 3 if predicate.func == AluFunc.CMP_RANGE else 1
+
+
+def iterator_overhead(pcs: PcAllocator, regs: RegAllocator, state_reg: int,
+                      scratch_base: int, copy: int):
+    """The Volcano iterator's per-tuple interpretation work.
+
+    Tuple-at-a-time processing (paper §II-B, citing Graefe's Volcano) pays
+    per-tuple interpretation: the operator tree's ``next()`` chain walks
+    and updates cursor/operator state.  That state is carried from tuple
+    to tuple, so the work forms a *serial* dependence chain the
+    out-of-order core cannot hide — the amortisation of exactly this
+    chain is why column-at-a-time exists ([13]).  Modelled as dependent
+    loads (operator state, cache-hot), multiplies (offset/typing
+    arithmetic) and ALU ops threaded through ``state_reg``.
+
+    Yields the uops; the caller interleaves them per tuple.
+    """
+    from ..cpu.isa import Uop, UopClass
+
+    cursor = state_reg
+    for step in range(2):
+        loaded = regs.new()
+        yield Uop(UopClass.LOAD, pcs.site(f"iter_ld{copy}_{step}"),
+                  srcs=(cursor,), dst=loaded,
+                  address=scratch_base + 64 * step, size=8)
+        scaled = regs.new()
+        yield Uop(UopClass.INT_MUL, pcs.site(f"iter_mul{copy}_{step}"),
+                  srcs=(loaded,), dst=scaled)
+        cursor = scaled
+    yield Uop(UopClass.INT_ALU, pcs.site(f"iter_upd{copy}"),
+              srcs=(cursor,), dst=state_reg)
+
+
+def chunk_bounds(rows: int, rows_per_chunk: int):
+    """Yield ``(chunk_index, start_row, stop_row)`` over the table."""
+    index = 0
+    for start in range(0, rows, rows_per_chunk):
+        yield index, start, min(start + rows_per_chunk, rows)
+        index += 1

@@ -1,0 +1,152 @@
+"""HIPE codegen: predicated single-pass column evaluation.
+
+The paper's contribution in action (§III, Figure 2): the compiler
+transforms the scan's control-flow into data-flow by predicating the
+later columns' loads and compares on the earlier columns' zero flags —
+
+    load   r_a <- shipdate chunk
+    cmp    r_a <- range(r_a)              ; sets zero flags
+    load   r_b <- discount chunk   [pred r_a]   ; skipped lanes not read
+    cmp    r_b <- range(r_b)       [pred r_a]   ; conjunction by masking
+    load   r_c <- quantity chunk   [pred r_b]
+    cmp    r_c <- lt(r_c)          [pred r_b]
+    stmask r_c -> mask chunk
+
+"During the select scan, if the first attribute did not match the query
+condition the second attribute for that same tuple will not be loaded
+and compared" (§IV.A.3).  A chunk whose predicate register is all-zero
+is squashed entirely (no DRAM activation); partially matching chunks
+transfer only the surviving lanes' bytes — both show up as skipped DRAM
+bytes in the energy model.
+
+Unlike HIVE's three full passes, everything happens in one pass with no
+bitmask round trips; the cost is the load->compare->load dependence
+chain and the 3-registers-per-chunk pressure that bounds how many chunks
+a block can pipeline — the ~15 % the paper reports versus HIVE.
+
+Tuple-at-a-time falls back to the HIVE lowering: a single compound
+compare per tuple leaves predication nothing to skip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..cpu.isa import PimInstruction, PimOp, Uop, alu, branch, pim
+from .base import PcAllocator, RegAllocator, ScanConfig, ScanWorkload, chunk_bounds
+from .hive import ENGINE_REGS, tuple_at_a_time as hive_tuple_at_a_time
+
+#: engine registers per chunk body: two, alternated across the three
+#: column levels (level 2 reuses level 0's register once its flags have
+#: been consumed as level 1's predicate — the WAW interlock guards it)
+_REGS_PER_CHUNK = 2
+
+
+def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Single-pass predicated scan (Figure 3d's HIPE bar)."""
+    if workload.dsm is None:
+        raise ValueError("column-at-a-time needs the DSM table")
+    if len(workload.predicates) != 3:
+        raise ValueError("this lowering handles exactly 3 predicates (Q6)")
+    table = workload.dsm
+    buffers = workload.buffers
+    pcs = PcAllocator()
+    regs = RegAllocator()
+    induction = regs.new()
+    rows = workload.rows
+    rpc = config.rows_per_op
+    unroll = config.unroll
+    acc = ENGINE_REGS - 1  # packed-mask accumulator of the block
+    # Pipeline depth: two live data registers per chunk plus the shared
+    # accumulator bound how many chunks one block keeps in flight — the
+    # register-pressure-plus-dependence cost of predication the paper
+    # prices at ~15 % versus HIVE's free-streaming passes (§IV.A.3).
+    block_width = max(1, min(unroll, (ENGINE_REGS - 1) // _REGS_PER_CHUNK))
+    block_width = min(block_width, (256 * 8) // rpc)
+    # Whole mask bytes per block (see the HIVE codegen for rationale).
+    min_width = -(-8 // rpc)
+    if block_width % min_width:
+        block_width = max(min_width, block_width - block_width % min_width)
+    block_width = max(block_width, min_width)
+    columns = [table.column(p.column) for p in workload.predicates]
+
+    chunks = list(chunk_bounds(rows, rpc))
+    cursor = 0
+    body = 0
+    while cursor < len(chunks):
+        block = chunks[cursor : cursor + block_width]
+        cursor += len(block)
+        block_start_row = block[0][1]
+        block_rows = block[-1][2] - block_start_row
+        yield pim(pcs.site(f"lock{body}"), PimInstruction(PimOp.LOCK))
+        # Column 0: unconditional loads + compares (phase-ordered so the
+        # loads of the whole block overlap in the interlock bank).
+        for j, (chunk, start, stop) in enumerate(block):
+            reg_a = j * _REGS_PER_CHUNK
+            yield pim(
+                pcs.site(f"ld0_{j}"),
+                PimInstruction(PimOp.PIM_LOAD, address=columns[0].address_of(start),
+                               size=(stop - start) * 4, dst_reg=reg_a),
+            )
+        for j, (chunk, start, stop) in enumerate(block):
+            reg_a = j * _REGS_PER_CHUNK
+            p0 = workload.predicates[0]
+            yield pim(
+                pcs.site(f"cmp0_{j}"),
+                PimInstruction(PimOp.PIM_ALU, size=(stop - start) * 4,
+                               src_regs=(reg_a,), dst_reg=reg_a,
+                               func=p0.func, imm_lo=p0.lo, imm_hi=p0.hi),
+            )
+        # Columns 1..n: predicated on the previous column's zero flags.
+        # Registers alternate: level k lives in register (k mod 2) of the
+        # chunk's pair, so level 2 recycles level 0's register.
+        for level in (1, 2):
+            predicate = workload.predicates[level]
+            for j, (chunk, start, stop) in enumerate(block):
+                pred_reg = j * _REGS_PER_CHUNK + ((level - 1) % 2)
+                dst_reg = j * _REGS_PER_CHUNK + (level % 2)
+                yield pim(
+                    pcs.site(f"ld{level}_{j}"),
+                    PimInstruction(PimOp.PIM_LOAD,
+                                   address=columns[level].address_of(start),
+                                   size=(stop - start) * 4, dst_reg=dst_reg,
+                                   pred_reg=pred_reg),
+                )
+            for j, (chunk, start, stop) in enumerate(block):
+                pred_reg = j * _REGS_PER_CHUNK + ((level - 1) % 2)
+                dst_reg = j * _REGS_PER_CHUNK + (level % 2)
+                yield pim(
+                    pcs.site(f"cmp{level}_{j}"),
+                    PimInstruction(PimOp.PIM_ALU, size=(stop - start) * 4,
+                                   src_regs=(dst_reg,), dst_reg=dst_reg,
+                                   func=predicate.func, imm_lo=predicate.lo,
+                                   imm_hi=predicate.hi, pred_reg=pred_reg),
+                )
+        # Pack every chunk's final flags into the accumulator; one store
+        # writes the whole block's bitmask to DRAM.
+        for j, (chunk, start, stop) in enumerate(block):
+            last_reg = j * _REGS_PER_CHUNK + (2 % 2)  # level 2's register
+            yield pim(
+                pcs.site(f"pack_{j}"),
+                PimInstruction(PimOp.PACK_MASK, size=stop - start,
+                               src_regs=(last_reg,), dst_reg=acc,
+                               imm_lo=start - block_start_row),
+            )
+        yield pim(
+            pcs.site(f"stacc{body}"),
+            PimInstruction(PimOp.PIM_STORE,
+                           address=buffers.mask_address(block_start_row),
+                           size=buffers.mask_bytes_for(block_rows),
+                           src_regs=(acc,)),
+        )
+        yield pim(pcs.site(f"unlock{body}"), PimInstruction(PimOp.UNLOCK))
+        yield alu(pcs.site("ind"), srcs=(induction,), dst=induction)
+        yield branch(pcs.site("loop"), taken=cursor < len(chunks), srcs=(induction,))
+        body = (body + 1) % max(1, unroll)
+
+
+def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Dispatch on the configured strategy (tuple mode = HIVE lowering)."""
+    if config.strategy == "tuple":
+        return hive_tuple_at_a_time(workload, config)
+    return column_at_a_time(workload, config)

@@ -1,0 +1,272 @@
+"""HIVE codegen: lock/load/compare/store/unlock blocks in the logic layer.
+
+Every chunk of work becomes a *locked block* of HIVE instructions; the
+engine executes one block at a time (register-bank exclusivity), so at
+unroll 1 the per-block round trip dominates — "the control-dependency of
+each isolated lock/unlock block when performing streaming operations
+with HIVE" (§IV.A.1).  Unrolling widens blocks: many chunk bodies share
+one lock/unlock pair, their loads overlap through the interlocked
+register bank, and throughput approaches the vaults' parallelism
+(Figure 3c: 7.57x at 32x).
+
+Scan flavours:
+
+* :func:`tuple_at_a_time` (NSM): lock; load the tuple group into
+  registers; one compound compare; unlock *returning the match status*
+  so the core can branch and materialise — the per-tuple round trip of
+  Figure 3a.
+* :func:`column_at_a_time` (DSM): one pass per predicate.  The running
+  byte-mask is stored by the engine directly to DRAM (HIVE stores bypass
+  the caches), so at unroll 1 the core's chunk-skip checks must *fetch
+  the bitmask from DRAM* — "more DRAM accesses ... in contrast to cache
+  access for x86 and HMC" (§IV.A.1, Figure 3b).  Unrolled variants drop
+  core-side skipping and full-scan every column (§IV.A.3: "HIVE performs
+  full scan in columns").
+
+Engine registers are physical (36 of them); the codegen allocates fixed
+indices per block body and relies on block serialisation plus the WAW
+interlock for safe reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..common.units import ceil_div
+from ..cpu.isa import AluFunc, PimInstruction, PimOp, Uop, alu, branch, load, pim, store
+from .base import PcAllocator, RegAllocator, ScanConfig, ScanWorkload, chunk_bounds
+
+#: engine registers reserved for codegen use (the bank has 36)
+ENGINE_REGS = 36
+#: registers per chunk body in a column pass (data+mask vs data-in-place)
+_COL_REGS_FIRST = 1  # compare overwrites the loaded register
+_COL_REGS_LATER = 2  # loaded column + previous mask
+
+
+def tuple_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """NSM scan: one locked block per tuple group (Figure 3a HIVE bars)."""
+    if workload.nsm is None:
+        raise ValueError("tuple-at-a-time needs the NSM table")
+    table = workload.nsm
+    pcs = PcAllocator()
+    regs = RegAllocator()
+    induction = regs.new()
+    result_ptr = regs.new()
+    matches = workload.final_mask
+    terms = tuple(
+        (table.column_offsets[p.column], p.func, p.lo, p.hi)
+        for p in workload.predicates
+    )
+    out_index = 0
+
+    op = config.op_bytes
+    tuple_bytes = table.tuple_bytes
+    group = max(1, op // tuple_bytes)
+    pieces = ceil_div(tuple_bytes, op) if op < tuple_bytes else 1
+    mask_engine_reg = pieces  # engine register holding the match result
+    rows = workload.rows
+    unroll = config.unroll
+    groups = ceil_div(rows, group)
+
+    for g in range(groups):
+        u = g % unroll
+        base_row = g * group
+        yield pim(pcs.site(f"lock{u}"), PimInstruction(PimOp.LOCK))
+        for k in range(pieces):
+            yield pim(
+                pcs.site(f"ld{u}_{k}"),
+                PimInstruction(
+                    PimOp.PIM_LOAD,
+                    address=table.tuple_address(base_row) + k * op,
+                    size=min(op, group * tuple_bytes),
+                    dst_reg=k,
+                ),
+            )
+        yield pim(
+            pcs.site(f"cmp{u}"),
+            PimInstruction(
+                PimOp.PIM_ALU,
+                size=min(op, group * tuple_bytes),
+                src_regs=(0,),
+                dst_reg=mask_engine_reg,
+                compound=terms,
+                tuple_stride=tuple_bytes,
+            ),
+        )
+        status = regs.new()
+        yield pim(
+            pcs.site(f"unlock{u}"),
+            PimInstruction(PimOp.UNLOCK, returns_value=True,
+                           src_regs=(mask_engine_reg,)),
+            dst=status,
+        )
+        # As with the HMC baseline, the compiled offload loop replaces
+        # the interpreted iterator; the core only checks matches.
+        for t in range(group):
+            row = base_row + t
+            if row >= rows:
+                break
+            matched = bool(matches[row])
+            yield branch(pcs.site(f"br{u}_{t}"), taken=matched, srcs=(status,))
+            if matched:
+                vec = regs.new()
+                yield load(pcs.site(f"mat_ld{u}_{t}"), table.tuple_address(row),
+                           tuple_bytes, dst=vec)
+                out_addr = (workload.buffers.materialize_base
+                            + out_index * tuple_bytes)
+                yield store(pcs.site(f"mat_st{u}_{t}"), out_addr, tuple_bytes,
+                            srcs=(vec, result_ptr))
+                yield alu(pcs.site(f"bump{u}"), srcs=(result_ptr,), dst=result_ptr)
+                out_index += 1
+        if u == unroll - 1 or g == groups - 1:
+            yield alu(pcs.site("ind"), srcs=(induction,), dst=induction)
+            yield branch(pcs.site("loop"), taken=g != groups - 1, srcs=(induction,))
+
+
+def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """DSM scan: per-column passes of locked blocks (Figures 3b/3c).
+
+    Each locked block covers up to ``unroll`` chunks.  The chunks' match
+    bits are PACKed into one accumulator register and written to the
+    bitmask buffer with a single DRAM store per block; later passes load
+    the previous accumulator back the same way and UNPACK per chunk.
+    """
+    if workload.dsm is None:
+        raise ValueError("column-at-a-time needs the DSM table")
+    table = workload.dsm
+    buffers = workload.buffers
+    pcs = PcAllocator()
+    regs = RegAllocator()
+    induction = regs.new()
+    rows = workload.rows
+    rpc = config.rows_per_op
+    unroll = config.unroll
+    # Core-side chunk skipping only exists in the un-unrolled variant;
+    # the unrolled code full-scans every column (paper §IV.A.3).
+    core_skip = unroll == 1
+
+    for p, predicate in enumerate(workload.predicates):
+        column = table.column(predicate.column)
+        prev_running = workload.running_mask(p - 1) if p > 0 else None
+        accumulators = 1 if p == 0 else 2
+        block_width = max(1, min(unroll, ENGINE_REGS - accumulators))
+        # The block's packed mask bits must fit the 256 B accumulator.
+        block_width = min(block_width, (256 * 8) // rpc)
+        # Blocks must cover whole mask bytes: small ops (< 8 tuples per
+        # chunk) group enough chunks that stores stay byte-granular.
+        min_width = ceil_div(8, rpc)
+        if block_width % min_width:
+            block_width = max(min_width, block_width - block_width % min_width)
+        block_width = max(block_width, min_width)
+        acc_new = ENGINE_REGS - 1  # packed masks produced by this pass
+        acc_prev = ENGINE_REGS - 2  # packed masks of the previous pass
+        chunks = list(chunk_bounds(rows, rpc))
+        cursor = 0
+        body = 0
+        while cursor < len(chunks):
+            block = chunks[cursor : cursor + block_width]
+            cursor += len(block)
+            block_start_row = block[0][1]
+            block_rows = block[-1][2] - block_start_row
+            mask_addr = buffers.mask_address(block_start_row)
+            mask_bytes = buffers.mask_bytes_for(block_rows)
+            skip_flags = [False] * len(block)
+            if core_skip and p > 0:
+                # The core fetches the engine-written bitmask from DRAM
+                # (it was never cached) to decide what to process.
+                for j, (chunk, start, stop) in enumerate(block):
+                    prev_mask = regs.new()
+                    yield load(pcs.site(f"p{p}_ldmask{body}"),
+                               buffers.mask_address(start),
+                               buffers.mask_bytes_for(stop - start),
+                               dst=prev_mask)
+                    skip_flags[j] = not bool(prev_running[start:stop].any())
+                    yield branch(pcs.site(f"p{p}_skip{body}"),
+                                 taken=skip_flags[j], srcs=(prev_mask,))
+                if all(skip_flags):
+                    yield alu(pcs.site(f"p{p}_ind"), srcs=(induction,), dst=induction)
+                    yield branch(pcs.site(f"p{p}_loop"),
+                                 taken=cursor < len(chunks), srcs=(induction,))
+                    continue
+            yield pim(pcs.site(f"p{p}_lock{body}"), PimInstruction(PimOp.LOCK))
+            if p > 0:
+                # One row-granular load brings the whole block's previous
+                # masks into the accumulator.
+                yield pim(
+                    pcs.site(f"p{p}_ldacc{body}"),
+                    PimInstruction(PimOp.PIM_LOAD, address=mask_addr,
+                                   size=mask_bytes, dst_reg=acc_prev,
+                                   lane_bytes=1),
+                )
+            # Phase 1: stream the column loads — they overlap in the
+            # interlocked register bank across vaults.
+            for j, (chunk, start, stop) in enumerate(block):
+                if skip_flags[j]:
+                    continue
+                yield pim(
+                    pcs.site(f"p{p}_ld{j}"),
+                    PimInstruction(PimOp.PIM_LOAD, address=column.address_of(start),
+                                   size=(stop - start) * 4, dst_reg=j),
+                )
+            # Phase 2: compares (in place) and mask packing.
+            for j, (chunk, start, stop) in enumerate(block):
+                lanes = stop - start
+                bit_offset = start - block_start_row
+                if skip_flags[j]:
+                    continue
+                yield pim(
+                    pcs.site(f"p{p}_cmp{j}"),
+                    PimInstruction(PimOp.PIM_ALU, size=lanes * 4,
+                                   src_regs=(j,), dst_reg=j,
+                                   func=predicate.func, imm_lo=predicate.lo,
+                                   imm_hi=predicate.hi),
+                )
+                yield pim(
+                    pcs.site(f"p{p}_pack{j}"),
+                    PimInstruction(PimOp.PACK_MASK, size=lanes,
+                                   src_regs=(j,), dst_reg=acc_new,
+                                   imm_lo=bit_offset),
+                )
+            if p > 0:
+                # Conjoin with the previous pass at block granularity:
+                # a bitwise AND of the two packed accumulators is exactly
+                # the lane-wise conjunction of the whole block's masks.
+                yield pim(
+                    pcs.site(f"p{p}_andacc{body}"),
+                    PimInstruction(PimOp.PIM_ALU, size=mask_bytes,
+                                   src_regs=(acc_new, acc_prev),
+                                   dst_reg=acc_new, func=AluFunc.AND,
+                                   lane_bytes=1),
+                )
+            # Phase 3: one store writes the block's packed masks to DRAM
+            # (bypassing — and invalidating — the processor caches).
+            yield pim(
+                pcs.site(f"p{p}_stacc{body}"),
+                PimInstruction(PimOp.PIM_STORE, address=mask_addr,
+                               size=mask_bytes, src_regs=(acc_new,)),
+            )
+            if core_skip:
+                # Un-unrolled code waits for each isolated block's unlock
+                # status before moving on — the per-block round trip of
+                # §IV.A.1 ("control-dependency of each isolated
+                # lock/unlock block").
+                status = regs.new()
+                yield pim(pcs.site(f"p{p}_unlock{body}"),
+                          PimInstruction(PimOp.UNLOCK, returns_value=True),
+                          dst=status)
+                yield branch(pcs.site(f"p{p}_chk{body}"), taken=False,
+                             srcs=(status,))
+            else:
+                yield pim(pcs.site(f"p{p}_unlock{body}"),
+                          PimInstruction(PimOp.UNLOCK))
+            yield alu(pcs.site(f"p{p}_ind"), srcs=(induction,), dst=induction)
+            yield branch(pcs.site(f"p{p}_loop"), taken=cursor < len(chunks),
+                         srcs=(induction,))
+            body = (body + 1) % max(1, unroll)
+
+
+def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Dispatch on the configured strategy."""
+    if config.strategy == "tuple":
+        return tuple_at_a_time(workload, config)
+    return column_at_a_time(workload, config)

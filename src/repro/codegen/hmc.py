@@ -1,0 +1,170 @@
+"""HMC-ISA codegen: the paper's second baseline.
+
+The extended update instruction set executes load-compares at the
+per-vault functional units; everything else (bitmask bookkeeping,
+materialisation, control flow) stays on the processor.  "The store
+instructions are executed with cache assistance ... however, the
+load-compare instructions are processed inside the memory" (§IV).
+
+* :func:`tuple_at_a_time` (NSM): one HMC load-compare per op-size piece
+  of each tuple evaluates the whole-tuple conjunction at the vault
+  (``compound`` predicate); the per-tuple match branch *depends on the
+  returned mask*, so the non-speculative PIM issue rule round-trip
+  serialises consecutive tuples — the behaviour behind HMC's flat
+  16–64 B bars in Figure 3a and the 256 B win (4 tuples per round trip).
+* :func:`column_at_a_time` (DSM): branchless per-chunk compare-offload;
+  the running byte-mask lives in the caches, so HMC ops stream at the
+  controller window limit — Figure 3b's 4.38x.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..common.units import ceil_div
+from ..cpu.isa import PimInstruction, PimOp, Uop, alu, branch, load, pim, store
+from .base import PcAllocator, RegAllocator, ScanConfig, ScanWorkload, chunk_bounds
+
+
+def _compound_terms(workload: ScanWorkload):
+    """Q6 as (tuple_offset, func, lo, hi) terms over the NSM layout."""
+    table = workload.nsm
+    terms = []
+    for predicate in workload.predicates:
+        offset = table.column_offsets[predicate.column]
+        terms.append((offset, predicate.func, predicate.lo, predicate.hi))
+    return tuple(terms)
+
+
+def tuple_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """NSM scan with in-memory tuple compares (Figure 3a's HMC bars)."""
+    if workload.nsm is None:
+        raise ValueError("tuple-at-a-time needs the NSM table")
+    table = workload.nsm
+    pcs = PcAllocator()
+    regs = RegAllocator()
+    induction = regs.new()
+    result_ptr = regs.new()
+    terms = _compound_terms(workload)
+    matches = workload.final_mask
+    out_index = 0
+
+    op = config.op_bytes
+    tuple_bytes = table.tuple_bytes
+    group = max(1, op // tuple_bytes)  # tuples covered by one 128/256 B op
+    pieces = ceil_div(tuple_bytes, op) if op < tuple_bytes else 1
+    rows = workload.rows
+    unroll = config.unroll
+
+    groups = ceil_div(rows, group)
+    for g in range(groups):
+        u = g % unroll
+        base_row = g * group
+        mask_reg = regs.new()
+        for k in range(pieces):
+            # The piece holding the predicate columns returns the match
+            # mask; remaining pieces complete the whole-tuple visit.
+            dst = mask_reg if k == 0 else regs.new()
+            yield pim(
+                pcs.site(f"hmc{u}_{k}"),
+                PimInstruction(
+                    PimOp.HMC_LOADCMP,
+                    address=table.tuple_address(base_row) + k * op,
+                    size=min(op, group * tuple_bytes),
+                    compound=terms,
+                    tuple_stride=tuple_bytes,
+                    returns_value=True,
+                ),
+                dst=dst,
+            )
+        # The compiled offload loop replaced the interpreted iterator
+        # (§III: the workload is recompiled to use PIM instructions);
+        # only the per-tuple match checks and materialisation remain.
+        for t in range(group):
+            row = base_row + t
+            if row >= rows:
+                break
+            matched = bool(matches[row])
+            yield branch(pcs.site(f"br{u}_{t}"), taken=matched, srcs=(mask_reg,))
+            if matched:
+                # Materialise through the caches: the tuple must travel
+                # to the core (cache fill) and back out to the buffer.
+                vec = regs.new()
+                yield load(pcs.site(f"mat_ld{u}_{t}"), table.tuple_address(row),
+                           tuple_bytes, dst=vec)
+                out_addr = (workload.buffers.materialize_base
+                            + out_index * tuple_bytes)
+                yield store(pcs.site(f"mat_st{u}_{t}"), out_addr, tuple_bytes,
+                            srcs=(vec, result_ptr))
+                yield alu(pcs.site(f"bump{u}"), srcs=(result_ptr,), dst=result_ptr)
+                out_index += 1
+        if u == unroll - 1 or g == groups - 1:
+            yield alu(pcs.site("ind"), srcs=(induction,), dst=induction)
+            yield branch(pcs.site("loop"), taken=g != groups - 1, srcs=(induction,))
+
+
+def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """DSM scan with per-chunk compare offload (Figures 3b/3c HMC bars)."""
+    if workload.dsm is None:
+        raise ValueError("column-at-a-time needs the DSM table")
+    table = workload.dsm
+    buffers = workload.buffers
+    pcs = PcAllocator()
+    regs = RegAllocator()
+    induction = regs.new()
+    rows = workload.rows
+    rpc = config.rows_per_op
+    unroll = config.unroll
+
+    for p, predicate in enumerate(workload.predicates):
+        column = table.column(predicate.column)
+        prev_running = workload.running_mask(p - 1) if p > 0 else None
+        bodies = 0
+        for chunk, start, stop in chunk_bounds(rows, rpc):
+            mask_addr = buffers.mask_address(start)
+            mask_bytes = buffers.mask_bytes_for(stop - start)
+            if p > 0:
+                prev_mask = regs.new()
+                yield load(pcs.site(f"p{p}_ldmask{bodies}"), mask_addr,
+                           mask_bytes, dst=prev_mask)
+                skip = not bool(prev_running[start:stop].any())
+                yield branch(pcs.site(f"p{p}_skip{bodies}"), taken=skip,
+                             srcs=(prev_mask,))
+            else:
+                prev_mask = None
+                skip = False
+            if not skip:
+                mask_reg = regs.new()
+                yield pim(
+                    pcs.site(f"p{p}_hmc{bodies}"),
+                    PimInstruction(
+                        PimOp.HMC_LOADCMP,
+                        address=column.address_of(start),
+                        size=(stop - start) * 4,
+                        func=predicate.func,
+                        imm_lo=predicate.lo,
+                        imm_hi=predicate.hi,
+                        returns_value=True,
+                    ),
+                    dst=mask_reg,
+                )
+                if prev_mask is not None:
+                    conj = regs.new()
+                    yield alu(pcs.site(f"p{p}_and{bodies}"),
+                              srcs=(mask_reg, prev_mask), dst=conj)
+                    mask_reg = conj
+                yield store(pcs.site(f"p{p}_stmask{bodies}"), mask_addr,
+                            mask_bytes, srcs=(mask_reg,))
+            bodies += 1
+            if bodies == unroll or stop == rows:
+                yield alu(pcs.site(f"p{p}_ind"), srcs=(induction,), dst=induction)
+                yield branch(pcs.site(f"p{p}_loop"), taken=stop != rows,
+                             srcs=(induction,))
+                bodies = 0
+
+
+def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Dispatch on the configured strategy."""
+    if config.strategy == "tuple":
+        return tuple_at_a_time(workload, config)
+    return column_at_a_time(workload, config)

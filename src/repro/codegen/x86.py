@@ -1,0 +1,184 @@
+"""x86/AVX codegen: the paper's first baseline.
+
+Lowered exactly as §IV describes: every instruction executes in the
+processor, the HMC serves as plain main memory behind the caches.
+Vector operations are AVX-style with operand sizes 16/32/64 B (64 B =
+AVX-512); loop unrolling is bounded at 8x "due to the reduced number of
+general purpose registers".
+
+Two scan flavours:
+
+* :func:`tuple_at_a_time` (NSM): load the whole 64 B tuple in op-size
+  pieces, evaluate the conjunction, branch, and materialise matches into
+  the intermediate buffer — stores ride the cache hierarchy.
+* :func:`column_at_a_time` (DSM): one pass per predicate; each pass
+  loads op-size column chunks, compares, conjoins with the running
+  byte-mask and stores it back; later passes consult the cached mask to
+  skip dead chunks ("cache access for x86", §IV).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..common.units import ceil_div
+from ..cpu.isa import AluFunc, Uop, alu, branch, load, store
+from .base import (
+    PcAllocator,
+    RegAllocator,
+    ScanConfig,
+    ScanWorkload,
+    chunk_bounds,
+    iterator_overhead,
+)
+
+
+def _check(config: ScanConfig) -> None:
+    if config.op_bytes > 64:
+        raise ValueError("x86 vector operations are limited to 64 B (AVX-512)")
+    if config.unroll > 8:
+        raise ValueError("x86 unrolling is limited to 8x (register pressure)")
+
+
+def tuple_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """NSM materialising scan (Figure 3a's x86 bars)."""
+    _check(config)
+    if workload.nsm is None:
+        raise ValueError("tuple-at-a-time needs the NSM table")
+    table = workload.nsm
+    pcs = PcAllocator()
+    regs = RegAllocator()
+    induction = regs.new()
+    result_ptr = regs.new()
+    pieces = ceil_div(table.tuple_bytes, config.op_bytes)
+    matches = workload.final_mask
+    out_index = 0
+
+    iter_state = regs.new()
+    rows = workload.rows
+    unroll = config.unroll
+    for row in range(rows):
+        u = row % unroll
+        # Volcano next(): per-tuple interpretation, serial across tuples.
+        yield from iterator_overhead(pcs, regs, iter_state,
+                                     workload.buffers.scratch_base, u)
+        tuple_addr = table.tuple_address(row)
+        vec = regs.batch(pieces)
+        # Load the entire tuple, op-size bytes at a time (§II-B: the
+        # tuple-at-a-time scan loads the whole tuple).
+        for k in range(pieces):
+            yield load(
+                pcs.site(f"ld{u}_{k}"), tuple_addr + k * config.op_bytes,
+                config.op_bytes, dst=vec[k],
+            )
+        # Evaluate the conjunction on the piece holding the predicate
+        # columns (vec[0]): range compares cost two compares + an AND.
+        cursor = vec[0]
+        for p, predicate in enumerate(workload.predicates):
+            if predicate.func == AluFunc.CMP_RANGE:
+                lo = regs.new()
+                hi = regs.new()
+                yield alu(pcs.site(f"cmp{u}_{p}lo"), srcs=(vec[0],), dst=lo)
+                yield alu(pcs.site(f"cmp{u}_{p}hi"), srcs=(vec[0],), dst=hi)
+                combined = regs.new()
+                yield alu(pcs.site(f"and{u}_{p}r"), srcs=(lo, hi), dst=combined)
+            else:
+                combined = regs.new()
+                yield alu(pcs.site(f"cmp{u}_{p}"), srcs=(vec[0],), dst=combined)
+            if p > 0:
+                conj = regs.new()
+                yield alu(pcs.site(f"and{u}_{p}"), srcs=(cursor, combined), dst=conj)
+                cursor = conj
+            else:
+                cursor = combined
+        matched = bool(matches[row])
+        yield branch(pcs.site(f"br_match{u}"), taken=matched, srcs=(cursor,))
+        if matched:
+            out_addr = workload.buffers.materialize_base + out_index * table.tuple_bytes
+            for k in range(pieces):
+                yield store(
+                    pcs.site(f"mat{u}_{k}"), out_addr + k * config.op_bytes,
+                    config.op_bytes, srcs=(vec[k], result_ptr),
+                )
+            yield alu(pcs.site(f"bump{u}"), srcs=(result_ptr,), dst=result_ptr)
+            out_index += 1
+        if u == unroll - 1 or row == rows - 1:
+            # Loop overhead once per unrolled body.
+            yield alu(pcs.site("ind"), srcs=(induction,), dst=induction)
+            yield branch(pcs.site("loop"), taken=row != rows - 1, srcs=(induction,))
+
+
+def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """DSM bitmask scan (Figures 3b/3c's x86 bars)."""
+    _check(config)
+    if workload.dsm is None:
+        raise ValueError("column-at-a-time needs the DSM table")
+    table = workload.dsm
+    buffers = workload.buffers
+    pcs = PcAllocator()
+    regs = RegAllocator()
+    induction = regs.new()
+    rows = workload.rows
+    rpc = config.rows_per_op  # rows per chunk
+    unroll = config.unroll
+
+    for p, predicate in enumerate(workload.predicates):
+        column = table.column(predicate.column)
+        prev_running = workload.running_mask(p - 1) if p > 0 else None
+        running = workload.running_mask(p)
+        bodies_in_iter = 0
+        for chunk, start, stop in chunk_bounds(rows, rpc):
+            mask_addr = buffers.mask_address(start)
+            mask_bytes = buffers.mask_bytes_for(stop - start)
+            if p > 0:
+                # Consult the (cached) running mask; skip dead chunks.
+                prev_mask = regs.new()
+                yield load(pcs.site(f"p{p}_ldmask{bodies_in_iter}"), mask_addr,
+                           mask_bytes, dst=prev_mask)
+                skip = not bool(prev_running[start:stop].any())
+                yield branch(pcs.site(f"p{p}_skip{bodies_in_iter}"),
+                             taken=skip, srcs=(prev_mask,))
+            else:
+                prev_mask = None
+                skip = False
+            if not skip:
+                vec = regs.new()
+                yield load(pcs.site(f"p{p}_ld{bodies_in_iter}"),
+                           column.address_of(start), (stop - start) * 4, dst=vec)
+                if predicate.func == AluFunc.CMP_RANGE:
+                    lo = regs.new()
+                    hi = regs.new()
+                    yield alu(pcs.site(f"p{p}_cmplo{bodies_in_iter}"), srcs=(vec,), dst=lo)
+                    yield alu(pcs.site(f"p{p}_cmphi{bodies_in_iter}"), srcs=(vec,), dst=hi)
+                    mask = regs.new()
+                    yield alu(pcs.site(f"p{p}_range{bodies_in_iter}"), srcs=(lo, hi), dst=mask)
+                else:
+                    mask = regs.new()
+                    yield alu(pcs.site(f"p{p}_cmp{bodies_in_iter}"), srcs=(vec,), dst=mask)
+                if prev_mask is not None:
+                    conj = regs.new()
+                    yield alu(pcs.site(f"p{p}_and{bodies_in_iter}"),
+                              srcs=(mask, prev_mask), dst=conj)
+                    mask = conj
+                yield store(pcs.site(f"p{p}_stmask{bodies_in_iter}"), mask_addr,
+                            mask_bytes, srcs=(mask,))
+            bodies_in_iter += 1
+            if bodies_in_iter == unroll or stop == rows:
+                yield alu(pcs.site(f"p{p}_ind"), srcs=(induction,), dst=induction)
+                yield branch(pcs.site(f"p{p}_loop"), taken=stop != rows,
+                             srcs=(induction,))
+                bodies_in_iter = 0
+
+
+def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Dispatch on the configured strategy."""
+    if config.strategy == "tuple":
+        return tuple_at_a_time(workload, config)
+    return column_at_a_time(workload, config)
+
+
+def expected_mask_bytes(workload: ScanWorkload) -> np.ndarray:
+    """The byte-mask the column scan should leave in the mask buffer."""
+    return workload.final_mask.astype(np.uint8)

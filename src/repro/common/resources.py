@@ -1,0 +1,215 @@
+"""Timing resources: the scheduling algebra every component is built on.
+
+The simulator computes *when* things happen by reserving shared hardware
+resources.  A resource answers one question: *given that a request wants
+to use you at time ``t``, when does it actually get to, and until when is
+the resource then busy?*  Components (caches, vault controllers, link
+lanes, issue ports, MSHR pools, ...) are compositions of the four
+primitives below:
+
+* :class:`SlottedResource` — N grants per cycle (issue width, fetch width,
+  cache ports).
+* :class:`OccupancyResource` — N entries held over an interval (MSHRs,
+  MOB entries, ROB, outstanding-request windows).
+* :class:`BandwidthResource` — a pipe that serialises payloads
+  (DRAM data bus, serial link lane).
+* :class:`BusyResource` — a single server busy for a per-request duration
+  (a DRAM bank, a functional unit instance).
+
+All times are integer cycles of the reference (core) clock.  Requests may
+arrive slightly out of order (an out-of-order core issues that way); each
+primitive handles that by never granting earlier than its own visible
+history requires.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+
+class SlottedResource:
+    """A resource granting at most ``slots_per_cycle`` uses per cycle.
+
+    Models superscalar widths: issue slots, commit slots, cache ports.
+    Grants at the first cycle >= the requested cycle with a free slot.
+
+    A bounded sliding window of per-cycle counters keeps memory constant;
+    requests older than the window are clamped forward to the window's
+    horizon (they cannot observe freed slots that far in the past, which
+    is the conservative choice).
+    """
+
+    def __init__(self, slots_per_cycle: int, window: int = 4096) -> None:
+        if slots_per_cycle < 1:
+            raise ValueError("slots_per_cycle must be >= 1")
+        self.slots_per_cycle = slots_per_cycle
+        self._window = window
+        self._used: Dict[int, int] = {}
+        self._horizon = 0  # earliest cycle still tracked
+
+    def reserve(self, cycle: int) -> int:
+        """Reserve one slot at or after ``cycle``; return the granted cycle."""
+        when = max(int(cycle), self._horizon)
+        used = self._used
+        while used.get(when, 0) >= self.slots_per_cycle:
+            when += 1
+        used[when] = used.get(when, 0) + 1
+        if when - self._horizon > 2 * self._window:
+            self._prune(when - self._window)
+        return when
+
+    def _prune(self, new_horizon: int) -> None:
+        self._used = {c: n for c, n in self._used.items() if c >= new_horizon}
+        self._horizon = new_horizon
+
+    def used_at(self, cycle: int) -> int:
+        """How many slots are reserved at ``cycle`` (0 if outside window)."""
+        return self._used.get(cycle, 0)
+
+
+class OccupancyResource:
+    """A pool of ``num_entries`` entries held from acquire until release.
+
+    Models MSHR files, load/store queues and reorder-buffer occupancy.
+    ``acquire(t, release)`` returns the time the entry was actually
+    obtained: ``t`` if an entry is free then, otherwise the earliest
+    release time of the currently held entries.
+    """
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ValueError("num_entries must be >= 1")
+        self.num_entries = num_entries
+        self._releases: List[int] = []  # min-heap of release times
+
+    def acquire(self, cycle: int, release: int) -> int:
+        """Acquire one entry at/after ``cycle``, held until ``release``."""
+        releases = self._releases
+        # Free entries whose holders have already released.
+        while releases and releases[0] <= cycle:
+            heapq.heappop(releases)
+        if len(releases) < self.num_entries:
+            granted = int(cycle)
+        else:
+            granted = heapq.heappop(releases)
+        heapq.heappush(releases, max(int(release), granted))
+        return granted
+
+    def earliest_free(self, cycle: int) -> int:
+        """When the next entry would be available for a request at ``cycle``."""
+        releases = self._releases
+        while releases and releases[0] <= cycle:
+            heapq.heappop(releases)
+        if len(releases) < self.num_entries:
+            return int(cycle)
+        return releases[0]
+
+    @property
+    def in_flight(self) -> int:
+        """Entries currently tracked (an upper bound on live holders)."""
+        return len(self._releases)
+
+
+class BandwidthResource:
+    """A serialising pipe moving ``bytes_per_cycle`` bytes each cycle.
+
+    ``transfer(t, nbytes)`` returns ``(start, end)``: the transfer begins
+    at the later of ``t`` and the pipe draining, and occupies the pipe for
+    ``ceil(nbytes / bytes_per_cycle)`` cycles.
+    """
+
+    def __init__(self, bytes_per_cycle: float) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        self.bytes_per_cycle = float(bytes_per_cycle)
+        self._next_free = 0
+        self.bytes_moved = 0
+
+    def transfer(self, cycle: int, nbytes: int) -> tuple:
+        """Serialise ``nbytes`` starting at/after ``cycle``; (start, end)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = max(int(cycle), self._next_free)
+        duration = max(1, int(-(-nbytes // self.bytes_per_cycle)))
+        end = start + duration
+        self._next_free = end
+        self.bytes_moved += nbytes
+        return start, end
+
+    @property
+    def next_free(self) -> int:
+        """First cycle at which a new transfer could begin."""
+        return self._next_free
+
+
+class MultiChannelBandwidth:
+    """Several independent pipes; a transfer takes the earliest-free one.
+
+    Models the HMC's four serial links: each request/response packet rides
+    one lane, lanes operate in parallel.
+    """
+
+    def __init__(self, channels: int, bytes_per_cycle: float) -> None:
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.channels = [BandwidthResource(bytes_per_cycle) for _ in range(channels)]
+
+    def transfer(self, cycle: int, nbytes: int) -> tuple:
+        """Move ``nbytes`` on the channel that can start soonest."""
+        best = min(self.channels, key=lambda ch: max(ch.next_free, cycle))
+        return best.transfer(cycle, nbytes)
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes moved across all channels."""
+        return sum(ch.bytes_moved for ch in self.channels)
+
+
+class BusyResource:
+    """A single server that is busy for a caller-supplied duration.
+
+    Models a DRAM bank or one functional-unit instance.  ``occupy(t, d)``
+    returns ``(start, end)`` with ``start = max(t, previous end)``.
+    """
+
+    def __init__(self) -> None:
+        self._next_free = 0
+        self.busy_cycles = 0
+
+    def occupy(self, cycle: int, duration: int) -> tuple:
+        """Hold the server for ``duration`` cycles at/after ``cycle``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(int(cycle), self._next_free)
+        end = start + int(duration)
+        self._next_free = end
+        self.busy_cycles += int(duration)
+        return start, end
+
+    @property
+    def next_free(self) -> int:
+        """First cycle at which the server is idle."""
+        return self._next_free
+
+    def push_next_free(self, cycle: int) -> None:
+        """Force the server busy until ``cycle`` (e.g. precharge tail)."""
+        self._next_free = max(self._next_free, int(cycle))
+
+
+class UnitPool:
+    """A group of identical servers; a request takes the earliest free one.
+
+    Models ``k`` ALUs of one type, or the per-vault functional units.
+    Returns ``(start, end)`` like :class:`BusyResource`.
+    """
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.units = [BusyResource() for _ in range(count)]
+
+    def occupy(self, cycle: int, duration: int) -> tuple:
+        """Use the soonest-available unit for ``duration`` cycles."""
+        best = min(self.units, key=lambda u: max(u.next_free, cycle))
+        return best.occupy(cycle, duration)

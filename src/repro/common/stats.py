@@ -1,0 +1,120 @@
+"""Hierarchical statistics registry.
+
+Every simulated component owns a :class:`StatGroup` and bumps named
+counters as it models events ("l1.load_hits", "hmc.vault3.row_activations",
+...).  The registry supports:
+
+* cheap integer counters and accumulators,
+* derived metrics computed at report time (e.g. hit ratios),
+* merging (for multicore runs) and flat dictionary export,
+* formatted tables for the experiment harness.
+
+Components never format their own output; experiments read the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class StatGroup:
+    """A named bag of counters with optional nested sub-groups."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, float] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+        self._derived: Dict[str, Callable[["StatGroup"], float]] = {}
+
+    # -- counters ---------------------------------------------------------
+
+    def bump(self, counter: str, amount: float = 1) -> None:
+        """Add ``amount`` to ``counter`` (creating it at zero)."""
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def set(self, counter: str, value: float) -> None:
+        """Set ``counter`` to an absolute value."""
+        self._counters[counter] = value
+
+    def get(self, counter: str, default: float = 0) -> float:
+        """Read a counter, or ``default`` when it was never touched."""
+        if counter in self._counters:
+            return self._counters[counter]
+        if counter in self._derived:
+            return self._derived[counter](self)
+        return default
+
+    def __contains__(self, counter: str) -> bool:
+        return counter in self._counters or counter in self._derived
+
+    # -- structure --------------------------------------------------------
+
+    def child(self, name: str) -> "StatGroup":
+        """Get or create the nested group ``name``."""
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def children(self) -> Iterator["StatGroup"]:
+        """Iterate over nested groups in insertion order."""
+        return iter(self._children.values())
+
+    def derive(self, name: str, fn: Callable[["StatGroup"], float]) -> None:
+        """Register a metric computed from this group at read time."""
+        self._derived[name] = fn
+
+    # -- aggregation ------------------------------------------------------
+
+    def merge(self, other: "StatGroup") -> None:
+        """Accumulate ``other``'s counters (and children) into this group."""
+        for key, value in other._counters.items():
+            self.bump(key, value)
+        for name, group in other._children.items():
+            self.child(name).merge(group)
+
+    def flatten(self, prefix: str = "") -> Dict[str, float]:
+        """All counters (derived included) as ``{"path.counter": value}``."""
+        path = f"{prefix}{self.name}" if prefix or self.name else self.name
+        out: Dict[str, float] = {}
+        for key, value in self._counters.items():
+            out[f"{path}.{key}" if path else key] = value
+        for key, fn in self._derived.items():
+            out[f"{path}.{key}" if path else key] = fn(self)
+        for group in self._children.values():
+            out.update(group.flatten(prefix=f"{path}." if path else ""))
+        return out
+
+    # -- reporting --------------------------------------------------------
+
+    def rows(self) -> List[Tuple[str, float]]:
+        """Flattened (name, value) pairs, sorted by name."""
+        return sorted(self.flatten().items())
+
+    def report(self, title: Optional[str] = None, min_value: float = 0) -> str:
+        """Aligned text table of all counters for human consumption."""
+        rows = [(k, v) for k, v in self.rows() if abs(v) > min_value or v != 0]
+        if not rows:
+            return f"{title or self.name}: (no events)"
+        width = max(len(name) for name, _ in rows)
+        lines = [title or self.name]
+        for name, value in rows:
+            if isinstance(value, float) and not value.is_integer():
+                lines.append(f"  {name:<{width}}  {value:,.4f}")
+            else:
+                lines.append(f"  {name:<{width}}  {int(value):,}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatGroup({self.name!r}, {len(self._counters)} counters)"
+
+
+def ratio(numerator: str, denominator: str) -> Callable[[StatGroup], float]:
+    """Build a derived-metric function ``numerator / denominator`` (0-safe)."""
+
+    def compute(group: StatGroup) -> float:
+        denom = group.get(denominator)
+        if denom == 0:
+            return 0.0
+        return group.get(numerator) / denom
+
+    return compute

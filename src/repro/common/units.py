@@ -1,0 +1,146 @@
+"""Unit and clock-domain arithmetic used across the simulator.
+
+The machine modelled by this package mixes four clock domains (Table I of
+the paper):
+
+* the out-of-order core at 2.0 GHz (the *reference* domain — every
+  latency in the simulator is expressed in core cycles),
+* the HMC DRAM arrays at 166 MHz,
+* the HIVE/HIPE logic layer at 1 GHz,
+* the HMC serial links at 8 GHz.
+
+This module centralises the conversions so that no component hand-rolls
+its own frequency ratios, and provides small helpers for byte sizes and
+human-readable formatting of simulation output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock with a frequency in hertz.
+
+    Latencies local to a domain (e.g. DRAM timings in DRAM cycles) are
+    converted to reference (core) cycles through :meth:`to_cycles_of`.
+    """
+
+    name: str
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(f"clock {self.name!r} needs a positive frequency")
+
+    @property
+    def period_s(self) -> float:
+        """Length of one cycle of this clock, in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count of this domain into wall-clock seconds."""
+        return cycles * self.period_s
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Convert seconds to whole cycles of this domain (rounded up)."""
+        return int(math.ceil(seconds * self.frequency_hz))
+
+    def to_cycles_of(self, cycles: float, other: "ClockDomain") -> int:
+        """Express ``cycles`` of this domain in whole cycles of ``other``.
+
+        Rounded up: a consumer in the ``other`` domain cannot observe an
+        event before it has fully happened here.
+        """
+        return int(math.ceil(cycles * other.frequency_hz / self.frequency_hz))
+
+
+# Reference domains of the evaluated systems (Table I).
+CORE_CLOCK = ClockDomain("core", 2.0 * GIGA)
+DRAM_CLOCK = ClockDomain("dram", 166.0 * MEGA)
+PIM_CLOCK = ClockDomain("pim-logic", 1.0 * GIGA)
+LINK_CLOCK = ClockDomain("link", 8.0 * GIGA)
+
+
+def dram_cycles_to_core(dram_cycles: float) -> int:
+    """Convert DRAM-domain cycles (e.g. CAS=9) to core cycles."""
+    return DRAM_CLOCK.to_cycles_of(dram_cycles, CORE_CLOCK)
+
+
+def pim_cycles_to_core(pim_cycles: float) -> int:
+    """Convert logic-layer cycles (HIVE/HIPE FU latencies) to core cycles."""
+    return PIM_CLOCK.to_cycles_of(pim_cycles, CORE_CLOCK)
+
+
+def link_cycles_to_core(link_cycles: float) -> int:
+    """Convert serial-link cycles to core cycles."""
+    return LINK_CLOCK.to_cycles_of(link_cycles, CORE_CLOCK)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Integer log2 of a power of two; raises for anything else."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Ceiling integer division."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError("alignment must be a power of two")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError("alignment must be a power of two")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human readable byte count: ``format_bytes(40*MIB) == '40.0 MiB'``."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}" if suffix != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_cycles(cycles: float) -> str:
+    """Human readable cycle count with thousands separators."""
+    return f"{int(cycles):,} cyc"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human readable duration, auto-scaled (s/ms/us/ns)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"

@@ -1,0 +1,58 @@
+"""Execution units of the out-of-order core (Table I latencies/counts).
+
+Pipelined units accept a new operation every cycle but deliver results
+after their latency; non-pipelined units (the dividers) are held for the
+whole operation.  The load/store units gate cache-port entry; the actual
+memory latency comes from the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..common.config import CoreConfig, FunctionalUnitSpec
+from ..common.resources import UnitPool
+from .isa import UopClass
+
+
+class FunctionalUnits:
+    """All FU pools of one core, keyed by uop class."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self._pools: Dict[UopClass, Tuple[UnitPool, FunctionalUnitSpec]] = {}
+        mapping = {
+            UopClass.INT_ALU: config.int_alu,
+            UopClass.INT_MUL: config.int_mul,
+            UopClass.INT_DIV: config.int_div,
+            UopClass.FP_ALU: config.fp_alu,
+            UopClass.FP_MUL: config.fp_mul,
+            UopClass.FP_DIV: config.fp_div,
+            UopClass.LOAD: config.load_units,
+            UopClass.STORE: config.store_units,
+        }
+        for cls, spec in mapping.items():
+            self._pools[cls] = (UnitPool(spec.count), spec)
+        # Branches resolve on the integer ALU pool; PIM uops occupy the
+        # load unit on their way out (they travel "like a load", §III).
+        self._pools[UopClass.BRANCH] = self._pools[UopClass.INT_ALU]
+        self._pools[UopClass.PIM] = self._pools[UopClass.LOAD]
+
+    def execute(self, cls: UopClass, cycle: int) -> Tuple[int, int]:
+        """Dispatch one ``cls`` uop at/after ``cycle``.
+
+        Returns ``(start, result_ready)``.  For memory/PIM classes the
+        ``result_ready`` covers only the unit itself; downstream latency
+        (cache, cube) is added by the caller.
+        """
+        if cls == UopClass.NOP:
+            return cycle, cycle
+        pool, spec = self._pools[cls]
+        occupancy = spec.latency if not spec.pipelined else 1
+        start, __ = pool.occupy(cycle, occupancy)
+        return start, start + spec.latency
+
+    def latency_of(self, cls: UopClass) -> int:
+        """The raw result latency of a class (tests/diagnostics)."""
+        if cls == UopClass.NOP:
+            return 0
+        return self._pools[cls][1].latency

@@ -1,0 +1,51 @@
+"""Packed bitmask intermediates for column-at-a-time scans.
+
+Column-at-a-time evaluation (paper §IV: "it stores a bitmask with 1 for
+match and 0 for no match to be used ahead by the further predicates")
+produces one bit per tuple per evaluated predicate, conjoined across
+columns.  Bits are LSB-first within bytes, matching numpy's
+``packbits(bitorder="little")`` and the PIM engines' mask stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean (or 0/1) array into bytes, LSB-first."""
+    return np.packbits(np.asarray(mask, dtype=bool), bitorder="little")
+
+
+def unpack(packed: np.ndarray, count: int) -> np.ndarray:
+    """Unpack ``count`` bits from a byte array back to booleans."""
+    return np.unpackbits(np.asarray(packed, dtype=np.uint8), count=count,
+                         bitorder="little").astype(bool)
+
+
+def bitmask_bytes(rows: int) -> int:
+    """Bytes needed for one bit per row."""
+    return (rows + 7) // 8
+
+
+def and_packed(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Conjunction of two packed bitmasks."""
+    if a.size != b.size:
+        raise ValueError("bitmask length mismatch")
+    return a & b
+
+
+def popcount(packed: np.ndarray) -> int:
+    """Number of set bits (matched tuples) in a packed bitmask."""
+    return int(np.unpackbits(np.asarray(packed, dtype=np.uint8)).sum())
+
+
+def chunk_any(packed: np.ndarray, chunk_bits: int):
+    """Yield ``True`` per chunk of ``chunk_bits`` when any bit is set.
+
+    This is exactly the check the column-at-a-time scans perform before
+    touching the next column's region: a ``False`` chunk is skippable.
+    """
+    bits = np.unpackbits(np.asarray(packed, dtype=np.uint8), bitorder="little")
+    for start in range(0, bits.size, chunk_bits):
+        yield bool(bits[start : start + chunk_bits].any())

@@ -1,0 +1,93 @@
+"""Reference select-scan operators (architecture-independent semantics).
+
+These pure-numpy operators define what every simulated architecture must
+compute:
+
+* **tuple-at-a-time** (paper §II-B, row-store flavour): visit each tuple,
+  evaluate the full conjunction, materialise matching tuples into an
+  intermediate result ("the matched tuples are materialized", §IV).
+* **column-at-a-time** (column-store flavour): evaluate one predicate
+  over a whole column, conjoin into a packed bitmask used by the next
+  predicate — with chunk skipping for later columns ("decide the
+  portions of the second column it needs to process", §IV).
+
+The codegen modules walk these same loops while emitting uops, and the
+integration tests assert each architecture's outputs equal these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .bitmask import pack
+from .datagen import LineitemData
+from .query6 import Predicate
+
+
+@dataclass
+class ScanResult:
+    """Outcome of a select scan."""
+
+    matches: np.ndarray  # matched row indices, ascending
+    bitmask: np.ndarray  # packed conjunction bitmask (uint8)
+    rows: int
+
+    @property
+    def match_count(self) -> int:
+        return int(self.matches.size)
+
+    @property
+    def selectivity(self) -> float:
+        return self.match_count / self.rows if self.rows else 0.0
+
+
+def tuple_at_a_time_scan(data: LineitemData, predicates: Sequence[Predicate]) -> ScanResult:
+    """Row-store scan: whole-tuple visits, conjunction per tuple."""
+    mask = np.ones(data.rows, dtype=bool)
+    for predicate in predicates:
+        mask &= predicate.evaluate(data[predicate.column])
+    matches = np.flatnonzero(mask)
+    return ScanResult(matches=matches, bitmask=pack(mask), rows=data.rows)
+
+
+def column_at_a_time_scan(
+    data: LineitemData,
+    predicates: Sequence[Predicate],
+    chunk_rows: int = 64,
+) -> ScanResult:
+    """Column-store scan with per-chunk skipping for later columns.
+
+    ``chunk_rows`` is the vector operation width in tuples (op size in
+    bytes / 4).  The first predicate scans its column fully; every later
+    predicate only evaluates chunks whose running bitmask still has a
+    candidate — the skip decision the processor (x86/HMC), or the
+    predication logic (HIPE), performs per region.
+    """
+    if chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive")
+    running = np.zeros(data.rows, dtype=bool)
+    first = predicates[0]
+    running |= first.evaluate(data[first.column])
+    skipped_chunks = 0
+    for predicate in predicates[1:]:
+        values = data[predicate.column]
+        for start in range(0, data.rows, chunk_rows):
+            stop = min(start + chunk_rows, data.rows)
+            if not running[start:stop].any():
+                skipped_chunks += 1
+                continue
+            running[start:stop] &= predicate.evaluate(values[start:stop])
+    matches = np.flatnonzero(running)
+    result = ScanResult(matches=matches, bitmask=pack(running), rows=data.rows)
+    result.skipped_chunks = skipped_chunks  # diagnostic attribute
+    return result
+
+
+def materialize(data: LineitemData, matches: np.ndarray, columns: List[str] | None = None):
+    """Materialise the matched tuples' (selected) columns as arrays."""
+    if columns is None:
+        columns = data.column_names()
+    return {column: data[column][matches].copy() for column in columns}

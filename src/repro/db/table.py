@@ -1,0 +1,136 @@
+"""Storage layouts: NSM (row-store) and DSM (column-store).
+
+Paper §II-B / Figure 1: the N-ary Storage Model keeps whole tuples
+contiguous (here 64 B per tuple — "each tuple occupies 64-bytes, which is
+equal to the cache line size", §IV), while the Decomposition Storage
+Model stores each attribute contiguously.  Both layouts place their bytes
+in the machine's :class:`~repro.memory.image.MemoryImage`, so every
+architecture scans the *same physical data*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..memory.image import MemoryImage
+from .datagen import LineitemData, Q6_COLUMNS
+
+TUPLE_BYTES = 64
+COLUMN_VALUE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """Where one column lives: base address and per-row stride."""
+
+    name: str
+    base: int
+    stride: int
+    value_bytes: int = COLUMN_VALUE_BYTES
+
+    def address_of(self, row: int) -> int:
+        """Physical address of this column's value in ``row``."""
+        return self.base + row * self.stride
+
+
+class NsmTable:
+    """Row-store: 64 B tuples with the Q6 columns at fixed offsets."""
+
+    def __init__(self, image: MemoryImage, data: LineitemData, name: str = "lineitem_nsm") -> None:
+        self.rows = data.rows
+        self.name = name
+        self.tuple_bytes = TUPLE_BYTES
+        alloc = image.allocate(name, data.rows * TUPLE_BYTES)
+        self.base = alloc.base
+        # Interleave the four column values into the first 16 B of each
+        # tuple; the remaining 48 B model the other lineitem attributes.
+        view = alloc.data.view(np.int32).reshape(data.rows, TUPLE_BYTES // 4)
+        self.column_offsets: Dict[str, int] = {}
+        for i, column in enumerate(Q6_COLUMNS):
+            view[:, i] = data[column]
+            self.column_offsets[column] = i * COLUMN_VALUE_BYTES
+        self.columns = {
+            column: ColumnRef(
+                column, self.base + self.column_offsets[column], TUPLE_BYTES
+            )
+            for column in Q6_COLUMNS
+        }
+
+    def tuple_address(self, row: int) -> int:
+        """Physical address of the start of ``row``'s tuple."""
+        return self.base + row * TUPLE_BYTES
+
+    @property
+    def size_bytes(self) -> int:
+        """Total table footprint."""
+        return self.rows * TUPLE_BYTES
+
+
+class DsmTable:
+    """Column-store: each attribute in its own contiguous array."""
+
+    def __init__(self, image: MemoryImage, data: LineitemData, name: str = "lineitem_dsm") -> None:
+        self.rows = data.rows
+        self.name = name
+        self.columns: Dict[str, ColumnRef] = {}
+        for column in Q6_COLUMNS:
+            alloc = image.allocate_array(f"{name}.{column}", data[column].astype(np.int32))
+            self.columns[column] = ColumnRef(column, alloc.base, COLUMN_VALUE_BYTES)
+
+    def column(self, name: str) -> ColumnRef:
+        """Reference to one column array."""
+        return self.columns[name]
+
+    @property
+    def size_bytes(self) -> int:
+        """Total footprint of all column arrays."""
+        return self.rows * COLUMN_VALUE_BYTES * len(self.columns)
+
+
+@dataclass
+class ScanBuffers:
+    """Output areas of a select scan: match bitmask and materialisation buffer.
+
+    The mask is stored **bit-packed, one bit per tuple, LSB-first** — the
+    paper's representation ("a bitmask with 1 for match and 0 for no
+    match").  x86 writes it through the caches (AVX-512 k-mask stores);
+    the PIM engines accumulate a whole block's chunk masks in a register
+    (PACK_MASK) and write them with one row-buffer-sized DRAM access.
+    """
+
+    bitmask_base: int
+    bitmask_bytes: int
+    materialize_base: int
+    materialize_bytes: int
+    scratch_base: int = 0  # operator/iterator state (stays cache-hot)
+
+    def mask_address(self, row: int) -> int:
+        """Address of the mask byte containing ``row``'s bit."""
+        return self.bitmask_base + row // 8
+
+    def mask_bytes_for(self, rows: int) -> int:
+        """Mask footprint of ``rows`` tuples (at least one byte)."""
+        return max(1, (rows + 7) // 8)
+
+
+def allocate_scan_buffers(
+    image: MemoryImage, rows: int, name: str = "scan", tuple_bytes: int = TUPLE_BYTES
+) -> ScanBuffers:
+    """Reserve the bitmask and materialisation regions for a scan of ``rows``."""
+    mask_bytes = max(1, (rows + 7) // 8)
+    # Round the mask region up to whole 256 B blocks so block-granular
+    # PIM mask stores of the last (partial) block stay in bounds.
+    mask_alloc = image.allocate(f"{name}.bitmask", (mask_bytes + 255) // 256 * 256 + 256)
+    mat_bytes = rows * tuple_bytes  # worst case: everything matches
+    mat_alloc = image.allocate(f"{name}.materialized", mat_bytes)
+    scratch_alloc = image.allocate(f"{name}.scratch", 256)
+    return ScanBuffers(
+        bitmask_base=mask_alloc.base,
+        bitmask_bytes=mask_bytes,
+        materialize_base=mat_alloc.base,
+        materialize_bytes=mat_bytes,
+        scratch_base=scratch_alloc.base,
+    )

@@ -1,0 +1,71 @@
+"""Shared experiment plumbing: row counts, result collection, shape checks."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..codegen.base import ScanConfig
+from ..db.datagen import LineitemData, generate_lineitem
+from ..sim.results import RunResult, format_table
+from ..sim.runner import run_scan
+
+#: default rows per experiment — override with REPRO_ROWS.  32 K rows
+#: against the scale-80 caches preserve the paper's working-set >> LLC
+#: regime (see DESIGN.md §4); raise towards 6_001_215 (TPC-H SF1) for
+#: paper-scale runs at proportional simulation cost.
+DEFAULT_EXPERIMENT_ROWS = 32_768
+
+
+def experiment_rows(default: int = DEFAULT_EXPERIMENT_ROWS) -> int:
+    """Row count for experiments, honouring the REPRO_ROWS env var."""
+    value = os.environ.get("REPRO_ROWS")
+    if value is None:
+        return default
+    rows = int(value)
+    if rows < 64:
+        raise ValueError("REPRO_ROWS must be at least 64")
+    return rows
+
+
+@dataclass
+class ExperimentResult:
+    """All runs of one figure plus derived headline numbers."""
+
+    name: str
+    runs: List[RunResult] = field(default_factory=list)
+    headline: Dict[str, float] = field(default_factory=dict)
+
+    def by_label(self) -> Dict[str, RunResult]:
+        return {run.label(): run for run in self.runs}
+
+    def run_for(self, arch: str, op_bytes: int, unroll: int = 1) -> RunResult:
+        """Find the run for one configuration point."""
+        for run in self.runs:
+            if (run.arch == arch and run.scan.op_bytes == op_bytes
+                    and run.scan.unroll == unroll):
+                return run
+        raise KeyError(f"no run for {arch}-{op_bytes}B@{unroll}x")
+
+    def report(self, baseline: Optional[RunResult] = None) -> str:
+        return format_table(self.runs, self.name, baseline=baseline)
+
+
+def sweep(
+    name: str,
+    points: List[Tuple[str, ScanConfig]],
+    rows: int,
+    data: Optional[LineitemData] = None,
+    seed: int = 1994,
+) -> ExperimentResult:
+    """Run a list of (arch, config) points over one shared dataset."""
+    if data is None:
+        data = generate_lineitem(rows, seed)
+    result = ExperimentResult(name=name)
+    for arch, config in points:
+        run = run_scan(arch, config, rows=rows, data=data)
+        if run.verified is False:
+            raise AssertionError(f"{arch} {config} failed functional verification")
+        result.runs.append(run)
+    return result

@@ -1,0 +1,65 @@
+"""Figure 3a — tuple-at-a-time execution (NSM) varying operation size.
+
+Paper: x86 at 16/32/64 B (AVX-512 bound), HMC and HIVE at 16..256 B.
+Reported shape: HMC roughly doubles x86's time at 16–64 B (the per-tuple
+round trip dominates regardless of op size), HMC-256B *wins* by ~18 %
+(four tuples per round trip), HIVE is worst at small ops (3x at 16 B,
+isolated lock/unlock blocks) and still ~11 % behind x86 at 256 B.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..codegen.base import PIM_OP_SIZES, ScanConfig, X86_OP_SIZES
+from .common import ExperimentResult, experiment_rows, sweep
+
+#: tuple-at-a-time simulates every tuple through the core, so the default
+#: rows are kept lower than the column experiments
+DEFAULT_ROWS_3A = 8_192
+
+
+def fig3a_points() -> List[Tuple[str, ScanConfig]]:
+    """The (architecture, configuration) grid of Figure 3a."""
+    points: List[Tuple[str, ScanConfig]] = []
+    for op in X86_OP_SIZES:
+        points.append(("x86", ScanConfig("nsm", "tuple", op)))
+    for arch in ("hmc", "hive"):
+        for op in PIM_OP_SIZES:
+            points.append((arch, ScanConfig("nsm", "tuple", op)))
+    return points
+
+
+def run_fig3a(rows: int | None = None) -> ExperimentResult:
+    """Regenerate Figure 3a; returns all runs plus headline ratios."""
+    if rows is None:
+        rows = experiment_rows(DEFAULT_ROWS_3A)
+    result = sweep("Figure 3a: tuple-at-a-time (NSM), op size sweep",
+                   fig3a_points(), rows)
+    x86_best = min(
+        (r for r in result.runs if r.arch == "x86"), key=lambda r: r.cycles
+    )
+    x86_16 = result.run_for("x86", 16)
+    result.headline = {
+        # paper: +97 % (1.97x)
+        "hmc16_vs_x86_16": result.run_for("hmc", 16).cycles / x86_16.cycles,
+        # paper: 2.19x
+        "hmc64_vs_x86_64": (
+            result.run_for("hmc", 64).cycles / result.run_for("x86", 64).cycles
+        ),
+        # paper: 0.82x (18 % faster than the best x86)
+        "hmc256_vs_best_x86": result.run_for("hmc", 256).cycles / x86_best.cycles,
+        # paper: 3x
+        "hive16_vs_x86_16": result.run_for("hive", 16).cycles / x86_16.cycles,
+        # paper: 1.11x
+        "hive256_vs_best_x86": result.run_for("hive", 256).cycles / x86_best.cycles,
+    }
+    return result
+
+
+if __name__ == "__main__":
+    outcome = run_fig3a()
+    print(outcome.report(baseline=outcome.run_for("x86", 64)))
+    print()
+    for key, value in outcome.headline.items():
+        print(f"{key:24s} {value:6.2f}x")

@@ -1,0 +1,53 @@
+"""Figure 3b — column-at-a-time execution (DSM) varying operation size.
+
+Paper shape: HMC-256B cuts x86's time by 4.38x (branchless compare
+offload streams at the controller window; the bitmask stays cached for
+the skip decisions), while HIVE-256B still takes ~2x longer than the
+best x86 — each isolated lock/unlock block round-trips, and the
+processor must fetch HIVE's DRAM-resident bitmask to decide which
+portions of the next column to process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..codegen.base import PIM_OP_SIZES, ScanConfig, X86_OP_SIZES
+from .common import ExperimentResult, experiment_rows, sweep
+
+
+def fig3b_points() -> List[Tuple[str, ScanConfig]]:
+    """The (architecture, configuration) grid of Figure 3b."""
+    points: List[Tuple[str, ScanConfig]] = []
+    for op in X86_OP_SIZES:
+        points.append(("x86", ScanConfig("dsm", "column", op)))
+    for arch in ("hmc", "hive"):
+        for op in PIM_OP_SIZES:
+            points.append((arch, ScanConfig("dsm", "column", op)))
+    return points
+
+
+def run_fig3b(rows: int | None = None) -> ExperimentResult:
+    """Regenerate Figure 3b; returns all runs plus headline ratios."""
+    if rows is None:
+        rows = experiment_rows()
+    result = sweep("Figure 3b: column-at-a-time (DSM), op size sweep",
+                   fig3b_points(), rows)
+    x86_best = min(
+        (r for r in result.runs if r.arch == "x86"), key=lambda r: r.cycles
+    )
+    result.headline = {
+        # paper: 4.38x faster than x86
+        "x86_vs_hmc256": x86_best.cycles / result.run_for("hmc", 256).cycles,
+        # paper: ~2x slower than the best x86
+        "hive256_vs_best_x86": result.run_for("hive", 256).cycles / x86_best.cycles,
+    }
+    return result
+
+
+if __name__ == "__main__":
+    outcome = run_fig3b()
+    print(outcome.report(baseline=outcome.run_for("x86", 64)))
+    print()
+    for key, value in outcome.headline.items():
+        print(f"{key:24s} {value:6.2f}x")

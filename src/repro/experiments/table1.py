@@ -1,0 +1,117 @@
+"""Table I — simulation parameters of the evaluated systems.
+
+Builds every configured component and renders the table; the assertions
+double as a fidelity check that the code's defaults match the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.config import (
+    MachineConfig,
+    hipe_logic_config,
+    hive_logic_config,
+    paper_config,
+)
+from ..common.units import format_bytes
+
+
+def run_table1() -> str:
+    """Render Table I from the live configuration objects."""
+    config = paper_config()
+    hive = hive_logic_config()
+    hipe = hipe_logic_config()
+    verify_table1(config)
+
+    core = config.core
+    lines: List[str] = []
+    lines.append("Table I: Simulation parameters for evaluated systems")
+    lines.append("=" * 60)
+    lines.append(
+        f"OoO Cores      {core.num_cores} cores @ {core.frequency_ghz} GHz; "
+        f"{core.issue_width}-wide issue; {core.fetch_bytes} B fetch"
+    )
+    lines.append(
+        f"               {core.fetch_buffer_entries}-entry fetch, "
+        f"{core.decode_buffer_entries}-entry decode; {core.rob_entries}-entry ROB"
+    )
+    lines.append(
+        f"               MOB: {core.mob_read_entries}-read, {core.mob_write_entries}-write; "
+        f"int {core.int_alu.count}-alu/{core.int_mul.count}-mul/{core.int_div.count}-div "
+        f"({core.int_alu.latency}-{core.int_mul.latency}-{core.int_div.latency} cy)"
+    )
+    lines.append(
+        f"               fp {core.fp_alu.count}-alu/{core.fp_mul.count}-mul/"
+        f"{core.fp_div.count}-div ({core.fp_alu.latency}-{core.fp_mul.latency}-"
+        f"{core.fp_div.latency} cy); "
+        f"{core.branches_per_fetch} branch/fetch; "
+        f"{config.branch_predictor.btb_entries}-entry BTB (two-level GAs)"
+    )
+    for cache in config.cache_levels():
+        lines.append(
+            f"{cache.name:<5}          {format_bytes(cache.size_bytes)}, {cache.ways}-way, "
+            f"{cache.latency}-cycle; {cache.line_bytes} B line; "
+            f"MSHR {cache.mshr_request}r/{cache.mshr_write}w/{cache.mshr_eviction}e; "
+            f"prefetch={cache.prefetcher}"
+        )
+    hmc = config.hmc
+    lines.append(
+        f"HMC v2.1       {hmc.num_vaults} vaults, {hmc.banks_per_vault} banks/vault; "
+        f"{format_bytes(hmc.total_size_bytes)}; {hmc.row_buffer_bytes} B row buffer; "
+        f"closed-page"
+    )
+    lines.append(
+        f"               {hmc.burst_bytes} B burst @ {hmc.core_to_bus_ratio}:1 "
+        f"core-to-bus; {hmc.num_links} links @ {hmc.link_frequency_ghz} GHz; "
+        f"CAS/RP/RCD/RAS/CWD = {hmc.t_cas}-{hmc.t_rp}-{hmc.t_rcd}-{hmc.t_ras}-"
+        f"{hmc.t_cwd}; op sizes {list(hmc.op_sizes)}"
+    )
+    for pim in (hive, hipe):
+        lines.append(
+            f"{pim.name.upper():<5} Logic     unified FUs @ {pim.frequency_ghz} GHz; "
+            f"int {pim.int_alu_latency}-{pim.int_mul_latency}-{pim.int_div_latency} cy, "
+            f"fp {pim.fp_alu_latency}-{pim.fp_mul_latency}-{pim.fp_div_latency} cy; "
+            f"regs {pim.register_count} x {pim.register_bytes} B"
+            f"{'; predication' if pim.predication else ''}"
+        )
+    return "\n".join(lines)
+
+
+def verify_table1(config: MachineConfig | None = None) -> None:
+    """Assert the defaults reproduce Table I exactly (raises on drift)."""
+    if config is None:
+        config = paper_config()
+    core = config.core
+    assert core.num_cores == 16 and core.frequency_ghz == 2.0
+    assert core.issue_width == 6 and core.fetch_bytes == 16
+    assert core.fetch_buffer_entries == 18 and core.decode_buffer_entries == 28
+    assert core.rob_entries == 168
+    assert core.mob_read_entries == 64 and core.mob_write_entries == 36
+    assert (core.int_alu.count, core.int_mul.count, core.int_div.count) == (3, 1, 1)
+    assert (core.int_alu.latency, core.int_mul.latency, core.int_div.latency) == (1, 3, 32)
+    assert (core.fp_alu.latency, core.fp_mul.latency, core.fp_div.latency) == (3, 5, 10)
+    assert config.branch_predictor.btb_entries == 4096
+    l1, l2, l3 = config.cache_levels()
+    assert (l1.size_bytes, l1.ways, l1.latency) == (32 * 1024, 8, 2)
+    assert (l2.size_bytes, l2.ways, l2.latency) == (256 * 1024, 8, 4)
+    assert (l3.size_bytes, l3.ways, l3.latency) == (40 * 1024 * 1024, 16, 6)
+    assert l3.banks == 16 and l3.inclusive
+    hmc = config.hmc
+    assert hmc.num_vaults == 32 and hmc.banks_per_vault == 8
+    assert hmc.total_size_bytes == 8 * 1024**3
+    assert hmc.row_buffer_bytes == 256
+    assert (hmc.t_cas, hmc.t_rp, hmc.t_rcd, hmc.t_ras, hmc.t_cwd) == (9, 9, 9, 24, 7)
+    assert hmc.num_links == 4 and hmc.link_frequency_ghz == 8.0
+    assert hmc.op_sizes == (16, 32, 64, 128, 256)
+    for pim in (hive_logic_config(), hipe_logic_config()):
+        assert pim.frequency_ghz == 1.0
+        assert (pim.int_alu_latency, pim.int_mul_latency, pim.int_div_latency) == (2, 6, 40)
+        assert (pim.fp_alu_latency, pim.fp_mul_latency, pim.fp_div_latency) == (10, 10, 40)
+        assert pim.register_count == 36 and pim.register_bytes == 256
+    assert not hive_logic_config().predication
+    assert hipe_logic_config().predication
+
+
+if __name__ == "__main__":
+    print(run_table1())

@@ -1,0 +1,97 @@
+"""Physical address <-> (vault, bank, row, offset) mapping for the HMC.
+
+The HMC interleaves consecutive row-buffer-sized blocks (256 B) across
+vaults, then across banks within a vault — the layout that gives
+sequential streams maximal vault-level parallelism and lets a single
+<=256 B PIM operation land in exactly one row of one bank.  Address bit
+layout (low to high):
+
+    | offset (8b) | vault (5b) | bank (3b) | row (...) |
+
+The mapping is bijective over the cube capacity; property tests rely on
+:meth:`AddressMapping.compose` inverting :meth:`AddressMapping.decompose`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import HmcConfig
+from ..common.units import log2_exact
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """An address split into its DRAM coordinates."""
+
+    vault: int
+    bank: int
+    row: int
+    offset: int  # byte offset inside the row buffer
+
+
+class AddressMapping:
+    """Bijective block-interleaved mapping defined by an :class:`HmcConfig`."""
+
+    def __init__(self, config: HmcConfig) -> None:
+        self.config = config
+        self.block_bytes = config.row_buffer_bytes
+        self._offset_bits = log2_exact(config.row_buffer_bytes)
+        self._vault_bits = log2_exact(config.num_vaults)
+        self._bank_bits = log2_exact(config.banks_per_vault)
+        self._vault_mask = config.num_vaults - 1
+        self._bank_mask = config.banks_per_vault - 1
+        self._offset_mask = config.row_buffer_bytes - 1
+        rows = config.total_size_bytes >> (
+            self._offset_bits + self._vault_bits + self._bank_bits
+        )
+        if rows < 1:
+            raise ValueError("HMC capacity smaller than one row per bank")
+        self.rows_per_bank = rows
+
+    def decompose(self, address: int) -> DecodedAddress:
+        """Split a physical byte address into DRAM coordinates."""
+        if address < 0 or address >= self.config.total_size_bytes:
+            raise ValueError(
+                f"address {address:#x} outside cube of "
+                f"{self.config.total_size_bytes:#x} bytes"
+            )
+        offset = address & self._offset_mask
+        rest = address >> self._offset_bits
+        vault = rest & self._vault_mask
+        rest >>= self._vault_bits
+        bank = rest & self._bank_mask
+        row = rest >> self._bank_bits
+        return DecodedAddress(vault=vault, bank=bank, row=row, offset=offset)
+
+    def compose(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decompose`."""
+        if not (0 <= decoded.vault < self.config.num_vaults):
+            raise ValueError(f"vault {decoded.vault} out of range")
+        if not (0 <= decoded.bank < self.config.banks_per_vault):
+            raise ValueError(f"bank {decoded.bank} out of range")
+        if not (0 <= decoded.row < self.rows_per_bank):
+            raise ValueError(f"row {decoded.row} out of range")
+        if not (0 <= decoded.offset < self.block_bytes):
+            raise ValueError(f"offset {decoded.offset} out of range")
+        address = decoded.row
+        address = (address << self._bank_bits) | decoded.bank
+        address = (address << self._vault_bits) | decoded.vault
+        address = (address << self._offset_bits) | decoded.offset
+        return address
+
+    def blocks_of(self, address: int, nbytes: int):
+        """Yield ``(block_address, block_bytes)`` chunks of an access.
+
+        An access that crosses 256 B block boundaries is split into the
+        per-block pieces that each land in a single (vault, bank, row).
+        """
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        end = address + nbytes
+        cursor = address
+        while cursor < end:
+            block_end = (cursor & ~self._offset_mask) + self.block_bytes
+            piece = min(end, block_end) - cursor
+            yield cursor, piece
+            cursor += piece

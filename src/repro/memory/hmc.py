@@ -1,0 +1,137 @@
+"""The Hybrid Memory Cube: vaults + links + PIM entry points.
+
+This is the single memory device of every evaluated system.  Three kinds
+of traffic reach it:
+
+* **Cache-line fills/writebacks** from the processor's cache hierarchy —
+  cross the serial links, get routed to a vault, pay the closed-page DRAM
+  timing (:meth:`Hmc.read_line` / :meth:`Hmc.write_line`).
+* **HMC ISA instructions** (the extended-update baseline) — a 16 B request
+  packet carries the operation; a vault-local functional unit performs the
+  read(-modify-write) and a response packet carries back the (small)
+  result, e.g. a comparison bitmask (:meth:`Hmc.pim_update`).
+* **Logic-layer accesses** from the HIVE/HIPE engine, which sits *inside*
+  the cube and therefore reaches the vaults without link traversal
+  (:meth:`Hmc.vault_access`).
+
+Timing only — the data itself lives in a :class:`~repro.memory.image.MemoryImage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import HmcConfig
+from ..common.stats import StatGroup
+from .address_mapping import AddressMapping
+from .links import HmcLinks
+from .vault import Vault
+
+
+@dataclass
+class HmcAccessResult:
+    """End-to-end timing of one processor-side HMC transaction."""
+
+    issue: int  # when the request packet started serialising
+    completion: int  # data (read) or acknowledgement (write/PIM) at the core
+
+
+class Hmc:
+    """The cube: 32 vaults, 8 banks each, 4 links (Table I, HMC v2.1)."""
+
+    def __init__(self, config: HmcConfig, stats: StatGroup | None = None) -> None:
+        self.config = config
+        self.mapping = AddressMapping(config)
+        self.vaults = [Vault(v, config) for v in range(config.num_vaults)]
+        self.links = HmcLinks(config)
+        self.stats = stats if stats is not None else StatGroup("hmc")
+
+    # -- vault-side primitives (no link crossing) --------------------------
+
+    def vault_access(self, cycle: int, address: int, nbytes: int, is_write: bool) -> int:
+        """Access DRAM from inside the cube; returns data-ready cycle.
+
+        Accesses larger than one row-buffer block are split across the
+        interleaved vaults and complete when the last block completes —
+        this is how a 256 B HIVE/HIPE operation exploits one full row and
+        how multi-block transfers ride vault parallelism.
+        """
+        done = cycle
+        for block_addr, block_bytes in self.mapping.blocks_of(address, nbytes):
+            decoded = self.mapping.decompose(block_addr)
+            vault = self.vaults[decoded.vault]
+            result = vault.access(cycle, decoded.bank, block_bytes, is_write)
+            done = max(done, result.data_ready)
+        self.stats.bump("vault_accesses")
+        self.stats.bump("vault_bytes_written" if is_write else "vault_bytes_read", nbytes)
+        return done
+
+    # -- processor-side transactions ---------------------------------------
+
+    def read_line(self, cycle: int, address: int, nbytes: int) -> HmcAccessResult:
+        """A demand fill: request packet out, DRAM read, data packet back."""
+        request = self.links.send_request(cycle, payload_bytes=0)
+        data_ready = self.vault_access(request.arrival, address, nbytes, is_write=False)
+        response = self.links.send_response(data_ready, payload_bytes=nbytes)
+        self.stats.bump("line_reads")
+        return HmcAccessResult(issue=request.start, completion=response.arrival)
+
+    def write_line(self, cycle: int, address: int, nbytes: int) -> HmcAccessResult:
+        """A writeback: request packet carries the data; ack comes back.
+
+        Writes are posted — callers normally use ``issue`` time; the
+        acknowledgement matters only for fence-like semantics.
+        """
+        request = self.links.send_request(cycle, payload_bytes=nbytes)
+        written = self.vault_access(request.arrival, address, nbytes, is_write=True)
+        response = self.links.send_response(written, payload_bytes=0)
+        self.stats.bump("line_writes")
+        return HmcAccessResult(issue=request.start, completion=response.arrival)
+
+    def pim_update(
+        self,
+        cycle: int,
+        address: int,
+        nbytes: int,
+        response_payload_bytes: int,
+        writes_back: bool = False,
+    ) -> HmcAccessResult:
+        """Execute one extended HMC ISA instruction at a vault.
+
+        Models the paper's second baseline: the instruction crosses the
+        links as a 16 B packet, the addressed vault reads ``nbytes``
+        (one row-buffer block at most per vault, larger ops split), the
+        per-vault functional unit applies the operation (e.g. compare
+        against an immediate), optionally writes the result back to DRAM
+        (classic read-modify-write update), and a response packet returns
+        ``response_payload_bytes`` (a status, or the comparison bitmask).
+        """
+        if nbytes > max(self.config.op_sizes):
+            raise ValueError(
+                f"operation size {nbytes} exceeds HMC ISA maximum "
+                f"{max(self.config.op_sizes)}"
+            )
+        request = self.links.send_request(cycle, payload_bytes=0)
+        data_ready = self.vault_access(request.arrival, address, nbytes, is_write=False)
+        decoded = self.mapping.decompose(address)
+        fu_done = self.vaults[decoded.vault].execute_fu(data_ready)
+        if writes_back:
+            fu_done = self.vault_access(fu_done, address, nbytes, is_write=True)
+        response = self.links.send_response(fu_done, payload_bytes=response_payload_bytes)
+        self.stats.bump("pim_updates")
+        return HmcAccessResult(issue=request.start, completion=response.arrival)
+
+    # -- statistics ---------------------------------------------------------
+
+    def collect_stats(self) -> StatGroup:
+        """Aggregate vault/bank/link counters into the stats group."""
+        total_act = sum(v.activations for v in self.vaults)
+        self.stats.set("row_activations", total_act)
+        self.stats.set("dram_bytes_read", sum(v.bytes_read for v in self.vaults))
+        self.stats.set("dram_bytes_written", sum(v.bytes_written for v in self.vaults))
+        self.stats.set("link_request_bytes", self.links.request_bytes)
+        self.stats.set("link_response_bytes", self.links.response_bytes)
+        self.stats.set("link_request_packets", self.links.request_packets)
+        self.stats.set("link_response_packets", self.links.response_packets)
+        self.stats.set("vault_fu_ops", sum(v.fu_ops for v in self.vaults))
+        return self.stats

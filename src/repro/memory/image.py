@@ -1,0 +1,108 @@
+"""Functional memory image: the byte-addressable contents of the cube.
+
+Timing and function are split in this simulator: caches and DRAM model
+*when* data moves, while the :class:`MemoryImage` holds *what* the data
+is.  The database tables, bitmask buffers and materialisation areas are
+allocated here; the PIM engines (HMC ISA units, HIVE, HIPE) compute on
+these real bytes so that every architecture's query result can be checked
+bit-for-bit against the numpy reference.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..common.units import align_up
+
+
+@dataclass
+class Allocation:
+    """A named contiguous region of the physical address space."""
+
+    name: str
+    base: int
+    data: np.ndarray  # uint8 view of the region
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class MemoryImage:
+    """Sparse physical memory built from named allocations."""
+
+    def __init__(self, capacity: int, alignment: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.alignment = alignment
+        self._allocs: List[Allocation] = []  # sorted by base
+        self._bases: List[int] = []
+        self._by_name: Dict[str, Allocation] = {}
+        self._cursor = alignment  # never hand out address 0
+
+    def allocate(self, name: str, size: int) -> Allocation:
+        """Reserve ``size`` zeroed bytes; returns the allocation."""
+        if name in self._by_name:
+            raise ValueError(f"allocation {name!r} already exists")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        base = align_up(self._cursor, self.alignment)
+        end = base + size
+        if end > self.capacity:
+            raise MemoryError(
+                f"image capacity exhausted: {name!r} needs {size} B at {base:#x}"
+            )
+        alloc = Allocation(name=name, base=base, data=np.zeros(size, dtype=np.uint8))
+        index = bisect.bisect_left(self._bases, base)
+        self._allocs.insert(index, alloc)
+        self._bases.insert(index, base)
+        self._by_name[name] = alloc
+        self._cursor = align_up(end, self.alignment)
+        return alloc
+
+    def allocate_array(self, name: str, array: np.ndarray) -> Allocation:
+        """Allocate a region initialised with ``array``'s bytes."""
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        alloc = self.allocate(name, raw.size)
+        alloc.data[:] = raw
+        return alloc
+
+    def region(self, name: str) -> Allocation:
+        """Look an allocation up by name."""
+        return self._by_name[name]
+
+    def _find(self, address: int, nbytes: int) -> Allocation:
+        index = bisect.bisect_right(self._bases, address) - 1
+        if index >= 0:
+            alloc = self._allocs[index]
+            if address >= alloc.base and address + nbytes <= alloc.end:
+                return alloc
+        raise KeyError(
+            f"range [{address:#x}, {address + nbytes:#x}) not inside any allocation"
+        )
+
+    def read(self, address: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` as a uint8 array (a copy)."""
+        alloc = self._find(address, nbytes)
+        off = address - alloc.base
+        return alloc.data[off : off + nbytes].copy()
+
+    def write(self, address: int, data: np.ndarray) -> None:
+        """Write a uint8 array at ``address``."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        alloc = self._find(address, raw.size)
+        off = address - alloc.base
+        alloc.data[off : off + raw.size] = raw
+
+    def view(self, name: str, dtype) -> np.ndarray:
+        """A typed live view of a whole named allocation."""
+        return self._by_name[name].data.view(dtype)

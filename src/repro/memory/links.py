@@ -1,0 +1,88 @@
+"""HMC serial links: the processor <-> cube interconnect.
+
+Table I: 4 links @ 8 GHz.  Every transaction crossing the links is a
+packet with a 16 B header/tail FLIT plus payload (write data on requests,
+read data on responses).  Requests and responses travel on independent
+directions, each modelled as four parallel serialising lanes.
+
+The round trip across these links is exactly the "high latency iteration
+between the processor and the smart memory" that HIPE removes for
+data-dependent branches: the cost lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import HmcConfig
+from ..common.resources import MultiChannelBandwidth
+from ..common.units import CORE_CLOCK, ClockDomain, GIGA
+
+
+@dataclass
+class LinkTransfer:
+    """Timing of one packet crossing the links."""
+
+    start: int
+    accepted: int  # serialisation done at the sender (posted completion)
+    arrival: int  # last bit received at the far side
+    packet_bytes: int
+
+
+class HmcLinks:
+    """Four full-duplex serial links between the processor and the cube."""
+
+    def __init__(self, config: HmcConfig) -> None:
+        self.config = config
+        link_clock = ClockDomain("link", config.link_frequency_ghz * GIGA)
+        # Bytes a single link serialises per *core* cycle.
+        bytes_per_core_cycle = (
+            config.link_lane_bytes
+            * link_clock.frequency_hz
+            / CORE_CLOCK.frequency_hz
+        )
+        self._request_lanes = MultiChannelBandwidth(
+            config.num_links, bytes_per_core_cycle
+        )
+        self._response_lanes = MultiChannelBandwidth(
+            config.num_links, bytes_per_core_cycle
+        )
+        self.latency = config.link_latency_core_cycles
+        self.request_packets = 0
+        self.response_packets = 0
+
+    def _packet_bytes(self, payload_bytes: int) -> int:
+        return self.config.request_header_bytes + payload_bytes
+
+    def send_request(self, cycle: int, payload_bytes: int = 0) -> LinkTransfer:
+        """Processor -> cube packet; returns when it arrives at the cube."""
+        packet = self._packet_bytes(payload_bytes)
+        start, end = self._request_lanes.transfer(cycle, packet)
+        self.request_packets += 1
+        return LinkTransfer(
+            start=start, accepted=end, arrival=end + self.latency, packet_bytes=packet
+        )
+
+    def send_response(self, cycle: int, payload_bytes: int = 0) -> LinkTransfer:
+        """Cube -> processor packet; returns when it arrives at the core."""
+        packet = self._packet_bytes(payload_bytes)
+        start, end = self._response_lanes.transfer(cycle, packet)
+        self.response_packets += 1
+        return LinkTransfer(
+            start=start, accepted=end, arrival=end + self.latency, packet_bytes=packet
+        )
+
+    @property
+    def request_bytes(self) -> int:
+        """Total bytes serialised processor -> cube."""
+        return self._request_lanes.bytes_moved
+
+    @property
+    def response_bytes(self) -> int:
+        """Total bytes serialised cube -> processor."""
+        return self._response_lanes.bytes_moved
+
+    @property
+    def total_bytes(self) -> int:
+        """Total link traffic in both directions."""
+        return self.request_bytes + self.response_bytes

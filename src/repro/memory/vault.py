@@ -1,0 +1,96 @@
+"""Vault controller: one of the HMC's 32 independent memory channels.
+
+Each vault owns 8 DRAM banks, a command queue and a data bus (Table I:
+8 B burst width at a 2:1 core-to-bus frequency ratio, i.e. the bus moves
+8 bytes every 2 core cycles = 4 B per core cycle).  Banks give
+intra-vault parallelism; the shared bus serialises data transfers.
+
+Each vault also hosts the HMC baseline's processing-in-memory functional
+unit ("logical bitwise & integer", 1-core-cycle latency), used by the
+extended HMC ISA instructions of the paper's second baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import HmcConfig
+from ..common.resources import BandwidthResource, SlottedResource
+from .dram import BankAccessResult, DramBank, DramTimings
+
+
+@dataclass
+class VaultAccessResult:
+    """Completion info for one <=row-buffer-sized vault access."""
+
+    start: int
+    data_ready: int  # cycle the data is available at the vault interface
+    bank_free: int
+
+
+class Vault:
+    """One vault: command queue, banks, data bus, and a PIM functional unit."""
+
+    def __init__(self, vault_id: int, config: HmcConfig) -> None:
+        self.vault_id = vault_id
+        self.config = config
+        timings = DramTimings.from_config(config)
+        bus_bytes_per_core_cycle = config.burst_bytes / config.core_to_bus_ratio
+        cycles_per_byte = 1.0 / bus_bytes_per_core_cycle
+        self.banks = [
+            DramBank(timings, cycles_per_byte)
+            for _ in range(config.banks_per_vault)
+        ]
+        # One DRAM command slot per DRAM-cycle-ish window; modelled as one
+        # command per 2 core cycles which is far from limiting in practice.
+        self._command_queue = SlottedResource(slots_per_cycle=1)
+        self._data_bus = BandwidthResource(bus_bytes_per_core_cycle)
+        # The per-vault functional unit of the HMC baseline accepts one
+        # operation at a time (non-pipelined, 1-cycle per Table I).
+        self._fu = SlottedResource(slots_per_cycle=1)
+        self.fu_ops = 0
+
+    def access(self, cycle: int, bank: int, nbytes: int, is_write: bool) -> VaultAccessResult:
+        """Perform a closed-page access of ``nbytes`` within one row.
+
+        The command is accepted by the queue, the bank performs the
+        activate/access/precharge sequence, and the data beats ride the
+        vault's shared bus.  Returns vault-local timing (no link cost).
+        """
+        if not (0 <= bank < len(self.banks)):
+            raise ValueError(f"bank {bank} out of range")
+        if nbytes > self.config.row_buffer_bytes:
+            raise ValueError(
+                f"{nbytes} B exceeds the {self.config.row_buffer_bytes} B row buffer"
+            )
+        issued = self._command_queue.reserve(cycle)
+        result: BankAccessResult = self.banks[bank].access(issued, nbytes, is_write)
+        # The shared bus must be free when the bank starts streaming beats.
+        __, bus_end = self._data_bus.transfer(result.data_start, nbytes)
+        data_ready = max(result.data_end, bus_end)
+        return VaultAccessResult(
+            start=result.start, data_ready=data_ready, bank_free=result.bank_free
+        )
+
+    def execute_fu(self, cycle: int) -> int:
+        """Run one PIM functional-unit operation; returns completion cycle."""
+        granted = self._fu.reserve(cycle)
+        self.fu_ops += 1
+        return granted + self.config.vault_fu_latency
+
+    # -- statistics -------------------------------------------------------
+
+    @property
+    def activations(self) -> int:
+        """Total row activations across the vault's banks."""
+        return sum(b.activations for b in self.banks)
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes read from this vault's DRAM arrays."""
+        return sum(b.bytes_read for b in self.banks)
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes written to this vault's DRAM arrays."""
+        return sum(b.bytes_written for b in self.banks)

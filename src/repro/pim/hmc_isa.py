@@ -1,0 +1,97 @@
+"""The extended HMC ISA backend (the paper's second baseline).
+
+HMC 2.1 natively supports only 16 B read-operate/read-modify-write
+"update" instructions.  Following the paper (§IV "HMC baseline"), this
+backend extends them with (a) operation sizes up to the 256 B row buffer
+and (b) a non-destructive *load-compare* that evaluates a predicate over
+the addressed lanes at the vault's functional unit and returns the match
+bitmask to the core — unlike native compare-and-swap, the original data
+survive.
+
+Each instruction is one request packet over the links, a vault-local DRAM
+access + functional-unit operation, and one response packet carrying the
+bitmask (or a status for updates).  The backend is also *functional*: it
+computes the real bitmask from the memory image so integration tests can
+check query results across architectures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..common.stats import StatGroup
+from ..cpu.core import PimBackend
+from ..cpu.isa import PimOp, Uop
+from ..memory.hmc import Hmc
+from ..memory.image import MemoryImage
+from ..common.units import ceil_div
+from .ops import apply_alu, apply_compound, mask_to_bits
+
+
+class HmcIsaBackend(PimBackend):
+    """Core-side interface for extended HMC update instructions."""
+
+    def __init__(
+        self,
+        hmc: Hmc,
+        image: MemoryImage,
+        stats: Optional[StatGroup] = None,
+        max_outstanding: int = 4,
+    ) -> None:
+        self.hmc = hmc
+        self.image = image
+        self.stats = stats if stats is not None else StatGroup("hmc_isa")
+        self.max_outstanding = max_outstanding
+        #: computed compare masks, in program order (verification hook)
+        self.computed_masks: List[np.ndarray] = []
+
+    def submit(self, uop: Uop, cycle: int) -> int:
+        """Execute one extended HMC instruction; returns core completion."""
+        inst = uop.pim
+        if inst is None:
+            raise ValueError("PIM uop without an instruction payload")
+        if inst.op == PimOp.HMC_LOADCMP:
+            lanes = inst.size // inst.lane_bytes
+            mask_bytes = ceil_div(lanes, 8)
+            result = self.hmc.pim_update(
+                cycle,
+                inst.address,
+                inst.size,
+                response_payload_bytes=mask_bytes,
+                writes_back=False,
+            )
+            self._compute_mask(inst)
+            self.stats.bump("loadcmp_ops")
+            self.stats.bump("loadcmp_bytes", inst.size)
+            return result.completion
+        if inst.op == PimOp.HMC_UPDATE:
+            result = self.hmc.pim_update(
+                cycle,
+                inst.address,
+                inst.size,
+                response_payload_bytes=0,
+                writes_back=True,
+            )
+            self._apply_update(inst)
+            self.stats.bump("update_ops")
+            return result.completion
+        raise ValueError(f"HMC ISA cannot execute {inst.op!r}")
+
+    def _compute_mask(self, inst) -> None:
+        raw = self.image.read(inst.address, inst.size)
+        if inst.compound is not None:
+            mask = apply_compound(raw, inst.tuple_stride, inst.compound)
+        else:
+            lanes = raw.view(
+                {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}[inst.lane_bytes]
+            )
+            mask = apply_alu(inst.func, lanes, imm_lo=inst.imm_lo, imm_hi=inst.imm_hi)
+        self.computed_masks.append(mask_to_bits(mask))
+
+    def _apply_update(self, inst) -> None:
+        raw = self.image.read(inst.address, inst.size)
+        lanes = raw.view({1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}[inst.lane_bytes])
+        result = apply_alu(inst.func, lanes, imm_lo=inst.imm_lo, imm_hi=inst.imm_hi)
+        self.image.write(inst.address, result.view(np.uint8))

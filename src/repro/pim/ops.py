@@ -1,0 +1,91 @@
+"""Functional semantics of the PIM ALU operations (lane-wise, numpy).
+
+Shared by the per-vault HMC ISA units and the HIVE/HIPE logic layer.
+Comparison results follow the engines' convention: matching lanes produce
+1, others 0 — the "zero flag" of a lane is simply "result == 0".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpu.isa import AluFunc
+
+
+def apply_alu(
+    func: AluFunc,
+    a: np.ndarray,
+    b: np.ndarray | None = None,
+    imm_lo: int = 0,
+    imm_hi: int = 0,
+) -> np.ndarray:
+    """Apply ``func`` lane-wise; ``b`` is the second operand when register-register.
+
+    Comparison functions compare ``a`` against the immediates and return
+    0/1 lanes of ``a``'s dtype.  Arithmetic/logic functions operate on
+    ``a`` and ``b`` (``b`` defaults to the immediate ``imm_lo`` broadcast).
+    """
+    if func == AluFunc.CMP_GE:
+        return (a >= imm_lo).astype(a.dtype)
+    if func == AluFunc.CMP_GT:
+        return (a > imm_lo).astype(a.dtype)
+    if func == AluFunc.CMP_LE:
+        return (a <= imm_lo).astype(a.dtype)
+    if func == AluFunc.CMP_LT:
+        return (a < imm_lo).astype(a.dtype)
+    if func == AluFunc.CMP_EQ:
+        return (a == imm_lo).astype(a.dtype)
+    if func == AluFunc.CMP_RANGE:
+        return ((a >= imm_lo) & (a <= imm_hi)).astype(a.dtype)
+    operand = b if b is not None else np.full_like(a, imm_lo)
+    if func == AluFunc.AND:
+        return a & operand
+    if func == AluFunc.OR:
+        return a | operand
+    if func == AluFunc.ADD:
+        return a + operand
+    if func == AluFunc.MUL:
+        return a * operand
+    raise ValueError(f"unsupported ALU function {func!r}")
+
+
+def is_comparison(func: AluFunc) -> bool:
+    """True for the compare family (single-source, immediate operand)."""
+    return func in (
+        AluFunc.CMP_GE,
+        AluFunc.CMP_GT,
+        AluFunc.CMP_LE,
+        AluFunc.CMP_LT,
+        AluFunc.CMP_EQ,
+        AluFunc.CMP_RANGE,
+    )
+
+
+def apply_compound(raw: np.ndarray, stride: int, terms) -> np.ndarray:
+    """Evaluate a whole-tuple conjunction over row-store bytes.
+
+    ``raw`` is a uint8 array covering whole tuples of ``stride`` bytes;
+    ``terms`` is a sequence of ``(byte_offset, func, lo, hi)`` — each term
+    compares the int32 at that offset of every tuple.  Terms whose offset
+    falls outside ``raw`` (a partial-tuple piece) are skipped.  Returns
+    one int32 match flag (0/1) per tuple.
+    """
+    ntuples = max(1, raw.size // stride)
+    usable = raw[: ntuples * stride].reshape(ntuples, -1)
+    result = np.ones(ntuples, dtype=np.int32)
+    for offset, func, lo, hi in terms:
+        if offset + 4 > usable.shape[1]:
+            continue
+        values = usable[:, offset : offset + 4].copy().view(np.int32).reshape(-1)
+        result &= apply_alu(func, values, imm_lo=lo, imm_hi=hi)
+    return result
+
+
+def mask_to_bits(mask_lanes: np.ndarray) -> np.ndarray:
+    """Pack 0/1 lanes into a bitmask byte array (LSB-first)."""
+    return np.packbits(mask_lanes.astype(bool), bitorder="little")
+
+
+def bits_to_mask(bits: np.ndarray, lanes: int) -> np.ndarray:
+    """Unpack a bitmask byte array back into ``lanes`` boolean lanes."""
+    return np.unpackbits(bits, count=lanes, bitorder="little").astype(bool)

@@ -1,0 +1,74 @@
+"""Run results and report formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..codegen.base import ScanConfig
+from ..common.units import CORE_CLOCK, format_seconds
+from ..energy.model import EnergyReport
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one (architecture, scan configuration) point."""
+
+    arch: str
+    scan: ScanConfig
+    rows: int
+    cycles: int
+    uops: int
+    energy: EnergyReport
+    verified: Optional[bool] = None  # functional check, where applicable
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall-clock time."""
+        return CORE_CLOCK.cycles_to_seconds(self.cycles)
+
+    @property
+    def cycles_per_row(self) -> float:
+        """Per-tuple cost — the scale-independent comparison unit."""
+        return self.cycles / self.rows if self.rows else 0.0
+
+    def label(self) -> str:
+        """Short bar label, e.g. ``HIVE-256B`` or ``x86-64B@8x``."""
+        name = f"{self.arch.upper()}-{self.scan.op_bytes}B"
+        if self.scan.unroll > 1:
+            name += f"@{self.scan.unroll}x"
+        return name
+
+
+def speedup(baseline: RunResult, other: RunResult) -> float:
+    """How much faster ``other`` is than ``baseline`` (>1 = faster)."""
+    if other.cycles == 0:
+        raise ZeroDivisionError("cannot compute speedup of a zero-cycle run")
+    return baseline.cycles / other.cycles
+
+
+def normalised(results: List[RunResult], baseline: RunResult) -> Dict[str, float]:
+    """Execution time of each run normalised to ``baseline`` (1.0 = equal)."""
+    return {r.label(): r.cycles / baseline.cycles for r in results}
+
+
+def format_table(results: List[RunResult], title: str,
+                 baseline: Optional[RunResult] = None) -> str:
+    """An aligned text table in the style of the paper's figures."""
+    lines = [title, "-" * len(title)]
+    header = (
+        f"{'configuration':<18} {'cycles':>14} {'cyc/row':>9} "
+        f"{'time':>12} {'norm':>7} {'DRAM energy (uJ)':>17}"
+    )
+    lines.append(header)
+    base_cycles = baseline.cycles if baseline else None
+    for result in results:
+        norm = f"{result.cycles / base_cycles:.3f}" if base_cycles else "-"
+        lines.append(
+            f"{result.label():<18} {result.cycles:>14,} "
+            f"{result.cycles_per_row:>9.1f} "
+            f"{format_seconds(result.seconds):>12} {norm:>7} "
+            f"{result.energy.dram_total_pj / 1e6:>17.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""The scan runner: data -> tables -> codegen -> simulation -> result.
+
+This is the top of the public API: :func:`run_scan` simulates one
+(architecture, scan configuration) point end-to-end and returns a
+:class:`~repro.sim.results.RunResult` with timing, statistics, energy
+and — for the architectures that compute in memory — a functional
+verification of the produced mask against the numpy reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..codegen import hipe as hipe_codegen
+from ..codegen import hive as hive_codegen
+from ..codegen import hmc as hmc_codegen
+from ..codegen import x86 as x86_codegen
+from ..codegen.base import ScanConfig, ScanWorkload
+from ..common.config import DEFAULT_SCALE
+from ..db.datagen import LineitemData, generate_lineitem
+from ..db.query6 import Q6_PREDICATES
+from ..db.table import DsmTable, NsmTable, allocate_scan_buffers
+from ..energy.model import compute_energy
+from .machine import Machine, build_machine
+from .results import RunResult
+
+_CODEGENS = {
+    "x86": x86_codegen,
+    "hmc": hmc_codegen,
+    "hive": hive_codegen,
+    "hipe": hipe_codegen,
+}
+
+#: default experiment size: 32 K rows against the scale-80 caches keeps
+#: the paper's working-set >> LLC regime at tractable simulation times
+DEFAULT_ROWS = 32_768
+
+
+def build_workload(
+    machine: Machine,
+    data: LineitemData,
+    layout: str,
+    predicates=Q6_PREDICATES,
+) -> ScanWorkload:
+    """Materialise the table (in the machine's memory image) and buffers."""
+    nsm = NsmTable(machine.image, data) if layout == "nsm" else None
+    dsm = DsmTable(machine.image, data) if layout == "dsm" else None
+    buffers = allocate_scan_buffers(machine.image, data.rows)
+    return ScanWorkload(
+        data=data, predicates=tuple(predicates), buffers=buffers, nsm=nsm, dsm=dsm
+    )
+
+
+def run_scan(
+    arch: str,
+    scan: ScanConfig,
+    rows: int = DEFAULT_ROWS,
+    seed: int = 1994,
+    scale: int = DEFAULT_SCALE,
+    data: Optional[LineitemData] = None,
+    verify: bool = True,
+) -> RunResult:
+    """Simulate the Q6 select scan on one architecture/configuration."""
+    arch = arch.lower()
+    if arch not in _CODEGENS:
+        raise ValueError(f"unknown architecture {arch!r}")
+    if data is None:
+        data = generate_lineitem(rows, seed)
+    machine = build_machine(arch, scale=scale)
+    workload = build_workload(machine, data, scan.layout)
+    trace = _CODEGENS[arch].generate(workload, scan)
+    core_result = machine.run(trace)
+
+    verified: Optional[bool] = None
+    if verify and scan.strategy == "column" and arch in ("hive", "hipe"):
+        mask_bytes = workload.buffers.mask_bytes_for(workload.rows)
+        produced = machine.image.read(workload.buffers.bitmask_base, mask_bytes)
+        expected = np.packbits(workload.final_mask, bitorder="little")
+        verified = bool(np.array_equal(produced[: expected.size], expected))
+    elif verify and arch == "hmc":
+        verified = _verify_hmc_masks(machine, workload, scan)
+
+    energy = compute_energy(
+        machine.config,
+        core_result.cycles,
+        machine.stats.child("hmc"),
+        machine.stats.child("caches"),
+        machine.stats.child("core"),
+        machine.stats.child(arch) if machine.engine is not None else None,
+    )
+    return RunResult(
+        arch=arch,
+        scan=scan,
+        rows=data.rows,
+        cycles=core_result.cycles,
+        uops=core_result.uops,
+        energy=energy,
+        verified=verified,
+        stats=machine.stats.flatten(),
+    )
+
+
+def _verify_hmc_masks(machine: Machine, workload: ScanWorkload, scan: ScanConfig) -> bool:
+    """Check the vault-computed compare masks against the reference.
+
+    In column mode the HMC load-compare masks, conjoined per chunk in
+    issue order, must reproduce the final reference mask; in tuple mode
+    the compound masks are checked per tuple group.
+    """
+    backend = machine.backend
+    if backend is None or not getattr(backend, "computed_masks", None):
+        return False
+    if scan.strategy != "column":
+        return True  # tuple-mode masks are exercised by unit tests
+    rows = workload.rows
+    rpc = scan.rows_per_op
+    import numpy as np  # local: keep module import light
+
+    running = None
+    chunks_per_pass = -(-rows // rpc)
+    masks = backend.computed_masks
+    cursor = 0
+    for p in range(len(workload.predicates)):
+        prev = workload.running_mask(p - 1) if p > 0 else None
+        pass_mask = np.zeros(rows, dtype=bool)
+        for c in range(chunks_per_pass):
+            start = c * rpc
+            stop = min(start + rpc, rows)
+            if p > 0 and not bool(prev[start:stop].any()):
+                continue  # chunk was skipped: no HMC op was issued
+            bits = np.unpackbits(masks[cursor], count=stop - start,
+                                 bitorder="little").astype(bool)
+            pass_mask[start:stop] = bits
+            cursor += 1
+        running = pass_mask if running is None else (running & pass_mask)
+    return bool(np.array_equal(running, workload.final_mask))

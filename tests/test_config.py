@@ -1,0 +1,87 @@
+"""Unit tests for the Table I configuration presets."""
+
+import pytest
+
+from repro.common.config import (
+    ARCHITECTURES,
+    DEFAULT_SCALE,
+    CacheConfig,
+    machine_for,
+    paper_config,
+    scaled_config,
+    hipe_logic_config,
+    hive_logic_config,
+)
+from repro.experiments.table1 import verify_table1
+
+
+class TestPaperConfig:
+    def test_matches_table1(self):
+        verify_table1(paper_config())
+
+    def test_cache_geometry(self):
+        config = paper_config()
+        assert config.l1.num_sets == 64  # 32 KB / (8 x 64 B)
+        assert config.l2.num_sets == 512
+        assert config.l3.num_sets == 40960
+
+    def test_bad_cache_geometry_rejected(self):
+        bad = CacheConfig(name="bad", size_bytes=1000, ways=3, latency=1)
+        with pytest.raises(ValueError):
+            bad.num_sets
+
+
+class TestScaledConfig:
+    def test_latencies_preserved(self):
+        paper, scaled = paper_config(), scaled_config()
+        assert scaled.l1.latency == paper.l1.latency
+        assert scaled.l3.latency == paper.l3.latency
+        assert scaled.core == paper.core
+        assert scaled.hmc == paper.hmc
+
+    def test_capacities_shrunk(self):
+        scaled = scaled_config()
+        assert scaled.l3.size_bytes < paper_config().l3.size_bytes
+        assert scaled.l3.size_bytes == 40 * 1024 * 1024 // DEFAULT_SCALE
+
+    def test_scale_one_is_paper(self):
+        assert scaled_config(1).l3.size_bytes == paper_config().l3.size_bytes
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scaled_config(0)
+
+
+class TestMachineFor:
+    def test_all_architectures(self):
+        for arch in ARCHITECTURES:
+            config = machine_for(arch)
+            assert config.name == arch
+
+    def test_pim_wiring(self):
+        assert machine_for("x86").pim is None
+        assert machine_for("hmc").pim is None
+        assert machine_for("hive").pim is not None
+        assert not machine_for("hive").pim.predication
+        assert machine_for("hipe").pim.predication
+
+    def test_unknown_arch(self):
+        with pytest.raises(ValueError):
+            machine_for("sparc")
+
+
+class TestPimLogicConfig:
+    def test_register_file_size(self):
+        # Paper: 36 x 256 B = 9 KB.
+        assert hive_logic_config().register_file_bytes == 9 * 1024
+
+    def test_hipe_requires_predication(self):
+        assert hipe_logic_config().predication
+
+    def test_latency_table(self):
+        pim = hive_logic_config()
+        assert (pim.int_alu_latency, pim.int_mul_latency, pim.int_div_latency) == (2, 6, 40)
+
+    def test_partial_loads_default_off(self):
+        # Paper-faithful default: region squash only.
+        assert not hipe_logic_config().partial_predicated_loads

@@ -1,0 +1,115 @@
+"""Unit tests for clock-domain and size arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import (
+    CORE_CLOCK,
+    DRAM_CLOCK,
+    LINK_CLOCK,
+    PIM_CLOCK,
+    ClockDomain,
+    align_down,
+    align_up,
+    ceil_div,
+    dram_cycles_to_core,
+    format_bytes,
+    format_cycles,
+    format_seconds,
+    is_power_of_two,
+    link_cycles_to_core,
+    log2_exact,
+    pim_cycles_to_core,
+)
+
+
+class TestClockDomain:
+    def test_reference_frequencies(self):
+        assert CORE_CLOCK.frequency_hz == 2.0e9
+        assert DRAM_CLOCK.frequency_hz == 166e6
+        assert PIM_CLOCK.frequency_hz == 1.0e9
+        assert LINK_CLOCK.frequency_hz == 8.0e9
+
+    def test_period(self):
+        assert CORE_CLOCK.period_s == pytest.approx(0.5e-9)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            ClockDomain("bad", 0.0)
+
+    def test_cycles_to_seconds_roundtrip(self):
+        seconds = CORE_CLOCK.cycles_to_seconds(2_000_000_000)
+        assert seconds == pytest.approx(1.0)
+        assert CORE_CLOCK.seconds_to_cycles(1.0) == 2_000_000_000
+
+    def test_cross_domain_rounds_up(self):
+        # 1 DRAM cycle at 166 MHz is ~12.05 core cycles -> 13.
+        assert DRAM_CLOCK.to_cycles_of(1, CORE_CLOCK) == 13
+
+    def test_pim_cycles_to_core(self):
+        # 1 GHz -> 2 GHz is exactly 2 core cycles per PIM cycle.
+        assert pim_cycles_to_core(1) == 2
+        assert pim_cycles_to_core(10) == 20
+
+    def test_link_cycles_to_core(self):
+        # 8 GHz link: 4 link cycles = 1 core cycle.
+        assert link_cycles_to_core(4) == 1
+
+    def test_dram_cycles_to_core_monotone(self):
+        values = [dram_cycles_to_core(c) for c in range(1, 30)]
+        assert values == sorted(values)
+
+
+class TestIntegerHelpers:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(256)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(4096) == 12
+        with pytest.raises(ValueError):
+            log2_exact(6)
+
+    def test_ceil_div(self):
+        assert ceil_div(7, 2) == 4
+        assert ceil_div(8, 2) == 4
+        assert ceil_div(0, 5) == 0
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_align(self):
+        assert align_down(1000, 256) == 768
+        assert align_up(1000, 256) == 1024
+        assert align_up(1024, 256) == 1024
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.sampled_from([1, 2, 64, 256, 4096]))
+    def test_align_properties(self, value, alignment):
+        down = align_down(value, alignment)
+        up = align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(40 * 1024 * 1024) == "40.0 MiB"
+        assert "GiB" in format_bytes(8 * 1024**3)
+
+    def test_format_cycles(self):
+        assert format_cycles(1234567) == "1,234,567 cyc"
+
+    def test_format_seconds(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(2.5e-3) == "2.500 ms"
+        assert format_seconds(2.5e-6) == "2.500 us"
+        assert "ns" in format_seconds(3e-9)
