@@ -9,6 +9,9 @@ import pytest
 
 from repro.experiments.fig3a import run_fig3a
 
+#: full figure regeneration — excluded from the fast tier via -m "not slow"
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def fig3a(bench_rows):

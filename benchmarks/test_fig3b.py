@@ -9,6 +9,9 @@ import pytest
 
 from repro.experiments.fig3b import run_fig3b
 
+#: full figure regeneration — excluded from the fast tier via -m "not slow"
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def fig3b(bench_rows):

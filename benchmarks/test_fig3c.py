@@ -10,6 +10,9 @@ import pytest
 
 from repro.experiments.fig3c import run_fig3c
 
+#: full figure regeneration — excluded from the fast tier via -m "not slow"
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def fig3c(bench_rows):

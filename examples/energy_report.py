@@ -6,22 +6,21 @@ background power, links, caches, core and PIM logic — making the paper's
 "HIPE saves a few percent of DRAM energy" result inspectable.
 """
 
-from repro import ScanConfig, generate_lineitem, run_scan
+from repro import ExperimentEngine, ScanConfig
 
 ROWS = 8192
 
 
 def main() -> None:
-    data = generate_lineitem(ROWS, seed=1994)
     configs = {
         "x86": ScanConfig("dsm", "column", 64, unroll=8),
         "hmc": ScanConfig("dsm", "column", 256, unroll=32),
         "hive": ScanConfig("dsm", "column", 256, unroll=32),
         "hipe": ScanConfig("dsm", "column", 256, unroll=32),
     }
-    reports = {}
-    for arch, config in configs.items():
-        reports[arch] = run_scan(arch, config, rows=ROWS, data=data)
+    # Cached + parallel: shares points with quickstart.py and fig3d.
+    outcome = ExperimentEngine().sweep("energy-report", list(configs.items()), ROWS)
+    reports = {run.arch: run for run in outcome.runs}
 
     components = ["dram_activate_pj", "dram_read_pj", "dram_write_pj",
                   "dram_background_pj", "link_pj", "cache_pj", "core_pj",

@@ -49,6 +49,12 @@ def main() -> None:
     for name, runner in (("fig3a", run_fig3a), ("fig3b", run_fig3b),
                          ("fig3c", run_fig3c), ("fig3d", run_fig3d)):
         show(name, runner())
+    from repro.experiments.common import default_engine
+
+    engine = default_engine()
+    print(f"\nexperiment engine: {engine.simulated_points} point(s) simulated, "
+          f"{engine.cache_hits} served from cache "
+          f"(fig3b/3c/3d share best-case points; re-runs are near-instant)")
 
 
 if __name__ == "__main__":

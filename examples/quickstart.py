@@ -2,8 +2,10 @@
 """Quickstart: simulate TPC-H Q6's select scan on all four architectures.
 
 Runs a small scan on the x86 baseline, the extended HMC ISA, HIVE and
-HIPE, prints per-architecture cycles, speedups and DRAM energy, and
-checks that the in-memory engines produced the exact reference bitmask.
+HIPE through the experiment engine (parallel workers + on-disk result
+cache — re-running this script is near-instant), prints per-architecture
+cycles, speedups and DRAM energy, and checks that the in-memory engines
+produced the exact reference bitmask.
 
 Usage::
 
@@ -12,12 +14,11 @@ Usage::
 
 import sys
 
-from repro import ScanConfig, format_table, generate_lineitem, run_scan
+from repro import ExperimentEngine, ScanConfig, format_table
 
 
 def main() -> None:
     rows = int(sys.argv[1]) if len(sys.argv) > 1 else 8192
-    data = generate_lineitem(rows, seed=1994)
     print(f"TPC-H Q6 selection scan over {rows:,} lineitem tuples\n")
 
     configs = {
@@ -26,12 +27,14 @@ def main() -> None:
         "hive": ScanConfig("dsm", "column", 256, unroll=32),
         "hipe": ScanConfig("dsm", "column", 256, unroll=32),
     }
-    results = []
-    for arch, config in configs.items():
-        result = run_scan(arch, config, rows=rows, data=data)
-        results.append(result)
+    engine = ExperimentEngine()
+    outcome = engine.sweep("quickstart", list(configs.items()), rows)
+    results = outcome.runs
+    for result in results:
         status = {True: "verified", False: "MISMATCH", None: "reference"}[result.verified]
-        print(f"  {arch:5s} done: {result.cycles:>12,} cycles ({status})")
+        print(f"  {result.arch:5s} done: {result.cycles:>12,} cycles ({status})")
+    if engine.cache_hits:
+        print(f"  ({engine.cache_hits} point(s) served from .repro_cache/)")
 
     baseline = results[0]
     print()

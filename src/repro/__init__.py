@@ -16,6 +16,32 @@ Quickstart::
                       rows=16_384)
     print(result.cycles, result.energy.dram_total_pj, result.verified)
 
+Experiment engine
+-----------------
+
+Figure sweeps are many independent (architecture, scan-config) points,
+so the package ships an :class:`~repro.sim.engine.ExperimentEngine`
+that fans points out over a ``multiprocessing`` pool (workers receive
+the shared dataset once) and memoises completed points in an on-disk
+cache under ``.repro_cache/``, keyed by architecture, configuration,
+rows, seed, cache scale, dataset digest and package version.  All
+figure harnesses (``repro.experiments``) route through a shared
+default engine, so regenerating a figure twice — or figures that share
+points, as 3b/3c/3d do — is near-instant after the first run::
+
+    from repro import ExperimentEngine, ScanConfig
+
+    engine = ExperimentEngine()          # REPRO_JOBS workers, cached
+    result = engine.sweep("demo", [
+        ("x86", ScanConfig("dsm", "column", 64, unroll=8)),
+        ("hipe", ScanConfig("dsm", "column", 256, unroll=32)),
+    ], rows=16_384)
+    print(result.report())
+
+Environment knobs: ``REPRO_JOBS`` (worker count; ``1`` = serial with
+identical results), ``REPRO_CACHE_DIR`` (cache location),
+``REPRO_CACHE=0`` (disable caching), ``REPRO_ROWS`` (sweep sizes).
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
@@ -41,17 +67,27 @@ from .common.config import (
 from .db.datagen import LineitemData, generate_lineitem
 from .db.query6 import Q6_PREDICATES, Predicate, reference_mask, reference_revenue
 from .energy.model import EnergyReport, compute_energy
+from .sim.engine import ExperimentEngine, ResultCache
 from .sim.machine import Machine, build_machine
-from .sim.results import RunResult, format_table, normalised, speedup
+from .sim.results import (
+    ExperimentResult,
+    RunResult,
+    format_table,
+    normalised,
+    speedup,
+)
 from .sim.runner import DEFAULT_ROWS, build_workload, run_scan
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ARCHITECTURES",
     "DEFAULT_ROWS",
     "DEFAULT_SCALE",
     "EnergyReport",
+    "ExperimentEngine",
+    "ExperimentResult",
+    "ResultCache",
     "LineitemData",
     "Machine",
     "MachineConfig",

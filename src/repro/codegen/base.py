@@ -58,6 +58,25 @@ class ScanConfig:
         """Tuples covered by one vector operation in column mode."""
         return self.op_bytes // 4
 
+    def to_dict(self) -> Dict[str, int | str]:
+        """JSON-safe export (cache keys, worker boundaries)."""
+        return {
+            "layout": self.layout,
+            "strategy": self.strategy,
+            "op_bytes": self.op_bytes,
+            "unroll": self.unroll,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int | str]) -> "ScanConfig":
+        """Rebuild a config exported by :meth:`to_dict` (re-validates)."""
+        return cls(
+            layout=str(payload["layout"]),
+            strategy=str(payload["strategy"]),
+            op_bytes=int(payload["op_bytes"]),
+            unroll=int(payload.get("unroll", 1)),
+        )
+
 
 @dataclass
 class ScanWorkload:

@@ -9,9 +9,10 @@ load-compare instructions are processed inside the memory" (§IV).
 * :func:`tuple_at_a_time` (NSM): one HMC load-compare per op-size piece
   of each tuple evaluates the whole-tuple conjunction at the vault
   (``compound`` predicate); the per-tuple match branch *depends on the
-  returned mask*, so the non-speculative PIM issue rule round-trip
-  serialises consecutive tuples — the behaviour behind HMC's flat
-  16–64 B bars in Figure 3a and the 256 B win (4 tuples per round trip).
+  returned mask*, and the controller's small outstanding-instruction
+  window (``HmcConfig.isa_window``) bounds how many of those round trips
+  overlap — the behaviour behind HMC losing at 16–64 B in Figure 3a and
+  the 256 B win (4 tuples per round trip).
 * :func:`column_at_a_time` (DSM): branchless per-chunk compare-offload;
   the running byte-mask lives in the caches, so HMC ops stream at the
   controller window limit — Figure 3b's 4.38x.

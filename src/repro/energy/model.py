@@ -21,6 +21,7 @@ DRAM column.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Dict
 
 from ..common.config import EnergyConfig, MachineConfig
@@ -60,8 +61,12 @@ class EnergyReport:
             + self.core_pj + self.pim_pj
         )
 
-    def to_dict(self) -> Dict[str, float]:
-        """Flat export for reports."""
+    def to_dict(self) -> Dict[str, object]:
+        """Flat export for reports (includes the derived totals).
+
+        Component values are floats; ``"detail"`` is a nested dict of
+        the run's raw event counts.
+        """
         return {
             "dram_activate_pj": self.dram_activate_pj,
             "dram_read_pj": self.dram_read_pj,
@@ -73,7 +78,24 @@ class EnergyReport:
             "core_pj": self.core_pj,
             "pim_pj": self.pim_pj,
             "total_pj": self.total_pj,
+            "detail": dict(self.detail),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EnergyReport":
+        """Rebuild a report exported by :meth:`to_dict`.
+
+        Derived totals (``dram_total_pj``, ``total_pj``) are recomputed
+        from the stored components, not read back.  The component list
+        comes from the dataclass fields, so new components round-trip
+        without touching this method.
+        """
+        names = [f.name for f in dataclass_fields(cls) if f.name != "detail"]
+        report = cls(**{name: float(payload.get(name, 0.0)) for name in names})
+        detail = payload.get("detail")
+        if isinstance(detail, dict):
+            report.detail = {str(k): float(v) for k, v in detail.items()}
+        return report
 
 
 def compute_energy(

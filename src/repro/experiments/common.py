@@ -1,21 +1,30 @@
-"""Shared experiment plumbing: row counts, result collection, shape checks."""
+"""Shared experiment plumbing: row counts, engine routing, result shapes.
+
+The figure harnesses all funnel through :func:`sweep`, which delegates
+to a process-wide default :class:`~repro.sim.engine.ExperimentEngine` —
+parallel across points (``REPRO_JOBS``) and memoised on disk
+(``.repro_cache/``), so regenerating a figure twice, or figures that
+share points, costs one simulation per unique point.
+"""
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..codegen.base import ScanConfig
-from ..db.datagen import LineitemData, generate_lineitem
-from ..sim.results import RunResult, format_table
-from ..sim.runner import run_scan
+from ..common.config import DEFAULT_SCALE
+from ..db.datagen import LineitemData
+from ..sim.engine import ExperimentEngine
+from ..sim.results import ExperimentResult, RunResult  # noqa: F401  (re-export)
 
 #: default rows per experiment — override with REPRO_ROWS.  32 K rows
 #: against the scale-80 caches preserve the paper's working-set >> LLC
 #: regime (see DESIGN.md §4); raise towards 6_001_215 (TPC-H SF1) for
 #: paper-scale runs at proportional simulation cost.
 DEFAULT_EXPERIMENT_ROWS = 32_768
+
+_DEFAULT_ENGINE: Optional[ExperimentEngine] = None
 
 
 def experiment_rows(default: int = DEFAULT_EXPERIMENT_ROWS) -> int:
@@ -29,27 +38,18 @@ def experiment_rows(default: int = DEFAULT_EXPERIMENT_ROWS) -> int:
     return rows
 
 
-@dataclass
-class ExperimentResult:
-    """All runs of one figure plus derived headline numbers."""
+def default_engine() -> ExperimentEngine:
+    """The process-wide engine the figure harnesses share (lazy)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExperimentEngine()
+    return _DEFAULT_ENGINE
 
-    name: str
-    runs: List[RunResult] = field(default_factory=list)
-    headline: Dict[str, float] = field(default_factory=dict)
 
-    def by_label(self) -> Dict[str, RunResult]:
-        return {run.label(): run for run in self.runs}
-
-    def run_for(self, arch: str, op_bytes: int, unroll: int = 1) -> RunResult:
-        """Find the run for one configuration point."""
-        for run in self.runs:
-            if (run.arch == arch and run.scan.op_bytes == op_bytes
-                    and run.scan.unroll == unroll):
-                return run
-        raise KeyError(f"no run for {arch}-{op_bytes}B@{unroll}x")
-
-    def report(self, baseline: Optional[RunResult] = None) -> str:
-        return format_table(self.runs, self.name, baseline=baseline)
+def set_default_engine(engine: Optional[ExperimentEngine]) -> None:
+    """Replace (or with ``None``, reset) the process-wide engine."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
 
 
 def sweep(
@@ -58,14 +58,10 @@ def sweep(
     rows: int,
     data: Optional[LineitemData] = None,
     seed: int = 1994,
+    scale: int = DEFAULT_SCALE,
+    engine: Optional[ExperimentEngine] = None,
 ) -> ExperimentResult:
     """Run a list of (arch, config) points over one shared dataset."""
-    if data is None:
-        data = generate_lineitem(rows, seed)
-    result = ExperimentResult(name=name)
-    for arch, config in points:
-        run = run_scan(arch, config, rows=rows, data=data)
-        if run.verified is False:
-            raise AssertionError(f"{arch} {config} failed functional verification")
-        result.runs.append(run)
-    return result
+    if engine is None:
+        engine = default_engine()
+    return engine.sweep(name, points, rows, data=data, seed=seed, scale=scale)

@@ -30,12 +30,16 @@ def fig3a_points() -> List[Tuple[str, ScanConfig]]:
     return points
 
 
-def run_fig3a(rows: int | None = None) -> ExperimentResult:
-    """Regenerate Figure 3a; returns all runs plus headline ratios."""
+def run_fig3a(rows: int | None = None, engine=None) -> ExperimentResult:
+    """Regenerate Figure 3a; returns all runs plus headline ratios.
+
+    ``engine`` selects the :class:`~repro.sim.engine.ExperimentEngine`
+    to run on (default: the shared parallel, cached engine).
+    """
     if rows is None:
         rows = experiment_rows(DEFAULT_ROWS_3A)
     result = sweep("Figure 3a: tuple-at-a-time (NSM), op size sweep",
-                   fig3a_points(), rows)
+                   fig3a_points(), rows, engine=engine)
     x86_best = min(
         (r for r in result.runs if r.arch == "x86"), key=lambda r: r.cycles
     )

@@ -27,12 +27,16 @@ def fig3b_points() -> List[Tuple[str, ScanConfig]]:
     return points
 
 
-def run_fig3b(rows: int | None = None) -> ExperimentResult:
-    """Regenerate Figure 3b; returns all runs plus headline ratios."""
+def run_fig3b(rows: int | None = None, engine=None) -> ExperimentResult:
+    """Regenerate Figure 3b; returns all runs plus headline ratios.
+
+    ``engine`` selects the :class:`~repro.sim.engine.ExperimentEngine`
+    to run on (default: the shared parallel, cached engine).
+    """
     if rows is None:
         rows = experiment_rows()
     result = sweep("Figure 3b: column-at-a-time (DSM), op size sweep",
-                   fig3b_points(), rows)
+                   fig3b_points(), rows, engine=engine)
     x86_best = min(
         (r for r in result.runs if r.arch == "x86"), key=lambda r: r.cycles
     )

@@ -26,12 +26,16 @@ def fig3c_points() -> List[Tuple[str, ScanConfig]]:
     return points
 
 
-def run_fig3c(rows: int | None = None) -> ExperimentResult:
-    """Regenerate Figure 3c; returns all runs plus headline ratios."""
+def run_fig3c(rows: int | None = None, engine=None) -> ExperimentResult:
+    """Regenerate Figure 3c; returns all runs plus headline ratios.
+
+    ``engine`` selects the :class:`~repro.sim.engine.ExperimentEngine`
+    to run on (default: the shared parallel, cached engine).
+    """
     if rows is None:
         rows = experiment_rows()
     result = sweep("Figure 3c: column-at-a-time (DSM), unroll sweep",
-                   fig3c_points(), rows)
+                   fig3c_points(), rows, engine=engine)
     x86_best = min(
         (r for r in result.runs if r.arch == "x86"), key=lambda r: r.cycles
     )

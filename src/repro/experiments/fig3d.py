@@ -24,12 +24,16 @@ BEST_CONFIGS: List[Tuple[str, ScanConfig]] = [
 ]
 
 
-def run_fig3d(rows: int | None = None) -> ExperimentResult:
-    """Regenerate Figure 3d; returns runs plus speedup/energy headlines."""
+def run_fig3d(rows: int | None = None, engine=None) -> ExperimentResult:
+    """Regenerate Figure 3d; returns runs plus speedup/energy headlines.
+
+    ``engine`` selects the :class:`~repro.sim.engine.ExperimentEngine`
+    to run on (default: the shared parallel, cached engine).
+    """
     if rows is None:
         rows = experiment_rows()
     result = sweep("Figure 3d: best case of each architecture vs x86",
-                   BEST_CONFIGS, rows)
+                   BEST_CONFIGS, rows, engine=engine)
     x86 = result.run_for("x86", 64, unroll=8)
     hmc = result.run_for("hmc", 256, unroll=32)
     hive = result.run_for("hive", 256, unroll=32)

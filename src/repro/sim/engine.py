@@ -1,0 +1,357 @@
+"""The experiment engine: parallel, cached execution of simulation sweeps.
+
+Every figure of the paper is a sweep over independent
+(architecture, :class:`~repro.codegen.base.ScanConfig`) points, and the
+figures overlap heavily — fig3b, fig3c and fig3d all re-simulate the
+same best-case column scans.  The :class:`ExperimentEngine` makes those
+sweeps cheap twice over:
+
+* **Parallelism** — independent points fan out over a
+  ``multiprocessing`` pool.  Workers receive the shared
+  :class:`~repro.db.datagen.LineitemData` once at pool start (not per
+  point), simulate with the ordinary :func:`~repro.sim.runner.run_scan`,
+  and ship back serialised :class:`~repro.sim.results.RunResult`
+  payloads.  ``REPRO_JOBS=1`` (or ``jobs=1``) falls back to fully
+  serial in-process execution; results are identical either way because
+  every point is a pure function of its inputs.
+* **Memoisation** — completed points persist under ``.repro_cache/``
+  (override with ``REPRO_CACHE_DIR``; disable with ``REPRO_CACHE=0``),
+  keyed by a stable hash of (architecture, scan configuration, rows,
+  seed, scale, dataset digest, package version).  Re-running a figure,
+  or a different figure sharing points, loads instead of simulating.
+  Corrupted or stale-schema entries are treated as misses and
+  overwritten, never raised.
+
+The public entry point is :meth:`ExperimentEngine.sweep`, which returns
+the same :class:`~repro.sim.results.ExperimentResult` the serial
+``repro.experiments.common.sweep`` helper always produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..codegen.base import ScanConfig
+from ..common.config import DEFAULT_SCALE, machine_for
+from ..db.datagen import LineitemData, generate_lineitem
+from .results import ExperimentResult, RunResult
+from .runner import run_scan
+
+#: bump when the cache entry layout (not the simulated timing) changes
+CACHE_SCHEMA = 1
+
+#: default on-disk cache location, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def _package_version() -> str:
+    """The repro package version (lazy import: avoids an init cycle)."""
+    from .. import __version__
+
+    return __version__
+
+
+def machine_digest(arch: str, scale: int) -> str:
+    """Stable hash of the resolved machine configuration of one point.
+
+    Folding the full :class:`~repro.common.config.MachineConfig` into
+    the cache key means any timing-model parameter change (cache sizes,
+    DRAM timings, ``isa_window``, energy constants, ...) invalidates
+    cached results automatically — no manual version bump needed.
+    """
+    config = machine_for(arch, scale)
+    blob = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def data_digest(data: LineitemData) -> str:
+    """Stable content hash of a dataset (column bytes + row count)."""
+    digest = hashlib.sha256()
+    digest.update(str(data.rows).encode())
+    for name in sorted(data.columns):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(data.columns[name]).tobytes())
+    return digest.hexdigest()
+
+
+def point_key(
+    arch: str,
+    scan: ScanConfig,
+    rows: int,
+    seed: int,
+    scale: int,
+    dataset: Optional[str] = None,
+    machine: Optional[str] = None,
+) -> str:
+    """Cache key of one simulation point.
+
+    Any change to the architecture, scan configuration, row count, seed,
+    cache scale or package version yields a different key; the dataset
+    digest guards sweeps run over externally supplied data, and the
+    machine digest guards against timing-model parameter drift.
+    """
+    payload = {
+        "arch": arch.lower(),
+        "scan": scan.to_dict(),
+        "rows": int(rows),
+        "seed": int(seed),
+        "scale": int(scale),
+        "version": _package_version(),
+    }
+    if dataset is not None:
+        payload["dataset"] = dataset
+    if machine is not None:
+        payload["machine"] = machine
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+
+class ResultCache:
+    """One-file-per-point JSON store under a cache directory."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None (corruption = miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != CACHE_SCHEMA:
+                return None
+            return RunResult.from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, key: str, result: RunResult) -> None:
+        """Persist ``result`` under ``key`` (atomic replace)."""
+        path = self.path_for(key)
+        entry = {"schema": CACHE_SCHEMA, "key": key, "result": result.to_dict()}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only cache directory degrades to no caching.
+            tmp.unlink(missing_ok=True)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# -- worker-process plumbing -------------------------------------------------
+#
+# The pool initializer stows the shared dataset in a module global so the
+# (potentially large) column arrays cross the process boundary once per
+# worker instead of once per point.
+
+_WORKER_DATA: Optional[LineitemData] = None
+
+
+def _init_worker(data: LineitemData) -> None:
+    global _WORKER_DATA
+    _WORKER_DATA = data
+
+
+def _run_point_task(task: Tuple[str, Dict[str, Any], int, int, int]) -> Dict[str, Any]:
+    """Simulate one point in a worker; returns a serialised RunResult."""
+    arch, scan_payload, rows, seed, scale = task
+    result = run_scan(
+        arch,
+        ScanConfig.from_dict(scan_payload),
+        rows=rows,
+        seed=seed,
+        scale=scale,
+        data=_WORKER_DATA,
+    )
+    return result.to_dict()
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` > CPU count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be a positive integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    return jobs
+
+
+def _cache_enabled(use_cache: Optional[bool]) -> bool:
+    if use_cache is not None:
+        return use_cache
+    return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "false", "no")
+
+
+class ExperimentEngine:
+    """Runs sweeps of simulation points with a worker pool and a cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` executes serially in-process.  Defaults
+        to ``REPRO_JOBS`` or the machine's CPU count.
+    cache_dir:
+        Result cache location; defaults to ``REPRO_CACHE_DIR`` or
+        ``.repro_cache/``.
+    use_cache:
+        Force the cache on/off; defaults to ``REPRO_CACHE`` (on).
+    run_hook:
+        Optional callable ``(arch, scan) -> None`` invoked in the parent
+        process for every point that is actually simulated (i.e. missed
+        the cache) — a test/telemetry seam.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str | os.PathLike] = None,
+        use_cache: Optional[bool] = None,
+        run_hook: Optional[Callable[[str, ScanConfig], None]] = None,
+    ) -> None:
+        self.jobs = _resolve_jobs(jobs)
+        if _cache_enabled(use_cache):
+            directory = cache_dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+            self.cache: Optional[ResultCache] = ResultCache(directory)
+        else:
+            self.cache = None
+        self.run_hook = run_hook
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.simulated_points = 0
+
+    # -- public API --------------------------------------------------------
+
+    def sweep(
+        self,
+        name: str,
+        points: List[Tuple[str, ScanConfig]],
+        rows: int,
+        data: Optional[LineitemData] = None,
+        seed: int = 1994,
+        scale: int = DEFAULT_SCALE,
+    ) -> ExperimentResult:
+        """Run (arch, config) points over one shared dataset.
+
+        Drop-in compatible with the historical serial ``sweep()``:
+        results come back in ``points`` order inside an
+        :class:`ExperimentResult`, and a point failing functional
+        verification raises ``AssertionError``.
+        """
+        if data is None:
+            data = generate_lineitem(rows, seed)
+        runs: List[Optional[RunResult]] = [None] * len(points)
+        pending: List[Tuple[int, str]] = []  # (points index, cache key)
+        if self.cache is not None:
+            digest = data_digest(data)
+            machines = {arch: machine_digest(arch, scale) for arch, _ in points}
+        for index, (arch, scan) in enumerate(points):
+            if self.cache is None:
+                self.cache_misses += 1
+                pending.append((index, ""))
+                continue
+            key = point_key(arch, scan, rows, seed, scale,
+                            dataset=digest, machine=machines[arch])
+            cached = self.cache.load(key)
+            if cached is not None:
+                self.cache_hits += 1
+                runs[index] = cached
+            else:
+                self.cache_misses += 1
+                pending.append((index, key))
+
+        if pending:
+            fresh = self._execute([points[i] for i, _ in pending], data, rows, seed, scale)
+            for (index, key), run in zip(pending, fresh):
+                if self.cache is not None and run.verified is not False:
+                    self.cache.store(key, run)
+                runs[index] = run
+
+        result = ExperimentResult(name=name)
+        for (arch, scan), run in zip(points, runs):
+            if run.verified is False:
+                raise AssertionError(f"{arch} {scan} failed functional verification")
+            result.runs.append(run)
+        return result
+
+    def run_point(
+        self,
+        arch: str,
+        scan: ScanConfig,
+        rows: int,
+        data: Optional[LineitemData] = None,
+        seed: int = 1994,
+        scale: int = DEFAULT_SCALE,
+    ) -> RunResult:
+        """One cached simulation point (a single-point :meth:`sweep`)."""
+        outcome = self.sweep(
+            f"{arch}-{scan.op_bytes}B", [(arch, scan)], rows,
+            data=data, seed=seed, scale=scale,
+        )
+        return outcome.runs[0]
+
+    def clear_cache(self) -> int:
+        """Drop every cached result; returns the number removed."""
+        return self.cache.clear() if self.cache is not None else 0
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(
+        self,
+        points: List[Tuple[str, ScanConfig]],
+        data: LineitemData,
+        rows: int,
+        seed: int,
+        scale: int,
+    ) -> List[RunResult]:
+        """Simulate ``points`` (cache misses only), serially or pooled."""
+        if self.run_hook is not None:
+            for arch, scan in points:
+                self.run_hook(arch, scan)
+        self.simulated_points += len(points)
+        if self.jobs == 1 or len(points) == 1:
+            return [
+                run_scan(arch, scan, rows=rows, seed=seed, scale=scale, data=data)
+                for arch, scan in points
+            ]
+        tasks = [
+            (arch, scan.to_dict(), rows, seed, scale) for arch, scan in points
+        ]
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        workers = min(self.jobs, len(points))
+        with context.Pool(
+            processes=workers, initializer=_init_worker, initargs=(data,)
+        ) as pool:
+            payloads = pool.map(_run_point_task, tasks)
+        return [RunResult.from_dict(payload) for payload in payloads]

@@ -27,10 +27,6 @@ from ..pim.hive import HiveBackend, HiveEngine
 from ..pim.hipe import HipeBackend, HipeEngine
 from ..pim.hmc_isa import HmcIsaBackend
 
-#: outstanding extended-HMC instructions the memory controller tracks;
-#: the window that bounds the HMC baseline's streaming parallelism.
-HMC_ISA_WINDOW = 16
-
 
 @dataclass
 class Machine:
@@ -86,7 +82,8 @@ def build_machine(
     engine: Optional[HiveEngine] = None
     if arch == "hmc":
         backend = HmcIsaBackend(
-            hmc, image, stats.child("hmc_isa"), max_outstanding=HMC_ISA_WINDOW
+            hmc, image, stats.child("hmc_isa"),
+            max_outstanding=config.hmc.isa_window,
         )
     elif arch == "hive":
         pim_config = config.pim if config.pim is not None else hive_logic_config()

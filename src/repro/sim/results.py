@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..codegen.base import ScanConfig
 from ..common.units import CORE_CLOCK, format_seconds
@@ -39,6 +39,57 @@ class RunResult:
         if self.scan.unroll > 1:
             name += f"@{self.scan.unroll}x"
         return name
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe export (result cache, worker boundaries)."""
+        return {
+            "arch": self.arch,
+            "scan": self.scan.to_dict(),
+            "rows": self.rows,
+            "cycles": self.cycles,
+            "uops": self.uops,
+            "energy": self.energy.to_dict(),
+            "verified": self.verified,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result exported by :meth:`to_dict`."""
+        verified = payload.get("verified")
+        return cls(
+            arch=str(payload["arch"]),
+            scan=ScanConfig.from_dict(payload["scan"]),
+            rows=int(payload["rows"]),
+            cycles=int(payload["cycles"]),
+            uops=int(payload["uops"]),
+            energy=EnergyReport.from_dict(payload["energy"]),
+            verified=None if verified is None else bool(verified),
+            stats={str(k): float(v) for k, v in payload.get("stats", {}).items()},
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """All runs of one figure plus derived headline numbers."""
+
+    name: str
+    runs: List[RunResult] = field(default_factory=list)
+    headline: Dict[str, float] = field(default_factory=dict)
+
+    def by_label(self) -> Dict[str, RunResult]:
+        return {run.label(): run for run in self.runs}
+
+    def run_for(self, arch: str, op_bytes: int, unroll: int = 1) -> RunResult:
+        """Find the run for one configuration point."""
+        for run in self.runs:
+            if (run.arch == arch and run.scan.op_bytes == op_bytes
+                    and run.scan.unroll == unroll):
+                return run
+        raise KeyError(f"no run for {arch}-{op_bytes}B@{unroll}x")
+
+    def report(self, baseline: Optional[RunResult] = None) -> str:
+        return format_table(self.runs, self.name, baseline=baseline)
 
 
 def speedup(baseline: RunResult, other: RunResult) -> float:

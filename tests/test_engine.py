@@ -1,0 +1,197 @@
+"""Tests for the parallel, cached experiment engine (repro.sim.engine)."""
+
+import json
+
+import pytest
+
+from repro.codegen.base import ScanConfig
+from repro.sim.engine import (
+    ExperimentEngine,
+    ResultCache,
+    data_digest,
+    machine_digest,
+    point_key,
+)
+from repro.db.datagen import generate_lineitem
+
+ROWS = 256
+POINTS = [
+    ("x86", ScanConfig("dsm", "column", 64)),
+    ("hmc", ScanConfig("dsm", "column", 256)),
+    ("hive", ScanConfig("dsm", "column", 256, unroll=8)),
+    ("hipe", ScanConfig("dsm", "column", 256, unroll=8)),
+]
+
+
+def make_engine(tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    return ExperimentEngine(**kwargs)
+
+
+class TestParallelEqualsSerial:
+    def test_results_identical_across_job_counts(self, tmp_path):
+        serial = make_engine(tmp_path, jobs=1, use_cache=False)
+        parallel = ExperimentEngine(jobs=3, use_cache=False)
+        a = serial.sweep("serial", POINTS, ROWS)
+        b = parallel.sweep("parallel", POINTS, ROWS)
+        assert [r.cycles for r in a.runs] == [r.cycles for r in b.runs]
+        assert [r.uops for r in a.runs] == [r.uops for r in b.runs]
+        assert [r.energy.to_dict() for r in a.runs] == [
+            r.energy.to_dict() for r in b.runs
+        ]
+        assert [r.verified for r in a.runs] == [r.verified for r in b.runs]
+
+    def test_jobs_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert ExperimentEngine(use_cache=False).jobs == 1
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert ExperimentEngine(use_cache=False).jobs == 7
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(jobs=0, use_cache=False)
+
+
+class TestCaching:
+    def test_second_sweep_hits_cache_without_resimulating(self, tmp_path):
+        simulated = []
+        engine = make_engine(
+            tmp_path, jobs=1, run_hook=lambda arch, scan: simulated.append(arch)
+        )
+        first = engine.sweep("one", POINTS, ROWS)
+        assert len(simulated) == len(POINTS)
+        assert engine.cache_misses == len(POINTS)
+
+        second = engine.sweep("two", POINTS, ROWS)
+        assert len(simulated) == len(POINTS)  # nothing re-simulated
+        assert engine.cache_hits == len(POINTS)
+        assert [r.cycles for r in first.runs] == [r.cycles for r in second.runs]
+        assert [r.stats for r in first.runs] == [r.stats for r in second.runs]
+
+    def test_cache_shared_between_engines(self, tmp_path):
+        one = make_engine(tmp_path, jobs=1)
+        one.sweep("warm", POINTS[:2], ROWS)
+        two = make_engine(tmp_path, jobs=1)
+        two.sweep("reuse", POINTS[:2], ROWS)
+        assert two.cache_hits == 2
+        assert two.simulated_points == 0
+
+    def test_overlapping_sweeps_share_points(self, tmp_path):
+        engine = make_engine(tmp_path, jobs=1)
+        engine.sweep("first", POINTS[:3], ROWS)
+        engine.sweep("second", POINTS[1:], ROWS)  # overlaps on 2 points
+        assert engine.cache_hits == 2
+        assert engine.simulated_points == len(POINTS)
+
+    def test_disabled_cache_always_simulates(self, tmp_path):
+        engine = make_engine(tmp_path, jobs=1, use_cache=False)
+        engine.sweep("a", POINTS[:1], ROWS)
+        engine.sweep("b", POINTS[:1], ROWS)
+        assert engine.simulated_points == 2
+        assert engine.cache_hits == 0
+
+    def test_run_point_single(self, tmp_path):
+        engine = make_engine(tmp_path, jobs=1)
+        run = engine.run_point("hive", ScanConfig("dsm", "column", 256), ROWS)
+        assert run.arch == "hive"
+        again = engine.run_point("hive", ScanConfig("dsm", "column", 256), ROWS)
+        assert again.cycles == run.cycles
+        assert engine.cache_hits == 1
+
+    def test_clear_cache(self, tmp_path):
+        engine = make_engine(tmp_path, jobs=1)
+        engine.sweep("warm", POINTS[:2], ROWS)
+        assert engine.clear_cache() == 2
+        engine.sweep("cold", POINTS[:2], ROWS)
+        assert engine.simulated_points == 4
+
+
+class TestCacheKey:
+    BASE = dict(rows=ROWS, seed=1994, scale=80, dataset="d0")
+
+    def key(self, arch="hive", scan=None, **overrides):
+        args = dict(self.BASE)
+        args.update(overrides)
+        scan = scan or ScanConfig("dsm", "column", 256)
+        return point_key(arch, scan, **args)
+
+    def test_key_stable(self):
+        assert self.key() == self.key()
+
+    def test_key_changes_with_every_field(self):
+        base = self.key()
+        assert self.key(arch="hipe") != base
+        assert self.key(scan=ScanConfig("dsm", "column", 128)) != base
+        assert self.key(scan=ScanConfig("dsm", "column", 256, unroll=2)) != base
+        assert self.key(scan=ScanConfig("nsm", "tuple", 256)) != base
+        assert self.key(rows=ROWS * 2) != base
+        assert self.key(seed=7) != base
+        assert self.key(scale=1) != base
+        assert self.key(dataset="d1") != base
+        assert self.key(machine="m1") != self.key(machine="m2")
+
+    def test_machine_digest_tracks_the_timing_model(self):
+        # Different architectures and scales resolve to different
+        # machine configs, so their cached points can never collide;
+        # the digest is what invalidates caches on timing-model edits.
+        assert machine_digest("hmc", 80) != machine_digest("hive", 80)
+        assert machine_digest("x86", 80) != machine_digest("x86", 1)
+        assert machine_digest("hipe", 80) == machine_digest("hipe", 80)
+
+    def test_data_digest_tracks_contents(self):
+        a = data_digest(generate_lineitem(128, seed=1))
+        b = data_digest(generate_lineitem(128, seed=2))
+        c = data_digest(generate_lineitem(256, seed=1))
+        assert len({a, b, c}) == 3
+        assert data_digest(generate_lineitem(128, seed=1)) == a
+
+
+class TestCorruption:
+    def test_corrupted_entries_are_ignored_and_repaired(self, tmp_path):
+        engine = make_engine(tmp_path, jobs=1)
+        first = engine.sweep("warm", POINTS[:1], ROWS)
+        entries = list((tmp_path / "cache").glob("*.json"))
+        assert len(entries) == 1
+        entries[0].write_text("{ this is not json")
+
+        again = engine.sweep("repair", POINTS[:1], ROWS)
+        assert again.runs[0].cycles == first.runs[0].cycles
+        assert engine.simulated_points == 2  # re-simulated, no crash
+        # and the entry was rewritten with a valid payload
+        assert json.loads(entries[0].read_text())["result"]["arch"] == "x86"
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        path = cache.path_for("k")
+        path.write_text(json.dumps({"schema": 999, "result": {}}))
+        assert cache.load("k") is None
+
+    def test_truncated_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        path = cache.path_for("k")
+        path.write_text(json.dumps({"schema": 1, "result": {"arch": "x86"}}))
+        assert cache.load("k") is None
+
+    def test_missing_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.load("never-stored") is None
+
+
+class TestExperimentsIntegration:
+    def test_figure_harness_uses_injected_engine(self, tmp_path):
+        from repro.experiments.fig3d import run_fig3d
+
+        engine = make_engine(tmp_path, jobs=1)
+        outcome = run_fig3d(rows=ROWS, engine=engine)
+        assert engine.simulated_points == len(outcome.runs) == 4
+        again = run_fig3d(rows=ROWS, engine=engine)
+        assert engine.simulated_points == 4  # all cached
+        assert again.headline == outcome.headline
+
+    def test_common_sweep_routes_through_engine(self, tmp_path):
+        from repro.experiments.common import sweep
+
+        engine = make_engine(tmp_path, jobs=1)
+        outcome = sweep("routed", POINTS[:2], ROWS, engine=engine)
+        assert len(outcome.runs) == 2
+        assert engine.simulated_points == 2
