@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'HIPE: HMC Instruction Predication Extension "
         "Applied on Database Processing' (DATE 2018)"

@@ -16,6 +16,25 @@ Quickstart::
                       rows=16_384)
     print(result.cycles, result.energy.dram_total_pj, result.verified)
 
+Query plans
+-----------
+
+Workloads are :class:`~repro.db.plan.QueryPlan` values — a declared
+table schema plus Scan/Filter/Project/Aggregate operator nodes — and
+every layer consumes them: ``repro.db.scan.execute_plan`` interprets a
+plan with reference numpy semantics, each codegen lowers it per
+operator, and :func:`run_scan` verifies the lowering uop-deep against
+the interpreter.  The default plan is the paper's Q6 select scan;
+:func:`~repro.db.workloads.q1_style_plan` (grouped aggregation) and
+:func:`~repro.db.workloads.selectivity_scan_plan` (parameterised range
+scan) open the workload space::
+
+    from repro import ScanConfig, q1_style_plan, run_scan
+
+    result = run_scan("hive", ScanConfig("dsm", "column", 256, unroll=32),
+                      rows=16_384, plan=q1_style_plan())
+    print(result.aggregates)  # verified per-group SUM/COUNT values
+
 Experiment engine
 -----------------
 
@@ -24,7 +43,9 @@ so the package ships an :class:`~repro.sim.engine.ExperimentEngine`
 that fans points out over a ``multiprocessing`` pool (workers receive
 the shared dataset once) and memoises completed points in an on-disk
 cache under ``.repro_cache/``, keyed by architecture, configuration,
-rows, seed, cache scale, dataset digest and package version.  All
+rows, seed, cache scale, dataset digest, machine-config digest,
+result-shaping source digest, query-plan digest and package version.
+All
 figure harnesses (``repro.experiments``) route through a shared
 default engine, so regenerating a figure twice — or figures that share
 points, as 3b/3c/3d do — is near-instant after the first run::
@@ -64,8 +85,34 @@ from .common.config import (
     paper_config,
     scaled_config,
 )
-from .db.datagen import LineitemData, generate_lineitem
-from .db.query6 import Q6_PREDICATES, Predicate, reference_mask, reference_revenue
+from .db.datagen import (
+    LINEITEM_Q1_SCHEMA,
+    LINEITEM_Q6_SCHEMA,
+    ColumnSpec,
+    LineitemData,
+    TableData,
+    TableSchema,
+    generate_lineitem,
+    generate_table,
+)
+from .db.plan import (
+    Aggregate,
+    AggSpec,
+    Filter,
+    Predicate,
+    Project,
+    QueryPlan,
+    Scan,
+)
+from .db.query6 import (
+    Q6_PREDICATES,
+    q6_revenue_plan,
+    q6_select_plan,
+    reference_mask,
+    reference_revenue,
+)
+from .db.scan import PlanResult, execute_plan
+from .db.workloads import q1_style_plan, selectivity_scan_plan
 from .energy.model import EnergyReport, compute_energy
 from .sim.engine import ExperimentEngine, ResultCache
 from .sim.machine import Machine, build_machine
@@ -78,41 +125,59 @@ from .sim.results import (
 )
 from .sim.runner import DEFAULT_ROWS, build_workload, run_scan
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ARCHITECTURES",
+    "Aggregate",
+    "AggSpec",
+    "ColumnSpec",
     "DEFAULT_ROWS",
     "DEFAULT_SCALE",
     "EnergyReport",
     "ExperimentEngine",
     "ExperimentResult",
-    "ResultCache",
+    "Filter",
+    "LINEITEM_Q1_SCHEMA",
+    "LINEITEM_Q6_SCHEMA",
     "LineitemData",
     "Machine",
     "MachineConfig",
     "PIM_OP_SIZES",
     "PIM_UNROLLS",
+    "PlanResult",
     "Predicate",
+    "Project",
     "Q6_PREDICATES",
+    "QueryPlan",
+    "ResultCache",
     "RunResult",
+    "Scan",
     "ScanConfig",
     "ScanWorkload",
+    "TableData",
+    "TableSchema",
     "X86_OP_SIZES",
     "X86_UNROLLS",
     "build_machine",
     "build_workload",
     "compute_energy",
+    "execute_plan",
     "format_table",
     "generate_lineitem",
+    "generate_table",
     "hipe_logic_config",
     "hive_logic_config",
     "machine_for",
     "normalised",
     "paper_config",
+    "q1_style_plan",
+    "q6_revenue_plan",
+    "q6_select_plan",
     "reference_mask",
     "reference_revenue",
     "run_scan",
     "scaled_config",
+    "selectivity_scan_plan",
     "speedup",
 ]

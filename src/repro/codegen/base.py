@@ -2,28 +2,42 @@
 
 A *codegen* plays the role of the compiler in the paper's methodology
 ("no source code change is required, but it needs to be compiled to use
-HIPE instructions", §III): it lowers the Q6 select scan onto one
+HIPE instructions", §III): it lowers a relational query plan onto one
 architecture's instruction repertoire, for a given storage layout,
 processing strategy, operation size and unroll depth — and, because the
 simulator is trace-driven, it resolves branch directions and skip
 decisions from the actual data while doing so.
 
 Every codegen consumes a :class:`ScanWorkload` (the materialised tables,
-output buffers and predicates) and a :class:`ScanConfig`, and yields
-:class:`~repro.cpu.isa.Uop` streams.
+output buffers and the plan's predicates) and a :class:`ScanConfig`, and
+yields :class:`~repro.cpu.isa.Uop` streams.
+
+Per-operator lowering protocol
+------------------------------
+
+Each backend module (``x86``/``hmc``/``hive``/``hipe``) implements
+
+* ``lower_filter(workload, config)``    — the select scan (the classic
+  ``generate`` entry point, one strategy per layout), and
+* ``lower_aggregate(workload, config)`` — the plan's Aggregate node
+  (grouped SUM/COUNT/MIN/MAX over the filter's bitmask).
+
+:func:`lower_plan` walks a workload's :class:`~repro.db.plan.QueryPlan`
+and dispatches each operator to the backend, concatenating the uop
+streams; ``generate_plan`` in every backend module binds it.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..cpu.isa import AluFunc
+from ..cpu.isa import AluFunc, Uop
 from ..db.datagen import LineitemData
-from ..db.query6 import Predicate
+from ..db.plan import Predicate, QueryPlan
 from ..db.table import DsmTable, NsmTable, ScanBuffers
 
 #: operation sizes of each architecture (Table I)
@@ -80,13 +94,25 @@ class ScanConfig:
 
 @dataclass
 class ScanWorkload:
-    """Everything a codegen needs about the data and its placement."""
+    """Everything a codegen needs about the data and its placement.
+
+    ``plan`` carries the full query when the workload was built from a
+    :class:`~repro.db.plan.QueryPlan`; ``predicates`` always holds the
+    Filter's conjunction (the pre-IR field every scan lowering reads).
+    ``computed_aggregates`` is filled by the Aggregate lowering: the
+    per-group values implied by the chunks its uops actually processed,
+    checked against the numpy plan interpreter by the runner.
+    """
 
     data: LineitemData
     predicates: Tuple[Predicate, ...]
     buffers: ScanBuffers
     nsm: Optional[NsmTable] = None
     dsm: Optional[DsmTable] = None
+    plan: Optional[QueryPlan] = None
+    computed_aggregates: Dict[Tuple[int, ...], Dict[str, int]] = field(
+        default_factory=dict, repr=False
+    )
     _mask_cache: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
 
     @property
@@ -199,3 +225,27 @@ def chunk_bounds(rows: int, rows_per_chunk: int):
     for start in range(0, rows, rows_per_chunk):
         yield index, start, min(start + rows_per_chunk, rows)
         index += 1
+
+
+def lower_plan(backend, workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Lower ``workload.plan`` operator by operator on ``backend``.
+
+    ``backend`` is a codegen module implementing the per-operator
+    protocol (``lower_filter`` / ``lower_aggregate``).  The Scan and
+    Project nodes need no instructions of their own — the tables are
+    materialised in the memory image, and projection only narrows what
+    an Aggregate or materialisation touches — so a plan lowers to its
+    Filter's scan followed, when present, by its Aggregate's reduction.
+    """
+    plan = workload.plan
+    if plan is None:
+        raise ValueError("workload carries no plan; use lower_filter directly")
+    if plan.filter is None:
+        raise ValueError(
+            "plan lowering needs a Filter: every backend's scan produces the "
+            "bitmask the Aggregate consumes (use a keep-everything predicate "
+            "for full-table aggregation)"
+        )
+    yield from backend.lower_filter(workload, config)
+    if plan.aggregate is not None:
+        yield from backend.lower_aggregate(workload, config)

@@ -30,10 +30,19 @@ compare per tuple leaves predication nothing to skip.
 
 from __future__ import annotations
 
+import sys
 from typing import Iterator
 
 from ..cpu.isa import PimInstruction, PimOp, Uop, alu, branch, pim
-from .base import PcAllocator, RegAllocator, ScanConfig, ScanWorkload, chunk_bounds
+from .aggregate import engine_aggregate
+from .base import (
+    PcAllocator,
+    RegAllocator,
+    ScanConfig,
+    ScanWorkload,
+    chunk_bounds,
+    lower_plan,
+)
 from .hive import ENGINE_REGS, tuple_at_a_time as hive_tuple_at_a_time
 
 #: engine registers per chunk body: two, alternated across the three
@@ -43,11 +52,18 @@ _REGS_PER_CHUNK = 2
 
 
 def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
-    """Single-pass predicated scan (Figure 3d's HIPE bar)."""
+    """Single-pass predicated scan (Figure 3d's HIPE bar).
+
+    Handles any conjunction length >= 1: column 0 loads and compares
+    unconditionally, every later column is predicated on its
+    predecessor's zero flags, alternating between the chunk's two data
+    registers (Q6's three predicates are the paper's instance).
+    """
     if workload.dsm is None:
         raise ValueError("column-at-a-time needs the DSM table")
-    if len(workload.predicates) != 3:
-        raise ValueError("this lowering handles exactly 3 predicates (Q6)")
+    levels = len(workload.predicates)
+    if levels < 1:
+        raise ValueError("the predicated scan needs at least one predicate")
     table = workload.dsm
     buffers = workload.buffers
     pcs = PcAllocator()
@@ -99,8 +115,8 @@ def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop
             )
         # Columns 1..n: predicated on the previous column's zero flags.
         # Registers alternate: level k lives in register (k mod 2) of the
-        # chunk's pair, so level 2 recycles level 0's register.
-        for level in (1, 2):
+        # chunk's pair, so level k+2 recycles level k's register.
+        for level in range(1, levels):
             predicate = workload.predicates[level]
             for j, (chunk, start, stop) in enumerate(block):
                 pred_reg = j * _REGS_PER_CHUNK + ((level - 1) % 2)
@@ -125,7 +141,7 @@ def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop
         # Pack every chunk's final flags into the accumulator; one store
         # writes the whole block's bitmask to DRAM.
         for j, (chunk, start, stop) in enumerate(block):
-            last_reg = j * _REGS_PER_CHUNK + (2 % 2)  # level 2's register
+            last_reg = j * _REGS_PER_CHUNK + ((levels - 1) % 2)  # final level's register
             yield pim(
                 pcs.site(f"pack_{j}"),
                 PimInstruction(PimOp.PACK_MASK, size=stop - start,
@@ -150,3 +166,21 @@ def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     if config.strategy == "tuple":
         return hive_tuple_at_a_time(workload, config)
     return column_at_a_time(workload, config)
+
+
+# -- per-operator lowering protocol (codegen.base.lower_plan) ----------------
+
+#: Filter lowering: the single-pass predicated scan
+lower_filter = generate
+
+
+def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Aggregate lowering: locked-block reduction with the column loads
+    predicated on the filter mask — chunks with no candidate tuples are
+    squashed before they touch DRAM, as in the predicated scan."""
+    return engine_aggregate(workload, config, ENGINE_REGS, predicated=True)
+
+
+def generate_plan(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Lower the workload's full query plan."""
+    return lower_plan(sys.modules[__name__], workload, config)

@@ -30,11 +30,20 @@ interlock for safe reuse.
 
 from __future__ import annotations
 
+import sys
 from typing import Iterator
 
 from ..common.units import ceil_div
 from ..cpu.isa import AluFunc, PimInstruction, PimOp, Uop, alu, branch, load, pim, store
-from .base import PcAllocator, RegAllocator, ScanConfig, ScanWorkload, chunk_bounds
+from .aggregate import engine_aggregate
+from .base import (
+    PcAllocator,
+    RegAllocator,
+    ScanConfig,
+    ScanWorkload,
+    chunk_bounds,
+    lower_plan,
+)
 
 #: engine registers reserved for codegen use (the bank has 36)
 ENGINE_REGS = 36
@@ -270,3 +279,20 @@ def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     if config.strategy == "tuple":
         return tuple_at_a_time(workload, config)
     return column_at_a_time(workload, config)
+
+
+# -- per-operator lowering protocol (codegen.base.lower_plan) ----------------
+
+#: Filter lowering: the locked-block select scan
+lower_filter = generate
+
+
+def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Aggregate lowering: unpredicated locked-block reduction in the
+    logic layer (every chunk streams; dead chunks contribute zeros)."""
+    return engine_aggregate(workload, config, ENGINE_REGS, predicated=False)
+
+
+def generate_plan(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Lower the workload's full query plan."""
+    return lower_plan(sys.modules[__name__], workload, config)

@@ -20,11 +20,20 @@ load-compare instructions are processed inside the memory" (§IV).
 
 from __future__ import annotations
 
+import sys
 from typing import Iterator
 
 from ..common.units import ceil_div
 from ..cpu.isa import PimInstruction, PimOp, Uop, alu, branch, load, pim, store
-from .base import PcAllocator, RegAllocator, ScanConfig, ScanWorkload, chunk_bounds
+from .aggregate import core_aggregate
+from .base import (
+    PcAllocator,
+    RegAllocator,
+    ScanConfig,
+    ScanWorkload,
+    chunk_bounds,
+    lower_plan,
+)
 
 
 def _compound_terms(workload: ScanWorkload):
@@ -169,3 +178,27 @@ def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     if config.strategy == "tuple":
         return tuple_at_a_time(workload, config)
     return column_at_a_time(workload, config)
+
+
+# -- per-operator lowering protocol (codegen.base.lower_plan) ----------------
+
+#: Filter lowering: the compare-offload select scan
+lower_filter = generate
+
+
+def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Aggregate lowering: the HMC's extended ISA offers load-*compare*
+    only, so reductions run the same core-side loop as x86 (the bitmask
+    is cache-resident for both).  The 256 B HMC op sizes exist only in
+    the memory; the core's vector units stay AVX-bound, so the loop is
+    re-chunked to the 64 B / 8x caps the x86 lowering enforces."""
+    core_config = ScanConfig(
+        config.layout, config.strategy,
+        min(config.op_bytes, 64), min(config.unroll, 8),
+    )
+    return core_aggregate(workload, core_config)
+
+
+def generate_plan(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Lower the workload's full query plan."""
+    return lower_plan(sys.modules[__name__], workload, config)

@@ -19,12 +19,14 @@ Two scan flavours:
 
 from __future__ import annotations
 
+import sys
 from typing import Iterator
 
 import numpy as np
 
 from ..common.units import ceil_div
 from ..cpu.isa import AluFunc, Uop, alu, branch, load, store
+from .aggregate import core_aggregate
 from .base import (
     PcAllocator,
     RegAllocator,
@@ -32,6 +34,7 @@ from .base import (
     ScanWorkload,
     chunk_bounds,
     iterator_overhead,
+    lower_plan,
 )
 
 
@@ -177,6 +180,23 @@ def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     if config.strategy == "tuple":
         return tuple_at_a_time(workload, config)
     return column_at_a_time(workload, config)
+
+
+# -- per-operator lowering protocol (codegen.base.lower_plan) ----------------
+
+#: Filter lowering: the select scan itself
+lower_filter = generate
+
+
+def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Aggregate lowering: core-side reduction over the cached bitmask."""
+    _check(config)
+    return core_aggregate(workload, config)
+
+
+def generate_plan(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Lower the workload's full query plan."""
+    return lower_plan(sys.modules[__name__], workload, config)
 
 
 def expected_mask_bytes(workload: ScanWorkload) -> np.ndarray:

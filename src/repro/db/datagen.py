@@ -1,26 +1,37 @@
-"""TPC-H-like data generation for the Query 6 workload.
+"""Schema-driven TPC-H-like data generation.
 
 The paper runs TPC-H at scale factor 1 (a ~6 M row ``lineitem`` table)
 and evaluates Query 06's selection scan.  dbgen itself is not available
-offline, so this module generates the four Q6 columns with the exact
-distributions the TPC-H specification prescribes, which preserves the
-selectivities that drive branch behaviour and predication savings:
+offline, so this module generates columns with the distributions the
+TPC-H specification prescribes, which preserves the selectivities that
+drive branch behaviour and predication savings.
 
-* ``l_shipdate``  — dates spanning 1992-01-02 .. 1998-12-01 (represented
-  as day offsets); Q6's 1994 year filter keeps ~15 %.
-* ``l_discount``  — 0.00..0.10 in 0.01 steps (stored as integer
-  hundredths); Q6's BETWEEN 0.05 AND 0.07 keeps ~27 %.
-* ``l_quantity``  — integers 1..50; Q6's < 24 keeps ~46 %.
-* ``l_extendedprice`` — priced from quantity as in dbgen's formula.
+Generation is *schema-driven*: a :class:`TableSchema` declares typed
+:class:`ColumnSpec` columns and :func:`generate_table` materialises them
+deterministically per seed.  Three column kinds cover the TPC-H shapes:
+
+* ``uniform``     — integers drawn uniformly from ``[lo, hi]``
+  (dates as day offsets, discounts in hundredths, quantities, ...);
+* ``categorical`` — integer codes ``0..cardinality-1`` (low-cardinality
+  group-by keys such as ``l_returnflag``/``l_linestatus``);
+* ``price``       — dbgen's extendedprice formula, derived from a
+  previously generated quantity column.
 
 All columns are int32 — 4 B lanes, matching the PIM engines' lane width.
-Generation is deterministic per seed.
+Draws happen column by column in schema order from a single generator,
+so *prefix schemas produce byte-identical columns*: the classic
+:func:`generate_lineitem` (the four Q6 columns) is exactly
+``generate_table(LINEITEM_Q6_SCHEMA, ...)`` and its bytes — and
+therefore the experiment engine's dataset digests — are unchanged from
+the pre-schema generator, so the plan IR never perturbs what any Q6
+experiment simulates (cache keys also fold in the package version and
+a source digest, which invalidate across upgrades by design).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,45 +48,217 @@ Q6_QUANTITY_LT = 24
 #: rows per TPC-H scale factor 1 (the paper's 1 GB configuration)
 ROWS_SCALE_FACTOR_1 = 6_001_215
 
+#: dbgen's retail-price range (hundredths of a dollar), the ``price``
+#: column kind's multiplier bounds
+PRICE_RETAIL_LO = 90_000
+PRICE_RETAIL_HI = 110_000
+
 Q6_COLUMNS = ("l_shipdate", "l_discount", "l_quantity", "l_extendedprice")
 
 
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One generated column: name, distribution kind and its parameters."""
+
+    name: str
+    kind: str = "uniform"  # "uniform" | "categorical" | "price"
+    lo: int = 0  # uniform: inclusive lower bound
+    hi: int = 0  # uniform: inclusive upper bound
+    cardinality: int = 0  # categorical: codes 0..cardinality-1
+    base: str = ""  # price: the quantity column it derives from
+
+    def __post_init__(self) -> None:
+        if self.kind == "uniform":
+            if self.hi < self.lo:
+                raise ValueError(f"column {self.name!r}: hi < lo")
+        elif self.kind == "categorical":
+            if self.cardinality < 1:
+                raise ValueError(f"column {self.name!r}: cardinality must be >= 1")
+        elif self.kind == "price":
+            if not self.base:
+                raise ValueError(f"column {self.name!r}: price needs a base column")
+        else:
+            raise ValueError(f"column {self.name!r}: unknown kind {self.kind!r}")
+
+    @property
+    def domain(self) -> Tuple[int, int]:
+        """Inclusive (lo, hi) value bounds of the generated codes."""
+        if self.kind == "uniform":
+            return (self.lo, self.hi)
+        if self.kind == "categorical":
+            return (0, self.cardinality - 1)
+        return (1, 2**31 - 1)
+
+    def to_dict(self) -> Dict[str, int | str]:
+        """JSON-safe export (plan digests, worker boundaries)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "lo": self.lo,
+            "hi": self.hi,
+            "cardinality": self.cardinality,
+            "base": self.base,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int | str]) -> "ColumnSpec":
+        return cls(
+            name=str(payload["name"]),
+            kind=str(payload.get("kind", "uniform")),
+            lo=int(payload.get("lo", 0)),
+            hi=int(payload.get("hi", 0)),
+            cardinality=int(payload.get("cardinality", 0)),
+            base=str(payload.get("base", "")),
+        )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A declared table: name plus ordered column specs."""
+
+    name: str
+    columns: Tuple[ColumnSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"schema {self.name!r} has duplicate column names")
+        for index, spec in enumerate(self.columns):
+            # Columns materialise in schema order, so a derived column's
+            # base must precede it.
+            if spec.kind == "price" and spec.base not in names[:index]:
+                raise ValueError(
+                    f"column {spec.name!r} derives from {spec.base!r}, which "
+                    "must be declared earlier in the schema"
+                )
+
+    def column_names(self) -> List[str]:
+        """Column names in schema order."""
+        return [spec.name for spec in self.columns]
+
+    def spec(self, name: str) -> ColumnSpec:
+        """The spec of one column (KeyError when absent)."""
+        for candidate in self.columns:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"schema {self.name!r} has no column {name!r}")
+
+    def value_bound(self, name: str) -> int:
+        """Largest absolute value column ``name`` can hold.
+
+        Tighter than :attr:`ColumnSpec.domain` for derived ``price``
+        columns (the dbgen formula bounds them by the base quantity's
+        maximum times the retail ceiling) — the overflow analysis of
+        the engine-side aggregate lowering depends on this.
+        """
+        spec = self.spec(name)
+        if spec.kind == "price":
+            base_hi = self.value_bound(spec.base)
+            return min(base_hi * PRICE_RETAIL_HI // 50, 2**31 - 1)
+        lo, hi = spec.domain
+        return max(abs(lo), abs(hi))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "columns": [spec.to_dict() for spec in self.columns],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TableSchema":
+        return cls(
+            name=str(payload["name"]),
+            columns=tuple(
+                ColumnSpec.from_dict(column) for column in payload["columns"]
+            ),
+        )
+
+
+#: the four Q6 columns — the classic workload (and the byte-compatible
+#: prefix of every extended lineitem schema)
+LINEITEM_Q6_SCHEMA = TableSchema(
+    "lineitem",
+    (
+        ColumnSpec("l_shipdate", "uniform", lo=SHIPDATE_MIN, hi=SHIPDATE_MAX),
+        ColumnSpec("l_discount", "uniform", lo=0, hi=10),
+        ColumnSpec("l_quantity", "uniform", lo=1, hi=50),
+        ColumnSpec("l_extendedprice", "price", base="l_quantity"),
+    ),
+)
+
+#: lineitem extended with the Q1 group-by keys: l_returnflag in
+#: {A, N, R} and l_linestatus in {F, O}, stored as integer codes
+LINEITEM_Q1_SCHEMA = TableSchema(
+    "lineitem_q1",
+    LINEITEM_Q6_SCHEMA.columns
+    + (
+        ColumnSpec("l_returnflag", "categorical", cardinality=3),
+        ColumnSpec("l_linestatus", "categorical", cardinality=2),
+    ),
+)
+
+
 @dataclass
-class LineitemData:
-    """The generated Q6 columns of the lineitem table."""
+class TableData:
+    """Generated columns of one table (plus the schema that shaped them)."""
 
     rows: int
     columns: Dict[str, np.ndarray]
+    schema: Optional[TableSchema] = field(default=None, compare=False)
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.columns[name]
 
-    def column_names(self):
+    def column_names(self) -> List[str]:
         """Column names in schema order."""
-        return list(Q6_COLUMNS)
+        if self.schema is not None:
+            return self.schema.column_names()
+        return list(self.columns)
 
 
-def generate_lineitem(rows: int, seed: int = 1994) -> LineitemData:
-    """Generate ``rows`` lineitem tuples (Q6 columns only), deterministically."""
+#: historical name, kept for the Q6-era public API
+LineitemData = TableData
+
+
+def _generate_column(
+    spec: ColumnSpec, rows: int, rng: np.random.Generator,
+    columns: Dict[str, np.ndarray],
+) -> np.ndarray:
+    if spec.kind == "uniform":
+        return rng.integers(spec.lo, spec.hi + 1, size=rows, dtype=np.int32)
+    if spec.kind == "categorical":
+        return rng.integers(0, spec.cardinality, size=rows, dtype=np.int32)
+    # dbgen: extendedprice = quantity * retail price of the part; the
+    # retail price varies around 90000..110000 hundredths-of-dollar.
+    retail = rng.integers(PRICE_RETAIL_LO, PRICE_RETAIL_HI + 1, size=rows, dtype=np.int64)
+    quantity = columns[spec.base].astype(np.int64)
+    price = np.minimum(quantity * retail // 50, 2**31 - 1)
+    return price.astype(np.int32)
+
+
+def generate_table(schema: TableSchema, rows: int, seed: int = 1994) -> TableData:
+    """Generate ``rows`` tuples of ``schema``, deterministically per seed.
+
+    Columns draw from one generator in schema order, so extending a
+    schema with new trailing columns never perturbs the existing ones.
+    """
     if rows <= 0:
         raise ValueError("rows must be positive")
     rng = np.random.default_rng(seed)
-    shipdate = rng.integers(SHIPDATE_MIN, SHIPDATE_MAX + 1, size=rows, dtype=np.int32)
-    discount = rng.integers(0, 11, size=rows, dtype=np.int32)
-    quantity = rng.integers(1, 51, size=rows, dtype=np.int32)
-    # dbgen: extendedprice = quantity * retail price of the part; the
-    # retail price varies around 90000..110000 hundredths-of-dollar.
-    retail = rng.integers(90_000, 110_001, size=rows, dtype=np.int64)
-    extendedprice = np.minimum(quantity.astype(np.int64) * retail // 50, 2**31 - 1)
-    return LineitemData(
-        rows=rows,
-        columns={
-            "l_shipdate": shipdate,
-            "l_discount": discount,
-            "l_quantity": quantity,
-            "l_extendedprice": extendedprice.astype(np.int32),
-        },
-    )
+    columns: Dict[str, np.ndarray] = {}
+    for spec in schema.columns:
+        columns[spec.name] = _generate_column(spec, rows, rng, columns)
+    return TableData(rows=rows, columns=columns, schema=schema)
+
+
+def generate_lineitem(rows: int, seed: int = 1994) -> TableData:
+    """Generate ``rows`` lineitem tuples (Q6 columns only), deterministically.
+
+    Byte-identical to the pre-schema generator: same draws, same order,
+    same dtypes — every Q6 experiment scans exactly the data it always
+    scanned, and its dataset digest is unchanged.
+    """
+    return generate_table(LINEITEM_Q6_SCHEMA, rows, seed)
 
 
 def expected_selectivities() -> Dict[str, float]:

@@ -14,17 +14,21 @@ scan operation ... conjunctions without join operations in the largest
 table" (§IV).  The select scan over the three predicate columns is what
 every architecture executes; the revenue aggregation is provided as the
 full-semantics extension.
+
+Both faces of the query are expressed in the plan IR:
+:func:`q6_select_plan` is the bare select scan (Scan -> Filter) the
+figures simulate, :func:`q6_revenue_plan` adds the revenue Aggregate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np
 
 from ..cpu.isa import AluFunc
 from .datagen import (
+    LINEITEM_Q6_SCHEMA,
     LineitemData,
     Q6_DISCOUNT_HI,
     Q6_DISCOUNT_LO,
@@ -32,32 +36,18 @@ from .datagen import (
     Q6_SHIPDATE_HI,
     Q6_SHIPDATE_LO,
 )
+from .plan import Aggregate, AggSpec, Filter, Predicate, QueryPlan, Scan
 
-
-@dataclass(frozen=True)
-class Predicate:
-    """One conjunct of the WHERE clause, in PIM-ALU terms."""
-
-    column: str
-    func: AluFunc
-    lo: int
-    hi: int = 0
-
-    def evaluate(self, values: np.ndarray) -> np.ndarray:
-        """Boolean match vector for ``values``."""
-        if self.func == AluFunc.CMP_RANGE:
-            return (values >= self.lo) & (values <= self.hi)
-        if self.func == AluFunc.CMP_LT:
-            return values < self.lo
-        if self.func == AluFunc.CMP_GE:
-            return values >= self.lo
-        if self.func == AluFunc.CMP_LE:
-            return values <= self.lo
-        if self.func == AluFunc.CMP_GT:
-            return values > self.lo
-        if self.func == AluFunc.CMP_EQ:
-            return values == self.lo
-        raise ValueError(f"unsupported predicate function {self.func!r}")
+__all__ = [
+    "Predicate",
+    "Q6_PREDICATES",
+    "predicate_columns",
+    "q6_select_plan",
+    "q6_revenue_plan",
+    "reference_mask",
+    "reference_matches",
+    "reference_revenue",
+]
 
 
 #: Q6's conjuncts in evaluation order — most selective first, the order a
@@ -67,6 +57,28 @@ Q6_PREDICATES: Tuple[Predicate, ...] = (
     Predicate("l_discount", AluFunc.CMP_RANGE, Q6_DISCOUNT_LO, Q6_DISCOUNT_HI),
     Predicate("l_quantity", AluFunc.CMP_LT, Q6_QUANTITY_LT),
 )
+
+
+def q6_select_plan() -> QueryPlan:
+    """The Q6 select scan as a plan — the workload of every figure.
+
+    This is the *default plan* of the whole harness: the experiment
+    engine leaves it out of its cache keys, so plan-less sweeps and
+    explicit Q6-plan sweeps share one cache entry per point.
+    """
+    return QueryPlan("q6_select", (
+        Scan(LINEITEM_Q6_SCHEMA),
+        Filter(Q6_PREDICATES),
+    ))
+
+
+def q6_revenue_plan() -> QueryPlan:
+    """Full Q6 semantics: the select scan plus the revenue aggregation."""
+    return QueryPlan("q6_revenue", (
+        Scan(LINEITEM_Q6_SCHEMA),
+        Filter(Q6_PREDICATES),
+        Aggregate((AggSpec("sum", "l_extendedprice", times="l_discount"),)),
+    ))
 
 
 def predicate_columns() -> List[str]:

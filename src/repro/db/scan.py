@@ -1,4 +1,4 @@
-"""Reference select-scan operators (architecture-independent semantics).
+"""Reference scan and plan semantics (architecture-independent).
 
 These pure-numpy operators define what every simulated architecture must
 compute:
@@ -10,6 +10,10 @@ compute:
   over a whole column, conjoin into a packed bitmask used by the next
   predicate — with chunk skipping for later columns ("decide the
   portions of the second column it needs to process", §IV).
+* **plan interpretation** (:func:`execute_plan`): reference semantics
+  for any :class:`~repro.db.plan.QueryPlan` — filter, projection and
+  (grouped) aggregation — the oracle every backend's lowering is
+  verified against.
 
 The codegen modules walk these same loops while emitting uops, and the
 integration tests assert each architecture's outputs equal these.
@@ -17,14 +21,14 @@ integration tests assert each architecture's outputs equal these.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .bitmask import pack
-from .datagen import LineitemData
-from .query6 import Predicate
+from .datagen import LineitemData, TableData
+from .plan import Predicate, QueryPlan
 
 
 @dataclass
@@ -91,3 +95,104 @@ def materialize(data: LineitemData, matches: np.ndarray, columns: List[str] | No
     if columns is None:
         columns = data.column_names()
     return {column: data[column][matches].copy() for column in columns}
+
+
+# -- plan interpretation ------------------------------------------------------
+
+#: a group key: the tuple of group-by column values (empty = one group)
+GroupKey = Tuple[int, ...]
+#: aggregate values of one group, keyed by ``AggSpec.label()``
+GroupAggregates = Dict[str, int]
+
+
+@dataclass
+class PlanResult:
+    """Outcome of interpreting a :class:`~repro.db.plan.QueryPlan`."""
+
+    matches: np.ndarray  # matched row indices, ascending
+    bitmask: np.ndarray  # packed filter bitmask (uint8)
+    rows: int
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)  # projection
+    aggregates: Optional[Dict[GroupKey, GroupAggregates]] = None
+
+    @property
+    def match_count(self) -> int:
+        return int(self.matches.size)
+
+    @property
+    def selectivity(self) -> float:
+        return self.match_count / self.rows if self.rows else 0.0
+
+
+def aggregate_rows(plan: QueryPlan, data: TableData,
+                   rows: np.ndarray) -> GroupAggregates:
+    """Reference aggregates of one group's matched ``rows`` (exact int64).
+
+    The single definition of the IR's aggregate semantics: the plan
+    interpreter evaluates it per group, and the codegens' trace-side
+    oracles fold their processed chunks through it.
+    """
+    out: GroupAggregates = {}
+    for spec in plan.aggregate.aggs:
+        if spec.func == "count":
+            out[spec.label()] = int(rows.size)
+            continue
+        values = data[spec.column][rows].astype(np.int64)
+        if spec.times is not None:
+            values = values * data[spec.times][rows].astype(np.int64)
+        if spec.func == "sum":
+            out[spec.label()] = int(values.sum())
+        elif spec.func == "min":
+            out[spec.label()] = int(values.min())
+        else:  # max
+            out[spec.label()] = int(values.max())
+    return out
+
+
+def partition_groups(
+    data: TableData, group_by: Sequence[str], rows: np.ndarray
+) -> List[Tuple[GroupKey, np.ndarray]]:
+    """Partition matched ``rows`` by their group-by key values.
+
+    Shared by the plan interpreter and the codegens' trace-side oracle
+    so group-key handling has a single definition.  Returns
+    ``[(key tuple, row indices), ...]``; one ``((), rows)`` partition
+    when ``group_by`` is empty, none when ``rows`` is.
+    """
+    if rows.size == 0:
+        return []
+    if not group_by:
+        return [((), rows)]
+    keys = np.stack([data[key][rows] for key in group_by], axis=1)
+    unique, inverse = np.unique(keys, axis=0, return_inverse=True)
+    return [
+        (tuple(int(v) for v in key_row), rows[inverse == g])
+        for g, key_row in enumerate(unique)
+    ]
+
+
+def execute_plan(plan: QueryPlan, data: TableData) -> PlanResult:
+    """Interpret ``plan`` over ``data`` with reference numpy semantics.
+
+    Aggregates are computed exactly (int64); only groups with at least
+    one matched row appear in the result, matching SQL GROUP BY.
+    """
+    mask = np.ones(data.rows, dtype=bool)
+    for predicate in plan.predicates:
+        mask &= predicate.evaluate(data[predicate.column])
+    matches = np.flatnonzero(mask)
+    result = PlanResult(matches=matches, bitmask=pack(mask), rows=data.rows)
+
+    projection = plan.projection
+    if projection is not None:
+        result.columns = materialize(data, matches, list(projection.columns))
+
+    aggregate = plan.aggregate
+    if aggregate is not None:
+        result.aggregates = {
+            key: aggregate_rows(plan, data, group_rows)
+            for key, group_rows in partition_groups(
+                data, aggregate.group_by, matches
+            )
+        }
+    return result

@@ -16,7 +16,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..memory.image import MemoryImage
-from .datagen import LineitemData, Q6_COLUMNS
+from .datagen import LineitemData, Q6_COLUMNS  # noqa: F401  (re-export)
 
 TUPLE_BYTES = 64
 COLUMN_VALUE_BYTES = 4
@@ -37,26 +37,31 @@ class ColumnRef:
 
 
 class NsmTable:
-    """Row-store: 64 B tuples with the Q6 columns at fixed offsets."""
+    """Row-store: 64 B tuples with the table's columns at fixed offsets."""
 
     def __init__(self, image: MemoryImage, data: LineitemData, name: str = "lineitem_nsm") -> None:
         self.rows = data.rows
         self.name = name
         self.tuple_bytes = TUPLE_BYTES
+        columns = data.column_names()
+        if len(columns) * COLUMN_VALUE_BYTES > TUPLE_BYTES:
+            raise ValueError(
+                f"{len(columns)} columns exceed the {TUPLE_BYTES} B tuple"
+            )
         alloc = image.allocate(name, data.rows * TUPLE_BYTES)
         self.base = alloc.base
-        # Interleave the four column values into the first 16 B of each
-        # tuple; the remaining 48 B model the other lineitem attributes.
+        # Interleave the column values into the head of each tuple; the
+        # remaining bytes model the table's other (unscanned) attributes.
         view = alloc.data.view(np.int32).reshape(data.rows, TUPLE_BYTES // 4)
         self.column_offsets: Dict[str, int] = {}
-        for i, column in enumerate(Q6_COLUMNS):
+        for i, column in enumerate(columns):
             view[:, i] = data[column]
             self.column_offsets[column] = i * COLUMN_VALUE_BYTES
         self.columns = {
             column: ColumnRef(
                 column, self.base + self.column_offsets[column], TUPLE_BYTES
             )
-            for column in Q6_COLUMNS
+            for column in columns
         }
 
     def tuple_address(self, row: int) -> int:
@@ -76,7 +81,7 @@ class DsmTable:
         self.rows = data.rows
         self.name = name
         self.columns: Dict[str, ColumnRef] = {}
-        for column in Q6_COLUMNS:
+        for column in data.column_names():
             alloc = image.allocate_array(f"{name}.{column}", data[column].astype(np.int32))
             self.columns[column] = ColumnRef(column, alloc.base, COLUMN_VALUE_BYTES)
 
@@ -106,6 +111,12 @@ class ScanBuffers:
     materialize_base: int
     materialize_bytes: int
     scratch_base: int = 0  # operator/iterator state (stays cache-hot)
+    aggregate_base: int = 0  # per-(group, agg) partial-sum slots
+    aggregate_slots: int = 0
+
+    #: bytes per aggregate slot — one engine register (64 int32 lanes),
+    #: so a whole slot travels in a single row-buffer-sized access
+    AGGREGATE_SLOT_BYTES = 256
 
     def mask_address(self, row: int) -> int:
         """Address of the mask byte containing ``row``'s bit."""
@@ -115,11 +126,22 @@ class ScanBuffers:
         """Mask footprint of ``rows`` tuples (at least one byte)."""
         return max(1, (rows + 7) // 8)
 
+    def aggregate_address(self, slot: int) -> int:
+        """Address of one (group, aggregate) partial-sum slot."""
+        if not 0 <= slot < self.aggregate_slots:
+            raise ValueError(f"aggregate slot {slot} outside the buffer")
+        return self.aggregate_base + slot * self.AGGREGATE_SLOT_BYTES
+
+
+#: aggregate slots reserved per scan — bounds groups x aggregates (the
+#: IR targets low-cardinality group-bys; 64 slots = e.g. 16 groups x 4)
+AGGREGATE_SLOTS = 64
+
 
 def allocate_scan_buffers(
     image: MemoryImage, rows: int, name: str = "scan", tuple_bytes: int = TUPLE_BYTES
 ) -> ScanBuffers:
-    """Reserve the bitmask and materialisation regions for a scan of ``rows``."""
+    """Reserve the bitmask, materialisation and aggregate regions of a scan."""
     mask_bytes = max(1, (rows + 7) // 8)
     # Round the mask region up to whole 256 B blocks so block-granular
     # PIM mask stores of the last (partial) block stay in bounds.
@@ -127,10 +149,17 @@ def allocate_scan_buffers(
     mat_bytes = rows * tuple_bytes  # worst case: everything matches
     mat_alloc = image.allocate(f"{name}.materialized", mat_bytes)
     scratch_alloc = image.allocate(f"{name}.scratch", 256)
+    # Allocated last: pre-IR scans never touched this region, so every
+    # earlier buffer keeps its historical address (byte-identical traces).
+    agg_alloc = image.allocate(
+        f"{name}.aggregates", AGGREGATE_SLOTS * ScanBuffers.AGGREGATE_SLOT_BYTES
+    )
     return ScanBuffers(
         bitmask_base=mask_alloc.base,
         bitmask_bytes=mask_bytes,
         materialize_base=mat_alloc.base,
         materialize_bytes=mat_bytes,
         scratch_base=scratch_alloc.base,
+        aggregate_base=agg_alloc.base,
+        aggregate_slots=AGGREGATE_SLOTS,
     )

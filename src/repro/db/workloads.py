@@ -1,0 +1,81 @@
+"""Paper-adjacent workloads beyond Q6, expressed in the plan IR.
+
+The related bulk-bitwise PIM work (Perach et al.; Boroumand et al.)
+evaluates whole TPC-H-style suites; these builders open that space for
+this simulator:
+
+* :func:`q1_style_plan` — a TPC-H Q1-flavoured grouped aggregation scan:
+  a barely selective shipdate filter followed by SUM/COUNT reductions
+  grouped by the two low-cardinality lineitem keys;
+* :func:`selectivity_scan_plan` — a parameterised range scan whose
+  predicate keeps a chosen fraction of the table, the knob for
+  selectivity sweeps (predication's pay-off curve, §IV.A.3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..cpu.isa import AluFunc
+from .datagen import (
+    LINEITEM_Q1_SCHEMA,
+    LINEITEM_Q6_SCHEMA,
+    SHIPDATE_MAX,
+    SHIPDATE_MIN,
+)
+from .plan import Aggregate, AggSpec, Filter, Predicate, QueryPlan, Scan
+
+#: TPC-H Q1's cutoff: shipdate <= 1998-12-01 minus 90 days (day offsets)
+Q1_SHIPDATE_CUTOFF = SHIPDATE_MAX - 90
+
+#: default selectivity grid of the swept range scan (fractions kept)
+SWEEP_SELECTIVITIES: Tuple[float, ...] = (0.01, 0.05, 0.25, 0.50, 0.90)
+
+
+def q1_style_plan() -> QueryPlan:
+    """A TPC-H Q1-style grouped aggregation scan.
+
+    ::
+
+        SELECT   l_returnflag, l_linestatus,
+                 sum(l_quantity), sum(l_extendedprice),
+                 sum(l_extendedprice * l_discount), count(*)
+        FROM     lineitem
+        WHERE    l_shipdate <= DATE '1998-12-01' - 90 days
+        GROUP BY l_returnflag, l_linestatus;
+
+    The filter keeps ~96 % of the table (the opposite regime from Q6's
+    ~1.9 %), and the 3 x 2 group keys exercise the per-group accumulator
+    lowering of every backend.
+    """
+    return QueryPlan("q1_style", (
+        Scan(LINEITEM_Q1_SCHEMA),
+        Filter((Predicate("l_shipdate", AluFunc.CMP_LE, Q1_SHIPDATE_CUTOFF),)),
+        Aggregate(
+            aggs=(
+                AggSpec("sum", "l_quantity"),
+                AggSpec("sum", "l_extendedprice"),
+                AggSpec("sum", "l_extendedprice", times="l_discount"),
+                AggSpec("count"),
+            ),
+            group_by=("l_returnflag", "l_linestatus"),
+        ),
+    ))
+
+
+def selectivity_scan_plan(selectivity: float) -> QueryPlan:
+    """A range scan keeping ``selectivity`` of the table, with a count.
+
+    The predicate is a shipdate upper bound placed analytically so the
+    kept fraction approximates ``selectivity``; sweeping it traces how
+    each architecture's scan cost responds to match density.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must be in (0, 1]")
+    days = SHIPDATE_MAX - SHIPDATE_MIN + 1
+    cutoff = SHIPDATE_MIN + max(1, round(selectivity * days)) - 1
+    return QueryPlan(f"range_scan_{selectivity:.4f}", (
+        Scan(LINEITEM_Q6_SCHEMA),
+        Filter((Predicate("l_shipdate", AluFunc.CMP_LE, cutoff),)),
+        Aggregate((AggSpec("count"),)),
+    ))

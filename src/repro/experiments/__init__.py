@@ -1,9 +1,18 @@
-"""Experiment harnesses: one module per table/figure of the paper."""
+"""Experiment harnesses: the paper's tables/figures plus the multi-query suite."""
 
 from .table1 import run_table1
 from .fig3a import run_fig3a
 from .fig3b import run_fig3b
 from .fig3c import run_fig3c
 from .fig3d import run_fig3d
+from .queries import run_queries, run_query
 
-__all__ = ["run_table1", "run_fig3a", "run_fig3b", "run_fig3c", "run_fig3d"]
+__all__ = [
+    "run_table1",
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig3c",
+    "run_fig3d",
+    "run_queries",
+    "run_query",
+]

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 from ..codegen.base import ScanConfig
 from ..common.config import DEFAULT_SCALE
 from ..db.datagen import LineitemData
+from ..db.plan import QueryPlan
 from ..sim.engine import ExperimentEngine
 from ..sim.results import ExperimentResult, RunResult  # noqa: F401  (re-export)
 
@@ -23,6 +24,16 @@ from ..sim.results import ExperimentResult, RunResult  # noqa: F401  (re-export)
 #: regime (see DESIGN.md §4); raise towards 6_001_215 (TPC-H SF1) for
 #: paper-scale runs at proportional simulation cost.
 DEFAULT_EXPERIMENT_ROWS = 32_768
+
+#: the best configuration of each architecture, from Figures 3a-3c —
+#: shared by Figure 3d and the multi-query harness so recalibrations
+#: move both together
+BEST_CONFIGS: List[Tuple[str, ScanConfig]] = [
+    ("x86", ScanConfig("dsm", "column", 64, unroll=8)),
+    ("hmc", ScanConfig("dsm", "column", 256, unroll=32)),
+    ("hive", ScanConfig("dsm", "column", 256, unroll=32)),
+    ("hipe", ScanConfig("dsm", "column", 256, unroll=32)),
+]
 
 _DEFAULT_ENGINE: Optional[ExperimentEngine] = None
 
@@ -60,8 +71,10 @@ def sweep(
     seed: int = 1994,
     scale: int = DEFAULT_SCALE,
     engine: Optional[ExperimentEngine] = None,
+    plan: Optional[QueryPlan] = None,
 ) -> ExperimentResult:
-    """Run a list of (arch, config) points over one shared dataset."""
+    """Run (arch, config) points of one plan over one shared dataset."""
     if engine is None:
         engine = default_engine()
-    return engine.sweep(name, points, rows, data=data, seed=seed, scale=scale)
+    return engine.sweep(name, points, rows, data=data, seed=seed, scale=scale,
+                        plan=plan)

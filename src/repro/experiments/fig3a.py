@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..codegen.base import PIM_OP_SIZES, ScanConfig, X86_OP_SIZES
+from ..db.query6 import q6_select_plan
 from .common import ExperimentResult, experiment_rows, sweep
 
 #: tuple-at-a-time simulates every tuple through the core, so the default
@@ -39,7 +40,8 @@ def run_fig3a(rows: int | None = None, engine=None) -> ExperimentResult:
     if rows is None:
         rows = experiment_rows(DEFAULT_ROWS_3A)
     result = sweep("Figure 3a: tuple-at-a-time (NSM), op size sweep",
-                   fig3a_points(), rows, engine=engine)
+                   fig3a_points(), rows, engine=engine,
+                   plan=q6_select_plan())
     x86_best = min(
         (r for r in result.runs if r.arch == "x86"), key=lambda r: r.cycles
     )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..codegen.base import PIM_OP_SIZES, ScanConfig, X86_OP_SIZES
+from ..db.query6 import q6_select_plan
 from .common import ExperimentResult, experiment_rows, sweep
 
 
@@ -36,7 +37,8 @@ def run_fig3b(rows: int | None = None, engine=None) -> ExperimentResult:
     if rows is None:
         rows = experiment_rows()
     result = sweep("Figure 3b: column-at-a-time (DSM), op size sweep",
-                   fig3b_points(), rows, engine=engine)
+                   fig3b_points(), rows, engine=engine,
+                   plan=q6_select_plan())
     x86_best = min(
         (r for r in result.runs if r.arch == "x86"), key=lambda r: r.cycles
     )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..codegen.base import PIM_UNROLLS, ScanConfig, X86_UNROLLS
+from ..db.query6 import q6_select_plan
 from .common import ExperimentResult, experiment_rows, sweep
 
 
@@ -35,7 +36,8 @@ def run_fig3c(rows: int | None = None, engine=None) -> ExperimentResult:
     if rows is None:
         rows = experiment_rows()
     result = sweep("Figure 3c: column-at-a-time (DSM), unroll sweep",
-                   fig3c_points(), rows, engine=engine)
+                   fig3c_points(), rows, engine=engine,
+                   plan=q6_select_plan())
     x86_best = min(
         (r for r in result.runs if r.arch == "x86"), key=lambda r: r.cycles
     )

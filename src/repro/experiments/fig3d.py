@@ -10,18 +10,13 @@ energy: ~5 % vs x86, ~1 % vs HMC, ~4 % vs HIVE (≈3 % on average).
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-from ..codegen.base import ScanConfig
-from .common import ExperimentResult, experiment_rows, sweep
-
-#: the best configuration of each architecture, from Figures 3a-3c
-BEST_CONFIGS: List[Tuple[str, ScanConfig]] = [
-    ("x86", ScanConfig("dsm", "column", 64, unroll=8)),
-    ("hmc", ScanConfig("dsm", "column", 256, unroll=32)),
-    ("hive", ScanConfig("dsm", "column", 256, unroll=32)),
-    ("hipe", ScanConfig("dsm", "column", 256, unroll=32)),
-]
+from ..db.query6 import q6_select_plan
+from .common import (  # noqa: F401  (BEST_CONFIGS re-exported)
+    BEST_CONFIGS,
+    ExperimentResult,
+    experiment_rows,
+    sweep,
+)
 
 
 def run_fig3d(rows: int | None = None, engine=None) -> ExperimentResult:
@@ -33,7 +28,8 @@ def run_fig3d(rows: int | None = None, engine=None) -> ExperimentResult:
     if rows is None:
         rows = experiment_rows()
     result = sweep("Figure 3d: best case of each architecture vs x86",
-                   BEST_CONFIGS, rows, engine=engine)
+                   BEST_CONFIGS, rows, engine=engine,
+                   plan=q6_select_plan())
     x86 = result.run_for("x86", 64, unroll=8)
     hmc = result.run_for("hmc", 256, unroll=32)
     hive = result.run_for("hive", 256, unroll=32)

@@ -1,0 +1,94 @@
+"""Multi-query harness: plan-defined workloads on all four architectures.
+
+The figures reproduce the paper's single workload (the Q6 select scan);
+this harness opens the workload space the plan IR enables:
+
+* **q6_revenue** — full Q6 semantics (select scan + revenue aggregate),
+* **q1_style**   — a TPC-H Q1-flavoured grouped aggregation scan
+  (~96 % selectivity, 3 x 2 groups, four reductions),
+* **range_scan_<s>** — the parameterised selectivity sweep (a count(*)
+  range scan keeping fraction ``s`` of the table).
+
+Every query runs on each architecture's best column configuration from
+Figure 3 (x86-64B@8x, and 256B@32x for the PIM systems), through the
+shared parallel, cached experiment engine.  Results carry the lowered
+aggregates, verified uop-deep against the numpy plan interpreter.
+
+Run ``python -m repro.experiments.queries`` for the full report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..codegen.base import ScanConfig
+from ..db.plan import QueryPlan
+from ..db.query6 import q6_revenue_plan
+from ..db.workloads import SWEEP_SELECTIVITIES, q1_style_plan, selectivity_scan_plan
+from .common import BEST_CONFIGS, ExperimentResult, experiment_rows, sweep
+
+
+def run_query(
+    plan: QueryPlan,
+    rows: int | None = None,
+    engine=None,
+    points: Optional[List[Tuple[str, ScanConfig]]] = None,
+) -> ExperimentResult:
+    """Run one plan on every architecture's best configuration.
+
+    The headline maps each architecture to its cycle count plus its
+    speedup over x86.
+    """
+    if rows is None:
+        rows = experiment_rows()
+    if points is None:
+        points = BEST_CONFIGS
+    result = sweep(f"Query {plan.name}: best configs", points, rows,
+                   engine=engine, plan=plan)
+    x86_cycles = next((r.cycles for r in result.runs if r.arch == "x86"), None)
+    result.headline = {}
+    for run in result.runs:
+        result.headline[f"{run.arch}_cycles"] = float(run.cycles)
+        if run.arch != "x86" and x86_cycles is not None:
+            result.headline[f"{run.arch}_speedup_vs_x86"] = (
+                x86_cycles / run.cycles
+            )
+    return result
+
+
+def run_queries(
+    rows: int | None = None,
+    engine=None,
+    selectivities: Sequence[float] = SWEEP_SELECTIVITIES,
+) -> Dict[str, ExperimentResult]:
+    """The full multi-query suite, keyed by plan name."""
+    if rows is None:
+        rows = experiment_rows()
+    plans = [q6_revenue_plan(), q1_style_plan()]
+    plans += [selectivity_scan_plan(s) for s in selectivities]
+    return {
+        plan.name: run_query(plan, rows=rows, engine=engine) for plan in plans
+    }
+
+
+def _format_aggregates(result: ExperimentResult) -> List[str]:
+    """Pretty per-group aggregate lines of one query's (verified) runs."""
+    run = result.runs[0]
+    if run.aggregates is None:
+        return []
+    lines = []
+    for key, values in sorted(run.aggregates.items()):
+        prefix = f"  group {key}: " if key else "  "
+        lines.append(prefix + ", ".join(
+            f"{label}={value:,}" for label, value in values.items()))
+    return lines
+
+
+if __name__ == "__main__":
+    outcomes = run_queries()
+    for name, outcome in outcomes.items():
+        baseline = next(r for r in outcome.runs if r.arch == "x86")
+        print(outcome.report(baseline=baseline))
+        for line in _format_aggregates(outcome):
+            print(line)
+        print()

@@ -15,10 +15,12 @@ sweeps cheap twice over:
   serial in-process execution; results are identical either way because
   every point is a pure function of its inputs.
 * **Memoisation** — completed points persist under ``.repro_cache/``
-  (override with ``REPRO_CACHE_DIR``; disable with ``REPRO_CACHE=0``),
-  keyed by a stable hash of (architecture, scan configuration, rows,
-  seed, scale, dataset digest, package version).  Re-running a figure,
-  or a different figure sharing points, loads instead of simulating.
+  (override with ``REPRO_CACHE_DIR``; disable with ``REPRO_CACHE=0``;
+  LRU-cap the size with ``REPRO_CACHE_MAX_MB``), keyed by a stable
+  hash of (architecture, scan configuration, rows, seed, scale,
+  dataset digest, machine-config digest, timing-model code digest,
+  query-plan digest, package version).  Re-running a figure, or a
+  different figure sharing points, loads instead of simulating.
   Corrupted or stale-schema entries are treated as misses and
   overwritten, never raised.
 
@@ -41,7 +43,8 @@ import numpy as np
 
 from ..codegen.base import ScanConfig
 from ..common.config import DEFAULT_SCALE, machine_for
-from ..db.datagen import LineitemData, generate_lineitem
+from ..db.datagen import LineitemData, generate_lineitem, generate_table
+from ..db.plan import QueryPlan
 from .results import ExperimentResult, RunResult
 from .runner import run_scan
 
@@ -51,12 +54,75 @@ CACHE_SCHEMA = 1
 #: default on-disk cache location, relative to the working directory
 DEFAULT_CACHE_DIR = ".repro_cache"
 
+#: package directories whose source shapes simulated results — the
+#: timing model (sim/memory/pim/cpu/cache), the uop lowerings (codegen),
+#: the energy formulas (energy), the data/layout/plan substrate (db) and
+#: the shared constants (common); code edits there must invalidate
+#: cached results even when no config field (and hence no machine
+#: digest) changes.  Only the experiments/ harness layer is exempt: it
+#: orchestrates sweeps but every result-shaping input it passes is
+#: already in the key.
+TIMING_MODEL_DIRS = (
+    "cache", "codegen", "common", "cpu", "db", "energy", "memory", "pim", "sim",
+)
+
 
 def _package_version() -> str:
     """The repro package version (lazy import: avoids an init cycle)."""
     from .. import __version__
 
     return __version__
+
+
+_CODE_DIGEST: Optional[str] = None
+
+
+def code_digest() -> str:
+    """Stable hash of the timing-model source files (cached per process).
+
+    The machine digest catches *config-driven* timing changes; this
+    catches *code* changes to the simulator itself (every directory in
+    :data:`TIMING_MODEL_DIRS`), so edits that alter results without
+    touching any config field no longer silently reuse stale cached
+    numbers until someone remembers to bump ``repro.__version__``.
+    """
+    global _CODE_DIGEST
+    if _CODE_DIGEST is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for directory in TIMING_MODEL_DIRS:
+            root = package_root / directory
+            if not root.is_dir():
+                raise RuntimeError(
+                    f"timing-model directory {directory!r} missing under "
+                    f"{package_root} — TIMING_MODEL_DIRS is out of date"
+                )
+            for path in sorted(root.rglob("*.py")):
+                digest.update(str(path.relative_to(package_root)).encode())
+                digest.update(path.read_bytes())
+        _CODE_DIGEST = digest.hexdigest()[:16]
+    return _CODE_DIGEST
+
+
+_DEFAULT_PLAN_DIGEST: Optional[str] = None
+
+
+def _default_plan_digest() -> str:
+    """Digest of the Q6 select-scan plan — the harness's default workload.
+
+    Points running this plan omit the plan field from their key, so a
+    plan-less sweep and an explicit Q6-plan sweep share cache entries
+    (rather than simulating the identical workload twice); every other
+    plan contributes its digest.  Note this shares keys *within* a
+    timing-model code digest — entries written before a timing-model
+    source edit (or a version bump) still miss, by design.
+    """
+    global _DEFAULT_PLAN_DIGEST
+    if _DEFAULT_PLAN_DIGEST is None:
+        from ..db.query6 import q6_select_plan
+
+        _DEFAULT_PLAN_DIGEST = q6_select_plan().digest()
+    return _DEFAULT_PLAN_DIGEST
 
 
 def machine_digest(arch: str, scale: int) -> str:
@@ -90,13 +156,18 @@ def point_key(
     scale: int,
     dataset: Optional[str] = None,
     machine: Optional[str] = None,
+    plan: Optional[str] = None,
+    code: Optional[str] = None,
 ) -> str:
     """Cache key of one simulation point.
 
     Any change to the architecture, scan configuration, row count, seed,
     cache scale or package version yields a different key; the dataset
-    digest guards sweeps run over externally supplied data, and the
-    machine digest guards against timing-model parameter drift.
+    digest guards sweeps run over externally supplied data, the machine
+    digest guards against timing-model *parameter* drift, ``code``
+    guards against timing-model *source* drift, and ``plan`` separates
+    query plans (the default Q6 select scan passes ``None`` so its
+    historical keys keep hitting).
     """
     payload = {
         "arch": arch.lower(),
@@ -110,6 +181,10 @@ def point_key(
         payload["dataset"] = dataset
     if machine is not None:
         payload["machine"] = machine
+    if plan is not None:
+        payload["plan"] = plan
+    if code is not None:
+        payload["code"] = code
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:40]
 
@@ -132,9 +207,14 @@ class ResultCache:
                 entry = json.load(handle)
             if entry.get("schema") != CACHE_SCHEMA:
                 return None
-            return RunResult.from_dict(entry["result"])
+            result = RunResult.from_dict(entry["result"])
         except (OSError, ValueError, KeyError, TypeError):
             return None
+        try:
+            os.utime(path)  # refresh recency for LRU eviction
+        except OSError:
+            pass
+        return result
 
     def store(self, key: str, result: RunResult) -> None:
         """Persist ``result`` under ``key`` (atomic replace)."""
@@ -160,19 +240,53 @@ class ResultCache:
                 pass
         return removed
 
+    def evict_to(self, max_bytes: int) -> int:
+        """LRU-evict (by mtime) until the cache fits ``max_bytes``.
+
+        Loads refresh an entry's mtime, so recently used points survive;
+        returns how many entries were removed.  Races with concurrent
+        writers degrade gracefully (missing files are skipped).
+        """
+        entries = []
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= max_bytes:
+            return 0
+        removed = 0
+        for mtime, size, path in sorted(entries):  # oldest first
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
+
 
 # -- worker-process plumbing -------------------------------------------------
 #
-# The pool initializer stows the shared dataset in a module global so the
-# (potentially large) column arrays cross the process boundary once per
-# worker instead of once per point.
+# The pool initializer stows the shared dataset (and the sweep's plan)
+# in module globals so the (potentially large) column arrays cross the
+# process boundary once per worker instead of once per point.
 
 _WORKER_DATA: Optional[LineitemData] = None
+_WORKER_PLAN: Optional[QueryPlan] = None
 
 
-def _init_worker(data: LineitemData) -> None:
-    global _WORKER_DATA
+def _init_worker(data: LineitemData, plan_payload: Optional[Dict[str, Any]] = None) -> None:
+    global _WORKER_DATA, _WORKER_PLAN
     _WORKER_DATA = data
+    _WORKER_PLAN = (
+        QueryPlan.from_dict(plan_payload) if plan_payload is not None else None
+    )
 
 
 def _run_point_task(task: Tuple[str, Dict[str, Any], int, int, int]) -> Dict[str, Any]:
@@ -185,6 +299,7 @@ def _run_point_task(task: Tuple[str, Dict[str, Any], int, int, int]) -> Dict[str
         seed=seed,
         scale=scale,
         data=_WORKER_DATA,
+        plan=_WORKER_PLAN,
     )
     return result.to_dict()
 
@@ -213,6 +328,23 @@ def _cache_enabled(use_cache: Optional[bool]) -> bool:
     return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "false", "no")
 
 
+def _resolve_cache_max_bytes(max_mb: Optional[float]) -> Optional[int]:
+    """Size cap: explicit argument > ``REPRO_CACHE_MAX_MB`` > unbounded."""
+    if max_mb is None:
+        env = os.environ.get("REPRO_CACHE_MAX_MB")
+        if not env:
+            return None
+        try:
+            max_mb = float(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CACHE_MAX_MB must be a number, got {env!r}"
+            ) from None
+    if max_mb <= 0:
+        raise ValueError("cache size cap must be positive")
+    return int(max_mb * 1024 * 1024)
+
+
 class ExperimentEngine:
     """Runs sweeps of simulation points with a worker pool and a cache.
 
@@ -226,6 +358,11 @@ class ExperimentEngine:
         ``.repro_cache/``.
     use_cache:
         Force the cache on/off; defaults to ``REPRO_CACHE`` (on).
+    cache_max_mb:
+        Size cap of the on-disk cache in MB; when exceeded after a
+        sweep, least-recently-used entries (by mtime — loads refresh
+        it) are evicted.  Defaults to ``REPRO_CACHE_MAX_MB``
+        (unbounded when unset).
     run_hook:
         Optional callable ``(arch, scan) -> None`` invoked in the parent
         process for every point that is actually simulated (i.e. missed
@@ -237,6 +374,7 @@ class ExperimentEngine:
         jobs: Optional[int] = None,
         cache_dir: Optional[str | os.PathLike] = None,
         use_cache: Optional[bool] = None,
+        cache_max_mb: Optional[float] = None,
         run_hook: Optional[Callable[[str, ScanConfig], None]] = None,
     ) -> None:
         self.jobs = _resolve_jobs(jobs)
@@ -245,10 +383,12 @@ class ExperimentEngine:
             self.cache: Optional[ResultCache] = ResultCache(directory)
         else:
             self.cache = None
+        self.cache_max_bytes = _resolve_cache_max_bytes(cache_max_mb)
         self.run_hook = run_hook
         self.cache_hits = 0
         self.cache_misses = 0
         self.simulated_points = 0
+        self.cache_evictions = 0
 
     # -- public API --------------------------------------------------------
 
@@ -260,16 +400,26 @@ class ExperimentEngine:
         data: Optional[LineitemData] = None,
         seed: int = 1994,
         scale: int = DEFAULT_SCALE,
+        plan: Optional[QueryPlan] = None,
     ) -> ExperimentResult:
-        """Run (arch, config) points over one shared dataset.
+        """Run (arch, config) points of one query plan over one dataset.
 
         Drop-in compatible with the historical serial ``sweep()``:
         results come back in ``points`` order inside an
         :class:`ExperimentResult`, and a point failing functional
-        verification raises ``AssertionError``.
+        verification raises ``AssertionError``.  ``plan`` defaults to
+        the Q6 select scan; the default plan is keyed without a plan
+        field, so plan-less and explicit-Q6 sweeps share cache entries,
+        while every other plan gets distinct entries via its digest.
         """
         if data is None:
-            data = generate_lineitem(rows, seed)
+            if plan is not None:
+                data = generate_table(plan.table, rows, seed)
+            else:
+                data = generate_lineitem(rows, seed)
+        plan_digest: Optional[str] = None
+        if plan is not None and plan.digest() != _default_plan_digest():
+            plan_digest = plan.digest()
         runs: List[Optional[RunResult]] = [None] * len(points)
         pending: List[Tuple[int, str]] = []  # (points index, cache key)
         if self.cache is not None:
@@ -281,7 +431,8 @@ class ExperimentEngine:
                 pending.append((index, ""))
                 continue
             key = point_key(arch, scan, rows, seed, scale,
-                            dataset=digest, machine=machines[arch])
+                            dataset=digest, machine=machines[arch],
+                            plan=plan_digest, code=code_digest())
             cached = self.cache.load(key)
             if cached is not None:
                 self.cache_hits += 1
@@ -291,11 +442,17 @@ class ExperimentEngine:
                 pending.append((index, key))
 
         if pending:
-            fresh = self._execute([points[i] for i, _ in pending], data, rows, seed, scale)
+            fresh = self._execute(
+                [points[i] for i, _ in pending], data, rows, seed, scale, plan
+            )
             for (index, key), run in zip(pending, fresh):
                 if self.cache is not None and run.verified is not False:
                     self.cache.store(key, run)
                 runs[index] = run
+        if self.cache is not None and self.cache_max_bytes is not None:
+            # Enforced even on fully-warm sweeps, so lowering the cap on
+            # an existing oversized cache takes effect immediately.
+            self.cache_evictions += self.cache.evict_to(self.cache_max_bytes)
 
         result = ExperimentResult(name=name)
         for (arch, scan), run in zip(points, runs):
@@ -312,11 +469,12 @@ class ExperimentEngine:
         data: Optional[LineitemData] = None,
         seed: int = 1994,
         scale: int = DEFAULT_SCALE,
+        plan: Optional[QueryPlan] = None,
     ) -> RunResult:
         """One cached simulation point (a single-point :meth:`sweep`)."""
         outcome = self.sweep(
             f"{arch}-{scan.op_bytes}B", [(arch, scan)], rows,
-            data=data, seed=seed, scale=scale,
+            data=data, seed=seed, scale=scale, plan=plan,
         )
         return outcome.runs[0]
 
@@ -333,6 +491,7 @@ class ExperimentEngine:
         rows: int,
         seed: int,
         scale: int,
+        plan: Optional[QueryPlan] = None,
     ) -> List[RunResult]:
         """Simulate ``points`` (cache misses only), serially or pooled."""
         if self.run_hook is not None:
@@ -341,7 +500,8 @@ class ExperimentEngine:
         self.simulated_points += len(points)
         if self.jobs == 1 or len(points) == 1:
             return [
-                run_scan(arch, scan, rows=rows, seed=seed, scale=scale, data=data)
+                run_scan(arch, scan, rows=rows, seed=seed, scale=scale,
+                         data=data, plan=plan)
                 for arch, scan in points
             ]
         tasks = [
@@ -350,8 +510,10 @@ class ExperimentEngine:
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
         workers = min(self.jobs, len(points))
+        plan_payload = plan.to_dict() if plan is not None else None
         with context.Pool(
-            processes=workers, initializer=_init_worker, initargs=(data,)
+            processes=workers, initializer=_init_worker,
+            initargs=(data, plan_payload),
         ) as pool:
             payloads = pool.map(_run_point_task, tasks)
         return [RunResult.from_dict(payload) for payload in payloads]

@@ -10,6 +10,10 @@ from ..common.units import CORE_CLOCK, format_seconds
 from ..energy.model import EnergyReport
 
 
+#: aggregate results: group key tuple -> {aggregate label: value}
+AggregateResults = Dict[tuple, Dict[str, int]]
+
+
 @dataclass
 class RunResult:
     """Outcome of simulating one (architecture, scan configuration) point."""
@@ -22,6 +26,7 @@ class RunResult:
     energy: EnergyReport
     verified: Optional[bool] = None  # functional check, where applicable
     stats: Dict[str, float] = field(default_factory=dict)
+    aggregates: Optional[AggregateResults] = None  # plans with an Aggregate
 
     @property
     def seconds(self) -> float:
@@ -42,7 +47,7 @@ class RunResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe export (result cache, worker boundaries)."""
-        return {
+        payload = {
             "arch": self.arch,
             "scan": self.scan.to_dict(),
             "rows": self.rows,
@@ -52,11 +57,26 @@ class RunResult:
             "verified": self.verified,
             "stats": dict(self.stats),
         }
+        if self.aggregates is not None:
+            # JSON has no tuple keys: exported as [[key...], {label: value}]
+            payload["aggregates"] = [
+                [list(key), dict(values)]
+                for key, values in sorted(self.aggregates.items())
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunResult":
         """Rebuild a result exported by :meth:`to_dict`."""
         verified = payload.get("verified")
+        aggregates: Optional[AggregateResults] = None
+        if payload.get("aggregates") is not None:
+            aggregates = {
+                tuple(int(v) for v in key): {
+                    str(label): int(value) for label, value in values.items()
+                }
+                for key, values in payload["aggregates"]
+            }
         return cls(
             arch=str(payload["arch"]),
             scan=ScanConfig.from_dict(payload["scan"]),
@@ -66,6 +86,7 @@ class RunResult:
             energy=EnergyReport.from_dict(payload["energy"]),
             verified=None if verified is None else bool(verified),
             stats={str(k): float(v) for k, v in payload.get("stats", {}).items()},
+            aggregates=aggregates,
         )
 
 

@@ -1,10 +1,19 @@
-"""The scan runner: data -> tables -> codegen -> simulation -> result.
+"""The scan runner: plan -> data -> tables -> codegen -> simulation -> result.
 
 This is the top of the public API: :func:`run_scan` simulates one
 (architecture, scan configuration) point end-to-end and returns a
 :class:`~repro.sim.results.RunResult` with timing, statistics, energy
 and — for the architectures that compute in memory — a functional
 verification of the produced mask against the numpy reference.
+
+Every run executes a :class:`~repro.db.plan.QueryPlan`; the default is
+the paper's workload, the Q6 select scan
+(:func:`~repro.db.query6.q6_select_plan`), whose lowering is
+byte-identical to the pre-IR Q6 path.  Plans carrying an Aggregate are
+additionally verified operator-deep: the aggregates implied by the
+chunks the codegen actually processed — and, on HIVE/HIPE, the partial
+sums the logic-layer engine physically left in the aggregate buffer —
+must equal the numpy plan interpreter's exact answer.
 """
 
 from __future__ import annotations
@@ -17,10 +26,13 @@ from ..codegen import hipe as hipe_codegen
 from ..codegen import hive as hive_codegen
 from ..codegen import hmc as hmc_codegen
 from ..codegen import x86 as x86_codegen
+from ..codegen.aggregate import aggregate_slots, engine_lowering_falls_back
 from ..codegen.base import ScanConfig, ScanWorkload
 from ..common.config import DEFAULT_SCALE
-from ..db.datagen import LineitemData, generate_lineitem
-from ..db.query6 import Q6_PREDICATES
+from ..db.datagen import LineitemData, generate_table
+from ..db.plan import QueryPlan
+from ..db.query6 import Q6_PREDICATES, q6_select_plan
+from ..db.scan import execute_plan
 from ..db.table import DsmTable, NsmTable, allocate_scan_buffers
 from ..energy.model import compute_energy
 from .machine import Machine, build_machine
@@ -43,13 +55,21 @@ def build_workload(
     data: LineitemData,
     layout: str,
     predicates=Q6_PREDICATES,
+    plan: Optional[QueryPlan] = None,
 ) -> ScanWorkload:
-    """Materialise the table (in the machine's memory image) and buffers."""
+    """Materialise the table (in the machine's memory image) and buffers.
+
+    When ``plan`` is given its Filter supplies the predicates; the bare
+    ``predicates`` argument remains for plan-less custom scans.
+    """
+    if plan is not None:
+        predicates = plan.predicates
     nsm = NsmTable(machine.image, data) if layout == "nsm" else None
     dsm = DsmTable(machine.image, data) if layout == "dsm" else None
     buffers = allocate_scan_buffers(machine.image, data.rows)
     return ScanWorkload(
-        data=data, predicates=tuple(predicates), buffers=buffers, nsm=nsm, dsm=dsm
+        data=data, predicates=tuple(predicates), buffers=buffers,
+        nsm=nsm, dsm=dsm, plan=plan,
     )
 
 
@@ -61,16 +81,22 @@ def run_scan(
     scale: int = DEFAULT_SCALE,
     data: Optional[LineitemData] = None,
     verify: bool = True,
+    plan: Optional[QueryPlan] = None,
 ) -> RunResult:
-    """Simulate the Q6 select scan on one architecture/configuration."""
+    """Simulate one query plan on one architecture/configuration.
+
+    ``plan`` defaults to the Q6 select scan (the paper's workload).
+    """
     arch = arch.lower()
     if arch not in _CODEGENS:
         raise ValueError(f"unknown architecture {arch!r}")
+    if plan is None:
+        plan = q6_select_plan()
     if data is None:
-        data = generate_lineitem(rows, seed)
+        data = generate_table(plan.table, rows, seed)
     machine = build_machine(arch, scale=scale)
-    workload = build_workload(machine, data, scan.layout)
-    trace = _CODEGENS[arch].generate(workload, scan)
+    workload = build_workload(machine, data, scan.layout, plan=plan)
+    trace = _CODEGENS[arch].generate_plan(workload, scan)
     core_result = machine.run(trace)
 
     verified: Optional[bool] = None
@@ -81,6 +107,16 @@ def run_scan(
         verified = bool(np.array_equal(produced[: expected.size], expected))
     elif verify and arch == "hmc":
         verified = _verify_hmc_masks(machine, workload, scan)
+
+    aggregates = None
+    if plan.aggregate is not None:
+        aggregates = {
+            key: dict(values)
+            for key, values in workload.computed_aggregates.items()
+        }
+        if verify:
+            agg_ok = _verify_aggregates(machine, workload, scan, arch)
+            verified = agg_ok if verified is None else (verified and agg_ok)
 
     energy = compute_energy(
         machine.config,
@@ -99,7 +135,42 @@ def run_scan(
         energy=energy,
         verified=verified,
         stats=machine.stats.flatten(),
+        aggregates=aggregates,
     )
+
+
+def _verify_aggregates(
+    machine: Machine, workload: ScanWorkload, scan: ScanConfig, arch: str
+) -> bool:
+    """Check the lowered Aggregate against the numpy plan interpreter.
+
+    Two layers of evidence: the per-group values implied by the chunks
+    the codegen processed (all backends — a wrong skip decision breaks
+    them), and, on the logic-layer engines, the per-lane partial sums
+    the engine physically stored to the aggregate buffer.
+    """
+    plan = workload.plan
+    reference = execute_plan(plan, workload.data)
+    if workload.computed_aggregates != reference.aggregates:
+        return False
+    if arch not in ("hive", "hipe") or scan.strategy != "column":
+        return True
+    if engine_lowering_falls_back(workload, scan):
+        return True  # min/max or overflow risk: core-side lowering ran
+    slots = aggregate_slots(workload)
+    aggs = plan.aggregate.aggs
+    produced: dict = {}
+    for index, (key, a) in enumerate(slots):
+        raw = machine.image.read(
+            workload.buffers.aggregate_address(index),
+            workload.buffers.AGGREGATE_SLOT_BYTES,
+        )
+        total = int(raw.view(np.int32).astype(np.int64).sum())
+        produced.setdefault(key, {})[aggs[a].label()] = total
+    for key, values in reference.aggregates.items():
+        if produced.get(key) != values:
+            return False
+    return True
 
 
 def _verify_hmc_masks(machine: Machine, workload: ScanWorkload, scan: ScanConfig) -> bool:

@@ -14,9 +14,11 @@ from repro.codegen.base import (
     chunk_bounds,
 )
 from repro.cpu.isa import PimOp, UopClass
-from repro.db.datagen import generate_lineitem
-from repro.db.query6 import Q6_PREDICATES
+from repro.db.datagen import generate_lineitem, generate_table
+from repro.db.query6 import Q6_PREDICATES, q6_revenue_plan
+from repro.db.scan import execute_plan
 from repro.db.table import DsmTable, NsmTable, allocate_scan_buffers
+from repro.db.workloads import q1_style_plan
 from repro.memory.image import MemoryImage
 from repro.sim.runner import build_workload
 from repro.sim.machine import build_machine
@@ -32,6 +34,12 @@ def workload():
     # Also attach an NSM copy for tuple-mode codegens.
     machine_workload.nsm = NsmTable(machine.image, data, name="nsm_copy")
     return machine_workload
+
+
+def plan_workload(plan, arch="x86", rows=ROWS, seed=31):
+    machine = build_machine(arch)
+    data = generate_table(plan.table, rows, seed=seed)
+    return build_workload(machine, data, "dsm", plan=plan)
 
 
 class TestBaseHelpers:
@@ -202,7 +210,100 @@ class TestHipeCodegen:
             workload, ScanConfig("nsm", "tuple", 64))]
         assert hive_trace == hipe_trace
 
-    def test_rejects_wrong_predicate_count(self, workload):
-        workload.predicates = workload.predicates[:2]
+    def test_arbitrary_predicate_counts(self, workload):
+        # The predicated scan generalises beyond Q6's three conjuncts:
+        # any prefix of the conjunction lowers, alternating registers.
+        full = workload.predicates
+        for count in (1, 2, 3):
+            workload.predicates = full[:count]
+            workload._mask_cache.clear()
+            trace = list(hipe_cg.generate(workload, ScanConfig("dsm", "column", 256)))
+            pim_loads = [u for u in trace if u.cls == UopClass.PIM
+                         and u.pim.op == PimOp.PIM_LOAD]
+            predicated = [u for u in pim_loads if u.pim.predicated]
+            chunks = ROWS // 64
+            assert len(pim_loads) == count * chunks
+            assert len(predicated) == (count - 1) * chunks
+
+    def test_rejects_empty_predicates(self, workload):
+        workload.predicates = ()
         with pytest.raises(ValueError):
             list(hipe_cg.generate(workload, ScanConfig("dsm", "column", 256)))
+
+
+class TestPlanLowering:
+    """Per-operator protocol: structure of the Aggregate lowerings."""
+
+    def test_plan_without_aggregate_equals_filter_lowering(self, workload):
+        from repro.db.query6 import q6_select_plan
+
+        config = ScanConfig("dsm", "column", 64, unroll=8)
+        filter_trace = list(x86_cg.lower_filter(workload, config))
+        workload.plan = q6_select_plan()
+        plan_trace = list(x86_cg.generate_plan(workload, config))
+        assert len(plan_trace) == len(filter_trace)
+        assert [u.cls for u in plan_trace] == [u.cls for u in filter_trace]
+
+    def test_core_aggregate_skips_dead_chunks(self):
+        # Q6's ~2 % selectivity leaves most chunks empty: the core-side
+        # aggregate must branch over them without loading columns.
+        wl = plan_workload(q6_revenue_plan())
+        config = ScanConfig("dsm", "column", 64, unroll=8)
+        trace = list(x86_cg.lower_aggregate(wl, config))
+        skips = [u for u in trace if u.cls == UopClass.BRANCH and u.taken]
+        value_loads = [u for u in trace if u.cls == UopClass.LOAD
+                       and u.size == 16 * 4]
+        chunks = -(-ROWS // 16)
+        live = sum(
+            1 for __, s, e in chunk_bounds(ROWS, 16) if wl.final_mask[s:e].any()
+        )
+        assert len(skips) >= chunks - live
+        # Two input columns (price, discount) per live chunk.
+        assert len(value_loads) == 2 * live
+        # And the lowering's functional answer equals the interpreter.
+        assert wl.computed_aggregates == execute_plan(wl.plan, wl.data).aggregates
+
+    def test_engine_aggregate_block_structure(self):
+        wl = plan_workload(q1_style_plan(), arch="hive")
+        config = ScanConfig("dsm", "column", 256, unroll=32)
+        trace = list(hive_cg.lower_aggregate(wl, config))
+        pim_ops = [u for u in trace if u.cls == UopClass.PIM]
+        locks = [u for u in pim_ops if u.pim.op == PimOp.LOCK]
+        unlocks = [u for u in pim_ops if u.pim.op == PimOp.UNLOCK]
+        stores = [u for u in pim_ops if u.pim.op == PimOp.PIM_STORE]
+        unpacks = [u for u in pim_ops if u.pim.op == PimOp.UNPACK_MASK]
+        assert len(locks) == len(unlocks)
+        assert len(stores) == 24  # 6 groups x 4 aggregates
+        assert len(unpacks) == -(-ROWS // 64)  # one mask unpack per chunk
+        # No processor-side loads: the reduction lives in the cube.
+        assert not [u for u in trace if u.cls == UopClass.LOAD]
+
+    def test_engine_registers_in_bounds_for_aggregates(self):
+        wl = plan_workload(q1_style_plan(), arch="hive")
+        config = ScanConfig("dsm", "column", 256, unroll=32)
+        for uop in hive_cg.lower_aggregate(wl, config):
+            if uop.cls == UopClass.PIM and uop.pim.dst_reg is not None:
+                assert 0 <= uop.pim.dst_reg < 36
+
+    def test_hipe_aggregate_predicates_column_loads(self):
+        wl = plan_workload(q6_revenue_plan(), arch="hipe")
+        config = ScanConfig("dsm", "column", 256, unroll=32)
+        trace = list(hipe_cg.lower_aggregate(wl, config))
+        loads = [u for u in trace if u.cls == UopClass.PIM
+                 and u.pim.op == PimOp.PIM_LOAD]
+        mask_loads = [u for u in loads if not u.pim.predicated]
+        value_loads = [u for u in loads if u.pim.predicated]
+        chunks = -(-ROWS // 64)
+        assert len(mask_loads) == chunks  # the bitmask itself
+        assert len(value_loads) == 2 * chunks  # price + discount, gated
+        # HIVE's variant streams the same loads unpredicated.
+        hive_wl = plan_workload(q6_revenue_plan(), arch="hive")
+        hive_loads = [u for u in hive_cg.lower_aggregate(hive_wl, config)
+                      if u.cls == UopClass.PIM and u.pim.op == PimOp.PIM_LOAD]
+        assert not [u for u in hive_loads if u.pim.predicated]
+
+    def test_tuple_strategy_rejects_aggregates(self):
+        wl = plan_workload(q6_revenue_plan())
+        wl.dsm = None
+        with pytest.raises(ValueError):
+            list(x86_cg.lower_aggregate(wl, ScanConfig("nsm", "tuple", 64)))

@@ -1,6 +1,8 @@
 """Tests for the parallel, cached experiment engine (repro.sim.engine)."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -8,11 +10,14 @@ from repro.codegen.base import ScanConfig
 from repro.sim.engine import (
     ExperimentEngine,
     ResultCache,
+    code_digest,
     data_digest,
     machine_digest,
     point_key,
 )
 from repro.db.datagen import generate_lineitem
+from repro.db.query6 import q6_select_plan
+from repro.db.workloads import q1_style_plan, selectivity_scan_plan
 
 ROWS = 256
 POINTS = [
@@ -144,6 +149,106 @@ class TestCacheKey:
         c = data_digest(generate_lineitem(256, seed=1))
         assert len({a, b, c}) == 3
         assert data_digest(generate_lineitem(128, seed=1)) == a
+
+    def test_plan_and_code_fields_change_the_key(self):
+        base = self.key()
+        assert self.key(plan="p1") != base
+        assert self.key(plan="p1") != self.key(plan="p2")
+        assert self.key(code="c1") != base
+        assert self.key(code="c1") != self.key(code="c2")
+
+    def test_code_digest_stable_per_process(self):
+        assert code_digest() == code_digest()
+        assert len(code_digest()) == 16
+
+
+class TestPlanKeys:
+    def test_default_plan_shares_keys_with_plain_sweeps(self, tmp_path):
+        # Q6 through the plan IR must hit the cache entries the plan-less
+        # sweep wrote — warm-cache reuse across the refactor.
+        engine = make_engine(tmp_path, jobs=1)
+        plain = engine.sweep("plain", POINTS[:1], ROWS)
+        via_plan = engine.sweep("plan", POINTS[:1], ROWS, plan=q6_select_plan())
+        assert engine.cache_hits == 1
+        assert plain.runs[0].cycles == via_plan.runs[0].cycles
+
+    def test_distinct_plans_get_distinct_entries(self, tmp_path):
+        engine = make_engine(tmp_path, jobs=1)
+        engine.sweep("q1", POINTS[2:3], ROWS, plan=q1_style_plan())
+        engine.sweep("s25", POINTS[2:3], ROWS, plan=selectivity_scan_plan(0.25))
+        engine.sweep("s50", POINTS[2:3], ROWS, plan=selectivity_scan_plan(0.50))
+        assert engine.simulated_points == 3
+        again = engine.sweep("q1-again", POINTS[2:3], ROWS, plan=q1_style_plan())
+        assert engine.simulated_points == 3  # warm
+        assert again.runs[0].aggregates is not None
+
+    def test_plan_results_roundtrip_through_cache(self, tmp_path):
+        engine = make_engine(tmp_path, jobs=1)
+        first = engine.sweep("q1", POINTS[3:], ROWS, plan=q1_style_plan())
+        fresh = make_engine(tmp_path, jobs=1)
+        second = fresh.sweep("q1", POINTS[3:], ROWS, plan=q1_style_plan())
+        assert fresh.cache_hits == 1
+        assert second.runs[0].aggregates == first.runs[0].aggregates
+        assert second.runs[0].verified is True
+
+
+class TestEviction:
+    def _fill(self, tmp_path, entries=4):
+        engine = make_engine(tmp_path, jobs=1)
+        for index in range(entries):
+            engine.sweep(f"warm{index}", POINTS[:1], 64 + index * 64)
+        return engine
+
+    def test_evict_to_drops_oldest_first(self, tmp_path):
+        self._fill(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        paths = sorted(cache.directory.glob("*.json"), key=lambda p: p.stat().st_mtime)
+        # Age the first entry well into the past.
+        os.utime(paths[0], (time.time() - 1000, time.time() - 1000))
+        total = sum(p.stat().st_size for p in cache.directory.glob("*.json"))
+        removed = cache.evict_to(total - 1)  # force out exactly one
+        assert removed >= 1
+        assert not paths[0].exists()  # the LRU entry went first
+
+    def test_evict_to_noop_under_limit(self, tmp_path):
+        self._fill(tmp_path, entries=2)
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.evict_to(10 * 1024 * 1024) == 0
+        assert len(list(cache.directory.glob("*.json"))) == 2
+
+    def test_engine_cap_via_argument(self, tmp_path):
+        # A tiny cap forces evictions as sweeps store fresh results.
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path / "cache",
+                                  cache_max_mb=0.002)  # ~2 KB
+        for index in range(3):
+            engine.sweep(f"s{index}", POINTS[:1], 64 + index * 64)
+        assert engine.cache_evictions > 0
+        total = sum(
+            p.stat().st_size for p in (tmp_path / "cache").glob("*.json")
+        )
+        assert total <= 0.002 * 1024 * 1024 * 1.5  # near the cap
+
+    def test_engine_cap_via_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.002")
+        engine = make_engine(tmp_path, jobs=1)
+        assert engine.cache_max_bytes == int(0.002 * 1024 * 1024)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "not-a-number")
+        with pytest.raises(ValueError):
+            make_engine(tmp_path / "b", jobs=1)
+
+    def test_loads_refresh_recency(self, tmp_path):
+        engine = make_engine(tmp_path, jobs=1)
+        engine.sweep("a", POINTS[:1], 64)
+        engine.sweep("b", POINTS[:1], 128)
+        cache = ResultCache(tmp_path / "cache")
+        paths = sorted(cache.directory.glob("*.json"), key=lambda p: p.stat().st_mtime)
+        stale = time.time() - 1000
+        for path in paths:
+            os.utime(path, (stale, stale))
+        engine.sweep("a-again", POINTS[:1], 64)  # cache hit refreshes mtime
+        refreshed = [p for p in cache.directory.glob("*.json")
+                     if p.stat().st_mtime > stale + 1]
+        assert len(refreshed) == 1
 
 
 class TestCorruption:
