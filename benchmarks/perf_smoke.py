@@ -1,0 +1,142 @@
+"""Simulator throughput smoke: uops/sec per (arch, mode) point.
+
+Records the perf trajectory the ROADMAP asked for: every point is
+simulated **cold** (no result cache) and measured in simulated-uops per
+wall-second, then compared against the committed ``BENCH_PR3.json``
+baseline.  A >30 % throughput regression fails the gate.
+
+Raw uops/sec varies with the host, so both the baseline and the current
+run include a *calibration score* — a fixed pure-Python workload timed
+on the same machine — and the gate compares calibration-normalised
+throughput.  Regenerate the baseline on an idle machine with::
+
+    REPRO_BENCH_WRITE=1 python benchmarks/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+ROWS = 32_768
+#: allowed normalised-throughput regression before the gate fails
+REGRESSION_TOLERANCE = 0.30
+
+#: the measured grid: the fig3b-style column points of every
+#: architecture plus one tuple-at-a-time point (the slowest shape)
+POINTS = [
+    ("x86", "dsm", "column", 16, 1),
+    ("x86", "dsm", "column", 64, 1),
+    ("hmc", "dsm", "column", 256, 1),
+    ("hive", "dsm", "column", 256, 1),
+    ("hipe", "dsm", "column", 256, 1),
+    ("x86", "nsm", "tuple", 64, 1),
+]
+
+
+def calibration_score() -> float:
+    """Host speed proxy: fixed dict/arithmetic workload, ops per second."""
+    best = 0.0
+    for _ in range(3):
+        counters = {}
+        start = time.perf_counter()
+        total = 0
+        for i in range(300_000):
+            key = i & 1023
+            counters[key] = counters.get(key, 0) + 1
+            total += key
+        elapsed = time.perf_counter() - start
+        best = max(best, 300_000 / elapsed)
+    return best
+
+
+def point_label(arch, layout, strategy, op, unroll) -> str:
+    return f"{arch}-{layout}-{strategy}-{op}B@{unroll}"
+
+
+def measure_points(rows: int = ROWS):
+    """Simulate every grid point cold; returns the measurement payload."""
+    from repro.codegen.base import ScanConfig
+    from repro.sim.runner import run_scan
+
+    points = {}
+    for arch, layout, strategy, op, unroll in POINTS:
+        scan = ScanConfig(layout, strategy, op, unroll)
+        start = time.perf_counter()
+        result = run_scan(arch, scan, rows=rows)
+        elapsed = time.perf_counter() - start
+        points[point_label(arch, layout, strategy, op, unroll)] = {
+            "uops": result.uops,
+            "cycles": result.cycles,
+            "seconds": round(elapsed, 4),
+            "uops_per_sec": round(result.uops / elapsed, 1),
+        }
+    return points
+
+
+def run_benchmark():
+    calibration = calibration_score()
+    points = measure_points()
+    return {
+        "schema": 1,
+        "rows": ROWS,
+        "calibration": round(calibration, 1),
+        "points": points,
+    }
+
+
+def write_baseline(payload) -> None:
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_against_baseline(payload, baseline):
+    """Return a list of (label, normalised current, normalised floor)."""
+    failures = []
+    base_cal = baseline["calibration"]
+    cur_cal = payload["calibration"]
+    for label, base in baseline["points"].items():
+        current = payload["points"].get(label)
+        if current is None:
+            failures.append((label, 0.0, 0.0))
+            continue
+        base_norm = base["uops_per_sec"] / base_cal
+        cur_norm = current["uops_per_sec"] / cur_cal
+        floor = base_norm * (1.0 - REGRESSION_TOLERANCE)
+        if cur_norm < floor:
+            failures.append((label, cur_norm, floor))
+    return failures
+
+
+def test_perf_smoke():
+    """Cold-run the grid; fail on a >30 % normalised-throughput drop."""
+    payload = run_benchmark()
+    print()
+    print(f"calibration {payload['calibration']:.0f} ops/s")
+    for label, point in payload["points"].items():
+        print(f"  {label:28s} {point['uops']:>9,} uops "
+              f"{point['seconds']:>8.2f}s {point['uops_per_sec']:>12,.0f} uops/s")
+    if not BASELINE_PATH.exists():  # first run: nothing to gate against
+        write_baseline(payload)
+        return
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = check_against_baseline(payload, baseline)
+    assert not failures, (
+        "simulated-uops/sec regressed >30% vs BENCH_PR3.json on: "
+        + ", ".join(f"{label} ({cur:.4f} < {floor:.4f})"
+                    for label, cur, floor in failures)
+    )
+
+
+if __name__ == "__main__":
+    payload = run_benchmark()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        write_baseline(payload)
+        print(f"baseline written to {BASELINE_PATH}", file=sys.stderr)

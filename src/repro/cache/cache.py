@@ -68,6 +68,36 @@ class CacheLevel:
         self.stats = stats if stats is not None else StatGroup(config.name)
         self.stats.derive("hit_ratio", ratio("hits", "accesses"))
         self._invalidate_upstream: List[Callable[[int], None]] = []
+        # Hot counters batched as ints (see StatGroup.register_flush).
+        self._n_accesses = 0
+        self._n_hits = 0
+        self._n_misses = 0
+        self._n_prefetch_hits = 0
+        self._n_invalidations = 0
+        self._n_miss_by_type = {t: 0 for t in AccessType}
+        self.stats.register_flush(self._flush_counts)
+
+    def _flush_counts(self) -> None:
+        stats = self.stats
+        if self._n_accesses:
+            stats.bump("accesses", self._n_accesses)
+            self._n_accesses = 0
+        if self._n_hits:
+            stats.bump("hits", self._n_hits)
+            self._n_hits = 0
+        if self._n_misses:
+            stats.bump("misses", self._n_misses)
+            self._n_misses = 0
+        if self._n_prefetch_hits:
+            stats.bump("prefetch_hits", self._n_prefetch_hits)
+            self._n_prefetch_hits = 0
+        if self._n_invalidations:
+            stats.bump("invalidations", self._n_invalidations)
+            self._n_invalidations = 0
+        for acc_type, count in self._n_miss_by_type.items():
+            if count:
+                stats.bump(f"misses_{acc_type.value}", count)
+                self._n_miss_by_type[acc_type] = 0
 
     # -- wiring -------------------------------------------------------------
 
@@ -103,7 +133,7 @@ class CacheLevel:
         if line in cache_set.policy:
             cache_set.policy.remove(line)
             cache_set.dirty.pop(line, None)
-            self.stats.bump("invalidations")
+            self._n_invalidations += 1
 
     # -- the access path ---------------------------------------------------------
 
@@ -113,11 +143,12 @@ class CacheLevel:
         ``address`` may point anywhere inside the line.  Multi-line
         requests are the hierarchy's job to split.
         """
-        line = self._line_of(address)
-        cache_set = self._sets[self._set_index(line)]
+        line_bytes = self.line_bytes
+        line = address - (address % line_bytes)
+        cache_set = self._sets[(line // line_bytes) % self.num_sets]
         granted = self._ports.reserve(cycle)
         lookup_done = granted + self.config.latency
-        self.stats.bump("accesses")
+        self._n_accesses += 1
 
         present = line in cache_set.policy
         if present:
@@ -126,26 +157,26 @@ class CacheLevel:
             completion = self._miss(lookup_done, line, cache_set, acc_type, pc)
 
         # Train the prefetcher on demand traffic only.
-        if acc_type in (AccessType.LOAD, AccessType.STORE):
+        if acc_type is AccessType.LOAD or acc_type is AccessType.STORE:
             for pf_line in self.prefetcher.observe(pc, line, was_miss=not present):
                 self.stats.bump("prefetches_issued")
                 self.access(granted, pf_line, AccessType.PREFETCH, pc)
         return completion
 
     def _hit(self, cycle: int, line: int, cache_set: _Set, acc_type: AccessType) -> int:
-        self.stats.bump("hits")
+        self._n_hits += 1
         cache_set.policy.touch(line)
-        if acc_type in (AccessType.STORE, AccessType.WRITEBACK):
+        if acc_type is AccessType.STORE or acc_type is AccessType.WRITEBACK:
             cache_set.dirty[line] = True
-        if acc_type == AccessType.PREFETCH:
-            self.stats.bump("prefetch_hits")
+        elif acc_type is AccessType.PREFETCH:
+            self._n_prefetch_hits += 1
         return cycle
 
     def _miss(
         self, cycle: int, line: int, cache_set: _Set, acc_type: AccessType, pc: int
     ) -> int:
-        self.stats.bump("misses")
-        self.stats.bump(f"misses_{acc_type.value}")
+        self._n_misses += 1
+        self._n_miss_by_type[acc_type] += 1
 
         if acc_type == AccessType.WRITEBACK:
             # Full-line install from above: no fetch needed.

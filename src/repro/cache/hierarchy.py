@@ -52,6 +52,9 @@ class CacheHierarchy:
         self.stats = stats if stats is not None else StatGroup(f"core{core_id}.caches")
         self.directory = directory
         self.line_bytes = config.l1.line_bytes
+        self._n_loads = 0
+        self._n_stores = 0
+        self.stats.register_flush(self._flush_counts)
 
         if shared_l3 is not None:
             self.l3 = shared_l3
@@ -63,6 +66,14 @@ class CacheHierarchy:
         # Inclusive L3: evictions there must purge the private levels.
         self.l3.register_upstream(self.l1.invalidate)
         self.l3.register_upstream(self.l2.invalidate)
+
+    def _flush_counts(self) -> None:
+        if self._n_loads:
+            self.stats.bump("loads", self._n_loads)
+            self._n_loads = 0
+        if self._n_stores:
+            self.stats.bump("stores", self._n_stores)
+            self._n_stores = 0
 
     def _l3_adapter(self):
         """Wrap L3 access with the coherence directory when present."""
@@ -97,20 +108,44 @@ class CacheHierarchy:
 
     def load(self, cycle: int, address: int, nbytes: int, pc: int = 0) -> int:
         """A demand load of ``nbytes``; returns data-ready cycle."""
-        completion = cycle
-        for line in self._split_lines(address, nbytes):
-            done = self.l1.access(cycle, line, AccessType.LOAD, pc)
-            completion = max(completion, done)
-        self.stats.bump("loads")
+        line_bytes = self.line_bytes
+        first = address - (address % line_bytes)
+        last = (address + (nbytes if nbytes > 1 else 1) - 1) // line_bytes * line_bytes
+        l1_access = self.l1.access
+        if first == last:  # common case: the access fits one line
+            completion = l1_access(cycle, first, AccessType.LOAD, pc)
+            if completion < cycle:
+                completion = cycle
+        else:
+            completion = cycle
+            line = first
+            while line <= last:
+                done = l1_access(cycle, line, AccessType.LOAD, pc)
+                if done > completion:
+                    completion = done
+                line += line_bytes
+        self._n_loads += 1
         return completion
 
     def store(self, cycle: int, address: int, nbytes: int, pc: int = 0) -> int:
         """A committed store of ``nbytes``; returns L1-accept cycle."""
-        completion = cycle
-        for line in self._split_lines(address, nbytes):
-            done = self.l1.access(cycle, line, AccessType.STORE, pc)
-            completion = max(completion, done)
-        self.stats.bump("stores")
+        line_bytes = self.line_bytes
+        first = address - (address % line_bytes)
+        last = (address + (nbytes if nbytes > 1 else 1) - 1) // line_bytes * line_bytes
+        l1_access = self.l1.access
+        if first == last:
+            completion = l1_access(cycle, first, AccessType.STORE, pc)
+            if completion < cycle:
+                completion = cycle
+        else:
+            completion = cycle
+            line = first
+            while line <= last:
+                done = l1_access(cycle, line, AccessType.STORE, pc)
+                if done > completion:
+                    completion = done
+                line += line_bytes
+        self._n_stores += 1
         return completion
 
     def prefetch(self, cycle: int, address: int, pc: int = 0) -> None:

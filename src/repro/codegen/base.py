@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from fractions import Fraction
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -145,6 +146,94 @@ class ScanWorkload:
         return self.running_mask(len(self.predicates) - 1)
 
 
+class Region:
+    """One address stream of a trace run: ``[lo, hi)`` advancing uniformly.
+
+    ``stride`` is the per-iteration address advance in bytes (an exact
+    :class:`fractions.Fraction` — bit-packed bitmask streams advance by
+    sub-byte amounts per iteration).  The replay layer uses regions to
+    relabel address-keyed timing state when it fast-forwards a run.
+    """
+
+    __slots__ = ("lo", "hi", "stride")
+
+    def __init__(self, lo: int, hi: int, stride) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.stride = Fraction(stride)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Region({self.lo:#x}..{self.hi:#x} +{self.stride}/iter)"
+
+
+class TraceRun:
+    """A run of ``count`` structurally identical loop-body iterations.
+
+    The steady-state trace protocol: codegen emits the dynamic uop stream
+    as a sequence of runs instead of one flat iterator.  Each run is
+
+    * ``key`` — a hashable shape descriptor; two iterations share a key
+      exactly when they lower to the same static uops (same pcs, same
+      classes, same branch directions, same sizes) with addresses that
+      advance uniformly by the declared ``regions``.  ``key=None`` marks
+      an *opaque* run the replay layer must always simulate (prologues,
+      epilogues, data-dependent tuple loops, aggregate reductions).
+    * ``count`` / ``make(j)`` — ``make`` yields the uops of iteration
+      ``j`` (0-based within the run) and may be called for any subset of
+      iterations in increasing order; it must reseat its register
+      allocator itself so generated register ids match the fully
+      materialised stream.  Opaque runs have ``count == 1`` and a
+      ``make`` that may be consumed only once.
+    * ``regs_per_iter`` — core registers allocated per iteration (the
+      replay layer relabels the rotating register file by this amount
+      when it skips iterations); ``fixed_regs`` names the loop-invariant
+      register ids the body keeps live (induction/state registers),
+      which must *not* rotate with the allocation phase.
+    * ``regions`` — the address streams the iterations touch.
+    * ``bulk(machine, j0, j1)`` — apply the *functional* side effects
+      of iterations ``[j0, j1)`` without simulating them (memory-image
+      writes of engine-computed bitmasks, HMC verification masks); only
+      required for runs whose iterations have functional effects.
+    """
+
+    __slots__ = ("key", "count", "make", "regs_per_iter", "regions", "bulk",
+                 "fixed_regs")
+
+    def __init__(
+        self,
+        key,
+        count: int,
+        make: Callable[[int], Iterator[Uop]],
+        regs_per_iter: int = 0,
+        regions: Tuple[Region, ...] = (),
+        bulk: Optional[Callable[..., None]] = None,
+        fixed_regs: Tuple[int, ...] = (),
+    ) -> None:
+        self.key = key
+        self.count = count
+        self.make = make
+        self.regs_per_iter = regs_per_iter
+        self.regions = regions
+        self.bulk = bulk
+        self.fixed_regs = fixed_regs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceRun(key={self.key!r}, count={self.count})"
+
+
+def opaque_run(uops: Iterator[Uop]) -> TraceRun:
+    """Wrap an arbitrary uop stream as a single always-simulated run."""
+    return TraceRun(key=None, count=1, make=lambda j, _uops=uops: _uops)
+
+
+def flatten_runs(runs: Iterator[TraceRun]) -> Iterator[Uop]:
+    """The flat dynamic uop stream of a run sequence (the exact path)."""
+    for run in runs:
+        make = run.make
+        for j in range(run.count):
+            yield from make(j)
+
+
 class PcAllocator:
     """Stable static-instruction identifiers for predictor/prefetcher PCs."""
 
@@ -167,7 +256,13 @@ class RegAllocator:
     core's ready-time table bounded for long traces.
     """
 
-    def __init__(self, start: int = 100, window: int = 4096) -> None:
+    #: defaults every codegen uses; the replay layer's register
+    #: relabelling is defined in terms of these
+    DEFAULT_START = 100
+    DEFAULT_WINDOW = 4096
+
+    def __init__(self, start: int = DEFAULT_START,
+                 window: int = DEFAULT_WINDOW) -> None:
         self._start = start
         self._window = window
         self._next = 0
@@ -181,6 +276,40 @@ class RegAllocator:
     def batch(self, count: int) -> List[int]:
         """``count`` fresh register ids."""
         return [self.new() for _ in range(count)]
+
+    @property
+    def counter(self) -> int:
+        """Total allocations so far (ids are a pure function of this)."""
+        return self._next
+
+    def seek(self, counter: int) -> None:
+        """Reposition the allocation counter (steady-state trace runs
+        re-seat the allocator so any iteration's ids can be generated
+        without materialising its predecessors)."""
+        self._next = counter
+
+    @property
+    def window(self) -> int:
+        """Id recycling period (the replay layer relabels modulo this)."""
+        return self._window
+
+
+
+def chunk_dead_flags(prev_running, rpc: int, n_chunks: int):
+    """Per-chunk "no candidate tuples" flags, vectorised.
+
+    Shared by every column lowering: a chunk whose previous-pass running
+    mask is all-false is dead, and the codegen resolves its skip branch
+    (and run-shape key) from these flags.
+    """
+    rows = prev_running.shape[0]
+    padded = rpc * n_chunks
+    if padded != rows:
+        buf = np.zeros(padded, dtype=bool)
+        buf[:rows] = prev_running
+    else:
+        buf = prev_running
+    return ~buf.reshape(n_chunks, rpc).any(axis=1)
 
 
 def compare_uop_count(predicate: Predicate) -> int:
@@ -249,3 +378,31 @@ def lower_plan(backend, workload: ScanWorkload, config: ScanConfig) -> Iterator[
     yield from backend.lower_filter(workload, config)
     if plan.aggregate is not None:
         yield from backend.lower_aggregate(workload, config)
+
+
+def lower_plan_runs(
+    backend, workload: ScanWorkload, config: ScanConfig
+) -> Iterator[TraceRun]:
+    """Lower ``workload.plan`` as a steady-state run sequence.
+
+    Column-mode filters come from the backend's ``lower_filter_runs``
+    (structured loop-body runs the replay layer can fast-forward); tuple
+    mode and every Aggregate lowering stay opaque — their uop streams
+    are data-dependent per tuple/chunk, which is exactly the
+    "round-trip serialisation must resolve cycle-exactly" case.
+    """
+    plan = workload.plan
+    if plan is None:
+        raise ValueError("workload carries no plan; use lower_filter directly")
+    if plan.filter is None:
+        raise ValueError(
+            "plan lowering needs a Filter: every backend's scan produces the "
+            "bitmask the Aggregate consumes (use a keep-everything predicate "
+            "for full-table aggregation)"
+        )
+    if config.strategy == "column" and hasattr(backend, "lower_filter_runs"):
+        yield from backend.lower_filter_runs(workload, config)
+    else:
+        yield opaque_run(backend.lower_filter(workload, config))
+    if plan.aggregate is not None:
+        yield opaque_run(backend.lower_aggregate(workload, config))

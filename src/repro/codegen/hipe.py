@@ -33,15 +33,23 @@ from __future__ import annotations
 import sys
 from typing import Iterator
 
+from fractions import Fraction
+
+import numpy as _np
+
 from ..cpu.isa import PimInstruction, PimOp, Uop, alu, branch, pim
 from .aggregate import engine_aggregate
 from .base import (
     PcAllocator,
+    Region,
     RegAllocator,
     ScanConfig,
     ScanWorkload,
+    TraceRun,
     chunk_bounds,
+    flatten_runs,
     lower_plan,
+    lower_plan_runs,
 )
 from .hive import ENGINE_REGS, tuple_at_a_time as hive_tuple_at_a_time
 
@@ -51,13 +59,19 @@ from .hive import ENGINE_REGS, tuple_at_a_time as hive_tuple_at_a_time
 _REGS_PER_CHUNK = 2
 
 
-def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
-    """Single-pass predicated scan (Figure 3d's HIPE bar).
+def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """Single-pass predicated scan as trace runs (Figure 3d's HIPE bar).
 
     Handles any conjunction length >= 1: column 0 loads and compares
     unconditionally, every later column is predicated on its
     predecessor's zero flags, alternating between the chunk's two data
     registers (Q6's three predicates are the paper's instance).
+
+    One iteration covers ``unroll`` blocks (one pc-site body cycle).
+    Note the *timing* of predicated loads is data-dependent (squashed /
+    partial-load lanes vary per chunk), so these runs usually refuse to
+    converge in the replay layer and simulate exactly — the structure
+    still bounds trace memory and serves selectivity extremes.
     """
     if workload.dsm is None:
         raise ValueError("column-at-a-time needs the DSM table")
@@ -85,80 +99,148 @@ def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop
         block_width = max(min_width, block_width - block_width % min_width)
     block_width = max(block_width, min_width)
     columns = [table.column(p.column) for p in workload.predicates]
+    n_chunks = -(-rows // rpc)
+    n_blocks = -(-n_chunks // block_width)
+    blocks_per_iter = unroll
+    n_iters = -(-n_blocks // blocks_per_iter)
+    final_mask = workload.final_mask
 
-    chunks = list(chunk_bounds(rows, rpc))
-    cursor = 0
-    body = 0
-    while cursor < len(chunks):
-        block = chunks[cursor : cursor + block_width]
-        cursor += len(block)
-        block_start_row = block[0][1]
-        block_rows = block[-1][2] - block_start_row
-        yield pim(pcs.site(f"lock{body}"), PimInstruction(PimOp.LOCK))
-        # Column 0: unconditional loads + compares (phase-ordered so the
-        # loads of the whole block overlap in the interlock bank).
-        for j, (chunk, start, stop) in enumerate(block):
-            reg_a = j * _REGS_PER_CHUNK
-            yield pim(
-                pcs.site(f"ld0_{j}"),
-                PimInstruction(PimOp.PIM_LOAD, address=columns[0].address_of(start),
-                               size=(stop - start) * 4, dst_reg=reg_a),
-            )
-        for j, (chunk, start, stop) in enumerate(block):
-            reg_a = j * _REGS_PER_CHUNK
-            p0 = workload.predicates[0]
-            yield pim(
-                pcs.site(f"cmp0_{j}"),
-                PimInstruction(PimOp.PIM_ALU, size=(stop - start) * 4,
-                               src_regs=(reg_a,), dst_reg=reg_a,
-                               func=p0.func, imm_lo=p0.lo, imm_hi=p0.hi),
-            )
-        # Columns 1..n: predicated on the previous column's zero flags.
-        # Registers alternate: level k lives in register (k mod 2) of the
-        # chunk's pair, so level k+2 recycles level k's register.
-        for level in range(1, levels):
-            predicate = workload.predicates[level]
-            for j, (chunk, start, stop) in enumerate(block):
-                pred_reg = j * _REGS_PER_CHUNK + ((level - 1) % 2)
-                dst_reg = j * _REGS_PER_CHUNK + (level % 2)
-                yield pim(
-                    pcs.site(f"ld{level}_{j}"),
-                    PimInstruction(PimOp.PIM_LOAD,
-                                   address=columns[level].address_of(start),
-                                   size=(stop - start) * 4, dst_reg=dst_reg,
-                                   pred_reg=pred_reg),
-                )
-            for j, (chunk, start, stop) in enumerate(block):
-                pred_reg = j * _REGS_PER_CHUNK + ((level - 1) % 2)
-                dst_reg = j * _REGS_PER_CHUNK + (level % 2)
-                yield pim(
-                    pcs.site(f"cmp{level}_{j}"),
-                    PimInstruction(PimOp.PIM_ALU, size=(stop - start) * 4,
-                                   src_regs=(dst_reg,), dst_reg=dst_reg,
-                                   func=predicate.func, imm_lo=predicate.lo,
-                                   imm_hi=predicate.hi, pred_reg=pred_reg),
-                )
-        # Pack every chunk's final flags into the accumulator; one store
-        # writes the whole block's bitmask to DRAM.
-        for j, (chunk, start, stop) in enumerate(block):
-            last_reg = j * _REGS_PER_CHUNK + ((levels - 1) % 2)  # final level's register
-            yield pim(
-                pcs.site(f"pack_{j}"),
-                PimInstruction(PimOp.PACK_MASK, size=stop - start,
-                               src_regs=(last_reg,), dst_reg=acc,
-                               imm_lo=start - block_start_row),
-            )
-        yield pim(
-            pcs.site(f"stacc{body}"),
-            PimInstruction(PimOp.PIM_STORE,
-                           address=buffers.mask_address(block_start_row),
-                           size=buffers.mask_bytes_for(block_rows),
-                           src_regs=(acc,)),
+    def block_chunks(b: int):
+        first = b * block_width
+        limit = min(first + block_width, n_chunks)
+        return [(c, c * rpc, min((c + 1) * rpc, rows)) for c in range(first, limit)]
+
+    def iteration_key(i: int):
+        first_b = i * blocks_per_iter
+        limit_b = min(first_b + blocks_per_iter, n_blocks)
+        shape = tuple(
+            tuple(stop - start for __, start, stop in block_chunks(b))
+            for b in range(first_b, limit_b)
         )
-        yield pim(pcs.site(f"unlock{body}"), PimInstruction(PimOp.UNLOCK))
-        yield alu(pcs.site("ind"), srcs=(induction,), dst=induction)
-        yield branch(pcs.site("loop"), taken=cursor < len(chunks), srcs=(induction,))
-        body = (body + 1) % max(1, unroll)
+        return (shape, limit_b == n_blocks)
+
+    def make_iteration(i):
+        first_b = i * blocks_per_iter
+        limit_b = min(first_b + blocks_per_iter, n_blocks)
+        for b in range(first_b, limit_b):
+            body = b % max(1, unroll)
+            block = block_chunks(b)
+            block_start_row = block[0][1]
+            block_rows = block[-1][2] - block_start_row
+            last_block = b == n_blocks - 1
+            yield pim(pcs.site(f"lock{body}"), PimInstruction(PimOp.LOCK))
+            # Column 0: unconditional loads + compares (phase-ordered so the
+            # loads of the whole block overlap in the interlock bank).
+            for j, (chunk, start, stop) in enumerate(block):
+                reg_a = j * _REGS_PER_CHUNK
+                yield pim(
+                    pcs.site(f"ld0_{j}"),
+                    PimInstruction(PimOp.PIM_LOAD, address=columns[0].address_of(start),
+                                   size=(stop - start) * 4, dst_reg=reg_a),
+                )
+            for j, (chunk, start, stop) in enumerate(block):
+                reg_a = j * _REGS_PER_CHUNK
+                p0 = workload.predicates[0]
+                yield pim(
+                    pcs.site(f"cmp0_{j}"),
+                    PimInstruction(PimOp.PIM_ALU, size=(stop - start) * 4,
+                                   src_regs=(reg_a,), dst_reg=reg_a,
+                                   func=p0.func, imm_lo=p0.lo, imm_hi=p0.hi),
+                )
+            # Columns 1..n: predicated on the previous column's zero flags.
+            # Registers alternate: level k lives in register (k mod 2) of the
+            # chunk's pair, so level k+2 recycles level k's register.
+            for level in range(1, levels):
+                predicate = workload.predicates[level]
+                for j, (chunk, start, stop) in enumerate(block):
+                    pred_reg = j * _REGS_PER_CHUNK + ((level - 1) % 2)
+                    dst_reg = j * _REGS_PER_CHUNK + (level % 2)
+                    yield pim(
+                        pcs.site(f"ld{level}_{j}"),
+                        PimInstruction(PimOp.PIM_LOAD,
+                                       address=columns[level].address_of(start),
+                                       size=(stop - start) * 4, dst_reg=dst_reg,
+                                       pred_reg=pred_reg),
+                    )
+                for j, (chunk, start, stop) in enumerate(block):
+                    pred_reg = j * _REGS_PER_CHUNK + ((level - 1) % 2)
+                    dst_reg = j * _REGS_PER_CHUNK + (level % 2)
+                    yield pim(
+                        pcs.site(f"cmp{level}_{j}"),
+                        PimInstruction(PimOp.PIM_ALU, size=(stop - start) * 4,
+                                       src_regs=(dst_reg,), dst_reg=dst_reg,
+                                       func=predicate.func, imm_lo=predicate.lo,
+                                       imm_hi=predicate.hi, pred_reg=pred_reg),
+                    )
+            # Pack every chunk's final flags into the accumulator; one store
+            # writes the whole block's bitmask to DRAM.
+            for j, (chunk, start, stop) in enumerate(block):
+                last_reg = j * _REGS_PER_CHUNK + ((levels - 1) % 2)  # final level's register
+                yield pim(
+                    pcs.site(f"pack_{j}"),
+                    PimInstruction(PimOp.PACK_MASK, size=stop - start,
+                                   src_regs=(last_reg,), dst_reg=acc,
+                                   imm_lo=start - block_start_row),
+                )
+            yield pim(
+                pcs.site(f"stacc{body}"),
+                PimInstruction(PimOp.PIM_STORE,
+                               address=buffers.mask_address(block_start_row),
+                               size=buffers.mask_bytes_for(block_rows),
+                               src_regs=(acc,)),
+            )
+            yield pim(pcs.site(f"unlock{body}"), PimInstruction(PimOp.UNLOCK))
+            yield alu(pcs.site("ind"), srcs=(induction,), dst=induction)
+            yield branch(pcs.site("loop"), taken=not last_block, srcs=(induction,))
+
+    i = 0
+    while i < n_iters:
+        key = iteration_key(i)
+        count = 1
+        while i + count < n_iters and iteration_key(i + count) == key:
+            count += 1
+        i0 = i
+
+        def make(j, _i0=i0):
+            return make_iteration(_i0 + j)
+
+        def run_bulk(machine, j0, j1, _i0=i0):
+            """The predicated pass writes the final mask bits directly."""
+            rows_per_iter = blocks_per_iter * block_width * rpc
+            start = _i0 * rows_per_iter + j0 * rows_per_iter
+            stop = min(_i0 * rows_per_iter + j1 * rows_per_iter, rows)
+            machine.image.write(
+                buffers.mask_address(start),
+                _np.packbits(final_mask[start:stop], bitorder="little"),
+            )
+
+        rows_per_iter = blocks_per_iter * block_width * rpc
+        start_row = i0 * rows_per_iter
+        end_row = min((i0 + count) * rows_per_iter, rows)
+        regions = tuple(
+            Region(col.address_of(start_row), col.address_of(end_row),
+                   rows_per_iter * 4)
+            for col in columns
+        ) + (
+            Region(buffers.mask_address(start_row),
+                   buffers.bitmask_base + (end_row + 7) // 8,
+                   Fraction(rows_per_iter, 8)),
+        )
+        yield TraceRun(
+            key=("hipecol", config.op_bytes, unroll) + key,
+            count=count,
+            make=make,
+            regs_per_iter=0,
+            regions=regions,
+            bulk=run_bulk,
+            fixed_regs=(induction,),
+        )
+        i += count
+
+
+def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """Single-pass predicated scan (Figure 3d's HIPE bar)."""
+    return flatten_runs(column_runs(workload, config))
 
 
 def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
@@ -174,6 +256,13 @@ def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
 lower_filter = generate
 
 
+def lower_filter_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """Filter lowering as steady-state runs (column strategy only)."""
+    if config.strategy != "column":
+        raise ValueError("run-structured lowering exists for column mode only")
+    return column_runs(workload, config)
+
+
 def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     """Aggregate lowering: locked-block reduction with the column loads
     predicated on the filter mask — chunks with no candidate tuples are
@@ -184,3 +273,8 @@ def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]
 def generate_plan(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     """Lower the workload's full query plan."""
     return lower_plan(sys.modules[__name__], workload, config)
+
+
+def generate_plan_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """Lower the workload's full query plan as steady-state trace runs."""
+    return lower_plan_runs(sys.modules[__name__], workload, config)

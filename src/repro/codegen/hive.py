@@ -33,16 +33,25 @@ from __future__ import annotations
 import sys
 from typing import Iterator
 
+from fractions import Fraction
+
+import numpy as _np
+
 from ..common.units import ceil_div
 from ..cpu.isa import AluFunc, PimInstruction, PimOp, Uop, alu, branch, load, pim, store
 from .aggregate import engine_aggregate
 from .base import (
     PcAllocator,
+    Region,
     RegAllocator,
     ScanConfig,
     ScanWorkload,
+    TraceRun,
     chunk_bounds,
+    chunk_dead_flags,
+    flatten_runs,
     lower_plan,
+    lower_plan_runs,
 )
 
 #: engine registers reserved for codegen use (the bank has 36)
@@ -132,13 +141,34 @@ def tuple_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]
             yield branch(pcs.site("loop"), taken=g != groups - 1, srcs=(induction,))
 
 
-def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
-    """DSM scan: per-column passes of locked blocks (Figures 3b/3c).
+def _column_block_width(config: ScanConfig, p: int) -> int:
+    """Locked-block width of pass ``p`` (chunks per lock/unlock block)."""
+    rpc = config.rows_per_op
+    accumulators = 1 if p == 0 else 2
+    block_width = max(1, min(config.unroll, ENGINE_REGS - accumulators))
+    # The block's packed mask bits must fit the 256 B accumulator.
+    block_width = min(block_width, (256 * 8) // rpc)
+    # Blocks must cover whole mask bytes: small ops (< 8 tuples per
+    # chunk) group enough chunks that stores stay byte-granular.
+    min_width = ceil_div(8, rpc)
+    if block_width % min_width:
+        block_width = max(min_width, block_width - block_width % min_width)
+    return max(block_width, min_width)
+
+
+def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """DSM scan: per-column passes of locked blocks, as trace runs.
 
     Each locked block covers up to ``unroll`` chunks.  The chunks' match
     bits are PACKed into one accumulator register and written to the
     bitmask buffer with a single DRAM store per block; later passes load
     the previous accumulator back the same way and UNPACK per chunk.
+
+    One run iteration covers ``unroll`` consecutive blocks — exactly one
+    cycle of the pc-site ``body`` counter, so every iteration lowers to
+    the same static instructions.  The bulk hook writes the engine's
+    packed bitmask bytes for skipped iterations (the conjunction the
+    locked blocks would have stored).
     """
     if workload.dsm is None:
         raise ValueError("column-at-a-time needs the DSM table")
@@ -153,125 +183,220 @@ def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop
     # Core-side chunk skipping only exists in the un-unrolled variant;
     # the unrolled code full-scans every column (paper §IV.A.3).
     core_skip = unroll == 1
+    acc_new = ENGINE_REGS - 1  # packed masks produced by this pass
+    acc_prev = ENGINE_REGS - 2  # packed masks of the previous pass
+    n_chunks = ceil_div(rows, rpc)
 
     for p, predicate in enumerate(workload.predicates):
         column = table.column(predicate.column)
         prev_running = workload.running_mask(p - 1) if p > 0 else None
-        accumulators = 1 if p == 0 else 2
-        block_width = max(1, min(unroll, ENGINE_REGS - accumulators))
-        # The block's packed mask bits must fit the 256 B accumulator.
-        block_width = min(block_width, (256 * 8) // rpc)
-        # Blocks must cover whole mask bytes: small ops (< 8 tuples per
-        # chunk) group enough chunks that stores stay byte-granular.
-        min_width = ceil_div(8, rpc)
-        if block_width % min_width:
-            block_width = max(min_width, block_width - block_width % min_width)
-        block_width = max(block_width, min_width)
-        acc_new = ENGINE_REGS - 1  # packed masks produced by this pass
-        acc_prev = ENGINE_REGS - 2  # packed masks of the previous pass
-        chunks = list(chunk_bounds(rows, rpc))
-        cursor = 0
-        body = 0
-        while cursor < len(chunks):
-            block = chunks[cursor : cursor + block_width]
-            cursor += len(block)
-            block_start_row = block[0][1]
-            block_rows = block[-1][2] - block_start_row
-            mask_addr = buffers.mask_address(block_start_row)
-            mask_bytes = buffers.mask_bytes_for(block_rows)
-            skip_flags = [False] * len(block)
-            if core_skip and p > 0:
-                # The core fetches the engine-written bitmask from DRAM
-                # (it was never cached) to decide what to process.
-                for j, (chunk, start, stop) in enumerate(block):
-                    prev_mask = regs.new()
-                    yield load(pcs.site(f"p{p}_ldmask{body}"),
-                               buffers.mask_address(start),
-                               buffers.mask_bytes_for(stop - start),
-                               dst=prev_mask)
-                    skip_flags[j] = not bool(prev_running[start:stop].any())
-                    yield branch(pcs.site(f"p{p}_skip{body}"),
-                                 taken=skip_flags[j], srcs=(prev_mask,))
-                if all(skip_flags):
-                    yield alu(pcs.site(f"p{p}_ind"), srcs=(induction,), dst=induction)
-                    yield branch(pcs.site(f"p{p}_loop"),
-                                 taken=cursor < len(chunks), srcs=(induction,))
-                    continue
-            yield pim(pcs.site(f"p{p}_lock{body}"), PimInstruction(PimOp.LOCK))
-            if p > 0:
-                # One row-granular load brings the whole block's previous
-                # masks into the accumulator.
-                yield pim(
-                    pcs.site(f"p{p}_ldacc{body}"),
-                    PimInstruction(PimOp.PIM_LOAD, address=mask_addr,
-                                   size=mask_bytes, dst_reg=acc_prev,
-                                   lane_bytes=1),
+        running = workload.running_mask(p)
+        dead = chunk_dead_flags(prev_running, rpc, n_chunks) if p > 0 else None
+        block_width = _column_block_width(config, p)
+        n_blocks = ceil_div(n_chunks, block_width)
+        blocks_per_iter = unroll  # one full cycle of the body counter
+        n_iters = ceil_div(n_blocks, blocks_per_iter)
+
+        def block_bounds(b: int):
+            """(start_row, stop_row, chunk list) of block ``b``."""
+            first = b * block_width
+            limit = min(first + block_width, n_chunks)
+            chunk_list = [
+                (c, c * rpc, min((c + 1) * rpc, rows)) for c in range(first, limit)
+            ]
+            return chunk_list
+
+        def iteration_key(i: int):
+            first_b = i * blocks_per_iter
+            limit_b = min(first_b + blocks_per_iter, n_blocks)
+            shape = []
+            nregs = 0
+            for b in range(first_b, limit_b):
+                chunk_list = block_bounds(b)
+                flags = tuple(
+                    bool(dead[c]) if (core_skip and p > 0) else False
+                    for c, __, ___ in chunk_list
                 )
-            # Phase 1: stream the column loads — they overlap in the
-            # interlocked register bank across vaults.
-            for j, (chunk, start, stop) in enumerate(block):
-                if skip_flags[j]:
-                    continue
+                sizes = tuple(stop - start for __, start, stop in chunk_list)
+                shape.append((flags, sizes))
+                if core_skip and p > 0:
+                    nregs += len(chunk_list)
+                    if not all(flags):
+                        nregs += 1  # unlock status register
+                elif core_skip:
+                    nregs += 1  # unlock status register
+            taken_tail = limit_b == n_blocks  # loop branch falls through
+            return (tuple(shape), taken_tail), nregs
+
+        def make_iteration(i, pass_index, pred, col, dead_flags):
+            first_b = i * blocks_per_iter
+            limit_b = min(first_b + blocks_per_iter, n_blocks)
+            for b in range(first_b, limit_b):
+                body = (b - first_b) if not core_skip else 0
+                chunk_list = block_bounds(b)
+                block_start_row = chunk_list[0][1]
+                block_rows = chunk_list[-1][2] - block_start_row
+                mask_addr = buffers.mask_address(block_start_row)
+                mask_bytes = buffers.mask_bytes_for(block_rows)
+                last_block = b == n_blocks - 1
+                skip_flags = [False] * len(chunk_list)
+                if core_skip and pass_index > 0:
+                    # The core fetches the engine-written bitmask from DRAM
+                    # (it was never cached) to decide what to process.
+                    for j, (c, start, stop) in enumerate(chunk_list):
+                        prev_mask = regs.new()
+                        yield load(pcs.site(f"p{pass_index}_ldmask{body}"),
+                                   buffers.mask_address(start),
+                                   buffers.mask_bytes_for(stop - start),
+                                   dst=prev_mask)
+                        skip_flags[j] = bool(dead_flags[c])
+                        yield branch(pcs.site(f"p{pass_index}_skip{body}"),
+                                     taken=skip_flags[j], srcs=(prev_mask,))
+                    if all(skip_flags):
+                        yield alu(pcs.site(f"p{pass_index}_ind"),
+                                  srcs=(induction,), dst=induction)
+                        yield branch(pcs.site(f"p{pass_index}_loop"),
+                                     taken=not last_block, srcs=(induction,))
+                        continue
+                yield pim(pcs.site(f"p{pass_index}_lock{body}"), PimInstruction(PimOp.LOCK))
+                if pass_index > 0:
+                    # One row-granular load brings the whole block's previous
+                    # masks into the accumulator.
+                    yield pim(
+                        pcs.site(f"p{pass_index}_ldacc{body}"),
+                        PimInstruction(PimOp.PIM_LOAD, address=mask_addr,
+                                       size=mask_bytes, dst_reg=acc_prev,
+                                       lane_bytes=1),
+                    )
+                # Phase 1: stream the column loads — they overlap in the
+                # interlocked register bank across vaults.
+                for j, (c, start, stop) in enumerate(chunk_list):
+                    if skip_flags[j]:
+                        continue
+                    yield pim(
+                        pcs.site(f"p{pass_index}_ld{j}"),
+                        PimInstruction(PimOp.PIM_LOAD, address=col.address_of(start),
+                                       size=(stop - start) * 4, dst_reg=j),
+                    )
+                # Phase 2: compares (in place) and mask packing.
+                for j, (c, start, stop) in enumerate(chunk_list):
+                    lanes = stop - start
+                    bit_offset = start - block_start_row
+                    if skip_flags[j]:
+                        continue
+                    yield pim(
+                        pcs.site(f"p{pass_index}_cmp{j}"),
+                        PimInstruction(PimOp.PIM_ALU, size=lanes * 4,
+                                       src_regs=(j,), dst_reg=j,
+                                       func=pred.func, imm_lo=pred.lo,
+                                       imm_hi=pred.hi),
+                    )
+                    yield pim(
+                        pcs.site(f"p{pass_index}_pack{j}"),
+                        PimInstruction(PimOp.PACK_MASK, size=lanes,
+                                       src_regs=(j,), dst_reg=acc_new,
+                                       imm_lo=bit_offset),
+                    )
+                if pass_index > 0:
+                    # Conjoin with the previous pass at block granularity:
+                    # a bitwise AND of the two packed accumulators is exactly
+                    # the lane-wise conjunction of the whole block's masks.
+                    yield pim(
+                        pcs.site(f"p{pass_index}_andacc{body}"),
+                        PimInstruction(PimOp.PIM_ALU, size=mask_bytes,
+                                       src_regs=(acc_new, acc_prev),
+                                       dst_reg=acc_new, func=AluFunc.AND,
+                                       lane_bytes=1),
+                    )
+                # Phase 3: one store writes the block's packed masks to DRAM
+                # (bypassing — and invalidating — the processor caches).
                 yield pim(
-                    pcs.site(f"p{p}_ld{j}"),
-                    PimInstruction(PimOp.PIM_LOAD, address=column.address_of(start),
-                                   size=(stop - start) * 4, dst_reg=j),
+                    pcs.site(f"p{pass_index}_stacc{body}"),
+                    PimInstruction(PimOp.PIM_STORE, address=mask_addr,
+                                   size=mask_bytes, src_regs=(acc_new,)),
                 )
-            # Phase 2: compares (in place) and mask packing.
-            for j, (chunk, start, stop) in enumerate(block):
-                lanes = stop - start
-                bit_offset = start - block_start_row
-                if skip_flags[j]:
-                    continue
-                yield pim(
-                    pcs.site(f"p{p}_cmp{j}"),
-                    PimInstruction(PimOp.PIM_ALU, size=lanes * 4,
-                                   src_regs=(j,), dst_reg=j,
-                                   func=predicate.func, imm_lo=predicate.lo,
-                                   imm_hi=predicate.hi),
-                )
-                yield pim(
-                    pcs.site(f"p{p}_pack{j}"),
-                    PimInstruction(PimOp.PACK_MASK, size=lanes,
-                                   src_regs=(j,), dst_reg=acc_new,
-                                   imm_lo=bit_offset),
-                )
-            if p > 0:
-                # Conjoin with the previous pass at block granularity:
-                # a bitwise AND of the two packed accumulators is exactly
-                # the lane-wise conjunction of the whole block's masks.
-                yield pim(
-                    pcs.site(f"p{p}_andacc{body}"),
-                    PimInstruction(PimOp.PIM_ALU, size=mask_bytes,
-                                   src_regs=(acc_new, acc_prev),
-                                   dst_reg=acc_new, func=AluFunc.AND,
-                                   lane_bytes=1),
-                )
-            # Phase 3: one store writes the block's packed masks to DRAM
-            # (bypassing — and invalidating — the processor caches).
-            yield pim(
-                pcs.site(f"p{p}_stacc{body}"),
-                PimInstruction(PimOp.PIM_STORE, address=mask_addr,
-                               size=mask_bytes, src_regs=(acc_new,)),
+                if core_skip:
+                    # Un-unrolled code waits for each isolated block's unlock
+                    # status before moving on — the per-block round trip of
+                    # §IV.A.1 ("control-dependency of each isolated
+                    # lock/unlock block").
+                    status = regs.new()
+                    yield pim(pcs.site(f"p{pass_index}_unlock{body}"),
+                              PimInstruction(PimOp.UNLOCK, returns_value=True),
+                              dst=status)
+                    yield branch(pcs.site(f"p{pass_index}_chk{body}"), taken=False,
+                                 srcs=(status,))
+                else:
+                    yield pim(pcs.site(f"p{pass_index}_unlock{body}"),
+                              PimInstruction(PimOp.UNLOCK))
+                yield alu(pcs.site(f"p{pass_index}_ind"), srcs=(induction,), dst=induction)
+                yield branch(pcs.site(f"p{pass_index}_loop"), taken=not last_block,
+                             srcs=(induction,))
+
+        def make_bulk(i0, shape, bits):
+            def bulk(machine, j0, j1, _i0=i0, _shape=shape, _bits=bits):
+                """Engine-stored packed mask bytes of skipped iterations."""
+                image = machine.image
+                for i in range(_i0 + j0, _i0 + j1):
+                    first_b = i * blocks_per_iter
+                    limit_b = min(first_b + blocks_per_iter, n_blocks)
+                    for b in range(first_b, limit_b):
+                        flags = _shape[b - first_b][0]
+                        if flags and all(flags):
+                            continue  # all-skip block: nothing stored
+                        chunk_list = block_bounds(b)
+                        start = chunk_list[0][1]
+                        stop = chunk_list[-1][2]
+                        image.write(
+                            buffers.mask_address(start),
+                            _np.packbits(_bits[start:stop], bitorder="little"),
+                        )
+            return bulk
+
+        i = 0
+        while i < n_iters:
+            key, nregs = iteration_key(i)
+            count = 1
+            while i + count < n_iters:
+                next_key, __ = iteration_key(i + count)
+                if next_key != key:
+                    break
+                count += 1
+            base_counter = regs.counter
+            i0 = i
+
+            def make(j, _i0=i0, _base=base_counter, _nregs=nregs, _p=p,
+                     _pred=predicate, _col=column, _dead=dead,
+                     _mk=make_iteration):
+                regs.seek(_base + j * _nregs)
+                return _mk(_i0 + j, _p, _pred, _col, _dead)
+
+            rows_per_iter = blocks_per_iter * block_width * rpc
+            start_row = i0 * rows_per_iter
+            end_row = min((i0 + count) * rows_per_iter, rows)
+            regions = (
+                Region(column.address_of(start_row), column.address_of(end_row),
+                       rows_per_iter * 4),
+                Region(buffers.mask_address(start_row),
+                       buffers.bitmask_base + (end_row + 7) // 8,
+                       Fraction(rows_per_iter, 8)),
             )
-            if core_skip:
-                # Un-unrolled code waits for each isolated block's unlock
-                # status before moving on — the per-block round trip of
-                # §IV.A.1 ("control-dependency of each isolated
-                # lock/unlock block").
-                status = regs.new()
-                yield pim(pcs.site(f"p{p}_unlock{body}"),
-                          PimInstruction(PimOp.UNLOCK, returns_value=True),
-                          dst=status)
-                yield branch(pcs.site(f"p{p}_chk{body}"), taken=False,
-                             srcs=(status,))
-            else:
-                yield pim(pcs.site(f"p{p}_unlock{body}"),
-                          PimInstruction(PimOp.UNLOCK))
-            yield alu(pcs.site(f"p{p}_ind"), srcs=(induction,), dst=induction)
-            yield branch(pcs.site(f"p{p}_loop"), taken=cursor < len(chunks),
-                         srcs=(induction,))
-            body = (body + 1) % max(1, unroll)
+            yield TraceRun(
+                key=("hivecol", p, config.op_bytes, unroll) + key,
+                count=count,
+                make=make,
+                regs_per_iter=nregs,
+                regions=regions,
+                bulk=make_bulk(i0, key[0], running),
+                fixed_regs=(induction,),
+            )
+            regs.seek(base_counter + count * nregs)
+            i += count
+
+
+def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """DSM scan: per-column passes of locked blocks (Figures 3b/3c)."""
+    return flatten_runs(column_runs(workload, config))
 
 
 def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
@@ -287,6 +412,13 @@ def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
 lower_filter = generate
 
 
+def lower_filter_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """Filter lowering as steady-state runs (column strategy only)."""
+    if config.strategy != "column":
+        raise ValueError("run-structured lowering exists for column mode only")
+    return column_runs(workload, config)
+
+
 def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     """Aggregate lowering: unpredicated locked-block reduction in the
     logic layer (every chunk streams; dead chunks contribute zeros)."""
@@ -296,3 +428,8 @@ def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]
 def generate_plan(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     """Lower the workload's full query plan."""
     return lower_plan(sys.modules[__name__], workload, config)
+
+
+def generate_plan_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """Lower the workload's full query plan as steady-state trace runs."""
+    return lower_plan_runs(sys.modules[__name__], workload, config)

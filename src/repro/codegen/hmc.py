@@ -23,16 +23,25 @@ from __future__ import annotations
 import sys
 from typing import Iterator
 
+from fractions import Fraction
+
+import numpy as _np
+
 from ..common.units import ceil_div
 from ..cpu.isa import PimInstruction, PimOp, Uop, alu, branch, load, pim, store
 from .aggregate import core_aggregate
 from .base import (
     PcAllocator,
+    Region,
     RegAllocator,
     ScanConfig,
     ScanWorkload,
+    TraceRun,
     chunk_bounds,
+    chunk_dead_flags,
+    flatten_runs,
     lower_plan,
+    lower_plan_runs,
 )
 
 
@@ -113,8 +122,14 @@ def tuple_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]
             yield branch(pcs.site("loop"), taken=g != groups - 1, srcs=(induction,))
 
 
-def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
-    """DSM scan with per-chunk compare offload (Figures 3b/3c HMC bars)."""
+def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """DSM compare-offload scan as steady-state trace runs.
+
+    Same run structure as the x86 column lowering (one iteration = one
+    unrolled loop body); the bulk hook reproduces the vault-computed
+    verification masks of skipped chunks so the runner's functional
+    check still sees every chunk.
+    """
     if workload.dsm is None:
         raise ValueError("column-at-a-time needs the DSM table")
     table = workload.dsm
@@ -125,52 +140,138 @@ def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop
     rows = workload.rows
     rpc = config.rows_per_op
     unroll = config.unroll
+    n_chunks = ceil_div(rows, rpc)
+    n_iters = ceil_div(n_chunks, unroll)
 
     for p, predicate in enumerate(workload.predicates):
         column = table.column(predicate.column)
         prev_running = workload.running_mask(p - 1) if p > 0 else None
-        bodies = 0
-        for chunk, start, stop in chunk_bounds(rows, rpc):
-            mask_addr = buffers.mask_address(start)
-            mask_bytes = buffers.mask_bytes_for(stop - start)
-            if p > 0:
-                prev_mask = regs.new()
-                yield load(pcs.site(f"p{p}_ldmask{bodies}"), mask_addr,
-                           mask_bytes, dst=prev_mask)
-                skip = not bool(prev_running[start:stop].any())
-                yield branch(pcs.site(f"p{p}_skip{bodies}"), taken=skip,
-                             srcs=(prev_mask,))
-            else:
-                prev_mask = None
-                skip = False
-            if not skip:
-                mask_reg = regs.new()
-                yield pim(
-                    pcs.site(f"p{p}_hmc{bodies}"),
-                    PimInstruction(
-                        PimOp.HMC_LOADCMP,
-                        address=column.address_of(start),
-                        size=(stop - start) * 4,
-                        func=predicate.func,
-                        imm_lo=predicate.lo,
-                        imm_hi=predicate.hi,
-                        returns_value=True,
-                    ),
-                    dst=mask_reg,
-                )
-                if prev_mask is not None:
-                    conj = regs.new()
-                    yield alu(pcs.site(f"p{p}_and{bodies}"),
-                              srcs=(mask_reg, prev_mask), dst=conj)
-                    mask_reg = conj
-                yield store(pcs.site(f"p{p}_stmask{bodies}"), mask_addr,
-                            mask_bytes, srcs=(mask_reg,))
-            bodies += 1
-            if bodies == unroll or stop == rows:
-                yield alu(pcs.site(f"p{p}_ind"), srcs=(induction,), dst=induction)
-                yield branch(pcs.site(f"p{p}_loop"), taken=stop != rows,
-                             srcs=(induction,))
-                bodies = 0
+        if p > 0:
+            dead = chunk_dead_flags(prev_running, rpc, n_chunks)
+        else:
+            dead = None
+        pass_bits = workload.predicate_mask(p)
+
+        def iteration_key(i: int):
+            first = i * unroll
+            limit = min(first + unroll, n_chunks)
+            flags = []
+            sizes = []
+            nregs = 0
+            for c in range(first, limit):
+                skip = bool(dead[c]) if p > 0 else False
+                flags.append(skip)
+                sizes.append(min((c + 1) * rpc, rows) - c * rpc)
+                nregs += (1 if p > 0 else 0) + (0 if skip else (2 if p > 0 else 1))
+            taken = min(limit * rpc, rows) != rows
+            return (tuple(flags), tuple(sizes), taken), nregs
+
+        def make_iteration(i, pass_index, pred, col, dead_flags):
+            first = i * unroll
+            limit = min(first + unroll, n_chunks)
+            for pos, c in enumerate(range(first, limit)):
+                start = c * rpc
+                stop = min(start + rpc, rows)
+                mask_addr = buffers.mask_address(start)
+                mask_bytes = buffers.mask_bytes_for(stop - start)
+                if pass_index > 0:
+                    prev_mask = regs.new()
+                    yield load(pcs.site(f"p{pass_index}_ldmask{pos}"), mask_addr,
+                               mask_bytes, dst=prev_mask)
+                    skip = bool(dead_flags[c])
+                    yield branch(pcs.site(f"p{pass_index}_skip{pos}"), taken=skip,
+                                 srcs=(prev_mask,))
+                else:
+                    prev_mask = None
+                    skip = False
+                if not skip:
+                    mask_reg = regs.new()
+                    yield pim(
+                        pcs.site(f"p{pass_index}_hmc{pos}"),
+                        PimInstruction(
+                            PimOp.HMC_LOADCMP,
+                            address=col.address_of(start),
+                            size=(stop - start) * 4,
+                            func=pred.func,
+                            imm_lo=pred.lo,
+                            imm_hi=pred.hi,
+                            returns_value=True,
+                        ),
+                        dst=mask_reg,
+                    )
+                    if prev_mask is not None:
+                        conj = regs.new()
+                        yield alu(pcs.site(f"p{pass_index}_and{pos}"),
+                                  srcs=(mask_reg, prev_mask), dst=conj)
+                        mask_reg = conj
+                    yield store(pcs.site(f"p{pass_index}_stmask{pos}"), mask_addr,
+                                mask_bytes, srcs=(mask_reg,))
+                if stop == rows or pos == limit - first - 1:
+                    yield alu(pcs.site(f"p{pass_index}_ind"), srcs=(induction,), dst=induction)
+                    yield branch(pcs.site(f"p{pass_index}_loop"), taken=stop != rows,
+                                 srcs=(induction,))
+
+        def make_bulk(i0, dead_flags, bits):
+            def bulk(machine, j0, j1, _i0=i0, _dead=dead_flags, _bits=bits):
+                """Vault-computed masks of skipped chunks (program order)."""
+                backend = machine.backend
+                for i in range(_i0 + j0, _i0 + j1):
+                    first = i * unroll
+                    limit = min(first + unroll, n_chunks)
+                    for c in range(first, limit):
+                        if _dead is not None and _dead[c]:
+                            continue
+                        start = c * rpc
+                        stop = min(start + rpc, rows)
+                        backend.computed_masks.append(
+                            _np.packbits(_bits[start:stop], bitorder="little")
+                        )
+            return bulk
+
+        i = 0
+        while i < n_iters:
+            key, nregs = iteration_key(i)
+            count = 1
+            while i + count < n_iters:
+                next_key, __ = iteration_key(i + count)
+                if next_key != key:
+                    break
+                count += 1
+            base_counter = regs.counter
+            i0 = i
+
+            def make(j, _i0=i0, _base=base_counter, _nregs=nregs, _p=p,
+                     _pred=predicate, _col=column, _dead=dead,
+                     _mk=make_iteration):
+                regs.seek(_base + j * _nregs)
+                return _mk(_i0 + j, _p, _pred, _col, _dead)
+
+            rows_per_iter = unroll * rpc
+            start_row = i0 * rows_per_iter
+            end_row = min((i0 + count) * rows_per_iter, rows)
+            regions = (
+                Region(column.address_of(start_row), column.address_of(end_row),
+                       rows_per_iter * 4),
+                Region(buffers.mask_address(start_row),
+                       buffers.bitmask_base + (end_row + 7) // 8,
+                       Fraction(rows_per_iter, 8)),
+            )
+            yield TraceRun(
+                key=("hmccol", p, config.op_bytes, unroll) + key,
+                count=count,
+                make=make,
+                regs_per_iter=nregs,
+                regions=regions,
+                bulk=make_bulk(i0, dead, pass_bits),
+                fixed_regs=(induction,),
+            )
+            regs.seek(base_counter + count * nregs)
+            i += count
+
+
+def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """DSM scan with per-chunk compare offload (Figures 3b/3c HMC bars)."""
+    return flatten_runs(column_runs(workload, config))
 
 
 def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
@@ -184,6 +285,13 @@ def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
 
 #: Filter lowering: the compare-offload select scan
 lower_filter = generate
+
+
+def lower_filter_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """Filter lowering as steady-state runs (column strategy only)."""
+    if config.strategy != "column":
+        raise ValueError("run-structured lowering exists for column mode only")
+    return column_runs(workload, config)
 
 
 def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
@@ -202,3 +310,8 @@ def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]
 def generate_plan(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     """Lower the workload's full query plan."""
     return lower_plan(sys.modules[__name__], workload, config)
+
+
+def generate_plan_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """Lower the workload's full query plan as steady-state trace runs."""
+    return lower_plan_runs(sys.modules[__name__], workload, config)

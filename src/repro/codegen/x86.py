@@ -24,17 +24,24 @@ from typing import Iterator
 
 import numpy as np
 
+from fractions import Fraction
+
 from ..common.units import ceil_div
 from ..cpu.isa import AluFunc, Uop, alu, branch, load, store
 from .aggregate import core_aggregate
 from .base import (
     PcAllocator,
+    Region,
     RegAllocator,
     ScanConfig,
     ScanWorkload,
+    TraceRun,
     chunk_bounds,
+    chunk_dead_flags,
+    flatten_runs,
     iterator_overhead,
     lower_plan,
+    lower_plan_runs,
 )
 
 
@@ -113,8 +120,16 @@ def tuple_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]
             yield branch(pcs.site("loop"), taken=row != rows - 1, srcs=(induction,))
 
 
-def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
-    """DSM bitmask scan (Figures 3b/3c's x86 bars)."""
+def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """DSM bitmask scan as steady-state trace runs (Figures 3b/3c).
+
+    One iteration is one unrolled loop body: up to ``unroll`` chunk
+    bodies followed by the induction/loop-branch overhead.  Consecutive
+    iterations with the same shape (same chunk-skip pattern, same chunk
+    sizes, same loop-branch direction) are grouped into one
+    :class:`~repro.codegen.base.TraceRun` whose addresses advance
+    uniformly — exactly what the replay layer needs to fast-forward.
+    """
     _check(config)
     if workload.dsm is None:
         raise ValueError("column-at-a-time needs the DSM table")
@@ -122,57 +137,127 @@ def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop
     buffers = workload.buffers
     pcs = PcAllocator()
     regs = RegAllocator()
-    induction = regs.new()
+    induction = regs.new()  # first allocation: id is fixed across the scan
     rows = workload.rows
     rpc = config.rows_per_op  # rows per chunk
     unroll = config.unroll
+    n_chunks = ceil_div(rows, rpc)
+    n_iters = ceil_div(n_chunks, unroll)
 
     for p, predicate in enumerate(workload.predicates):
         column = table.column(predicate.column)
         prev_running = workload.running_mask(p - 1) if p > 0 else None
-        running = workload.running_mask(p)
-        bodies_in_iter = 0
-        for chunk, start, stop in chunk_bounds(rows, rpc):
-            mask_addr = buffers.mask_address(start)
-            mask_bytes = buffers.mask_bytes_for(stop - start)
-            if p > 0:
-                # Consult the (cached) running mask; skip dead chunks.
-                prev_mask = regs.new()
-                yield load(pcs.site(f"p{p}_ldmask{bodies_in_iter}"), mask_addr,
-                           mask_bytes, dst=prev_mask)
-                skip = not bool(prev_running[start:stop].any())
-                yield branch(pcs.site(f"p{p}_skip{bodies_in_iter}"),
-                             taken=skip, srcs=(prev_mask,))
-            else:
-                prev_mask = None
-                skip = False
-            if not skip:
-                vec = regs.new()
-                yield load(pcs.site(f"p{p}_ld{bodies_in_iter}"),
-                           column.address_of(start), (stop - start) * 4, dst=vec)
-                if predicate.func == AluFunc.CMP_RANGE:
-                    lo = regs.new()
-                    hi = regs.new()
-                    yield alu(pcs.site(f"p{p}_cmplo{bodies_in_iter}"), srcs=(vec,), dst=lo)
-                    yield alu(pcs.site(f"p{p}_cmphi{bodies_in_iter}"), srcs=(vec,), dst=hi)
-                    mask = regs.new()
-                    yield alu(pcs.site(f"p{p}_range{bodies_in_iter}"), srcs=(lo, hi), dst=mask)
+        if p > 0:
+            dead = chunk_dead_flags(prev_running, rpc, n_chunks)
+        is_range = predicate.func == AluFunc.CMP_RANGE
+        full_regs = (1 + (3 if is_range else 1)) + (1 if p > 0 else 0)
+        per_chunk_regs = (1 if p > 0 else 0)  # the mask-consult load
+
+        def iteration_key(i: int):
+            """(flags, sizes, loop-taken) of iteration ``i`` of pass p."""
+            first = i * unroll
+            limit = min(first + unroll, n_chunks)
+            flags = []
+            sizes = []
+            nregs = 0
+            for c in range(first, limit):
+                skip = bool(dead[c]) if p > 0 else False
+                flags.append(skip)
+                sizes.append(min((c + 1) * rpc, rows) - c * rpc)
+                nregs += per_chunk_regs + (0 if skip else full_regs)
+            taken = min(limit * rpc, rows) != rows
+            return (tuple(flags), tuple(sizes), taken), nregs
+
+        def make_iteration(i: int, pass_index: int, pred, col, dead_flags):
+            """The uops of iteration ``i`` (registers already seated)."""
+            first = i * unroll
+            limit = min(first + unroll, n_chunks)
+            for pos, c in enumerate(range(first, limit)):
+                start = c * rpc
+                stop = min(start + rpc, rows)
+                mask_addr = buffers.mask_address(start)
+                mask_bytes = buffers.mask_bytes_for(stop - start)
+                if pass_index > 0:
+                    # Consult the (cached) running mask; skip dead chunks.
+                    prev_mask = regs.new()
+                    yield load(pcs.site(f"p{pass_index}_ldmask{pos}"), mask_addr,
+                               mask_bytes, dst=prev_mask)
+                    skip = bool(dead_flags[c])
+                    yield branch(pcs.site(f"p{pass_index}_skip{pos}"),
+                                 taken=skip, srcs=(prev_mask,))
                 else:
-                    mask = regs.new()
-                    yield alu(pcs.site(f"p{p}_cmp{bodies_in_iter}"), srcs=(vec,), dst=mask)
-                if prev_mask is not None:
-                    conj = regs.new()
-                    yield alu(pcs.site(f"p{p}_and{bodies_in_iter}"),
-                              srcs=(mask, prev_mask), dst=conj)
-                    mask = conj
-                yield store(pcs.site(f"p{p}_stmask{bodies_in_iter}"), mask_addr,
-                            mask_bytes, srcs=(mask,))
-            bodies_in_iter += 1
-            if bodies_in_iter == unroll or stop == rows:
-                yield alu(pcs.site(f"p{p}_ind"), srcs=(induction,), dst=induction)
-                yield branch(pcs.site(f"p{p}_loop"), taken=stop != rows,
-                             srcs=(induction,))
-                bodies_in_iter = 0
+                    prev_mask = None
+                    skip = False
+                if not skip:
+                    vec = regs.new()
+                    yield load(pcs.site(f"p{pass_index}_ld{pos}"),
+                               col.address_of(start), (stop - start) * 4, dst=vec)
+                    if pred.func == AluFunc.CMP_RANGE:
+                        lo = regs.new()
+                        hi = regs.new()
+                        yield alu(pcs.site(f"p{pass_index}_cmplo{pos}"), srcs=(vec,), dst=lo)
+                        yield alu(pcs.site(f"p{pass_index}_cmphi{pos}"), srcs=(vec,), dst=hi)
+                        mask = regs.new()
+                        yield alu(pcs.site(f"p{pass_index}_range{pos}"), srcs=(lo, hi), dst=mask)
+                    else:
+                        mask = regs.new()
+                        yield alu(pcs.site(f"p{pass_index}_cmp{pos}"), srcs=(vec,), dst=mask)
+                    if prev_mask is not None:
+                        conj = regs.new()
+                        yield alu(pcs.site(f"p{pass_index}_and{pos}"),
+                                  srcs=(mask, prev_mask), dst=conj)
+                        mask = conj
+                    yield store(pcs.site(f"p{pass_index}_stmask{pos}"), mask_addr,
+                                mask_bytes, srcs=(mask,))
+                if stop == rows or pos == limit - first - 1:
+                    yield alu(pcs.site(f"p{pass_index}_ind"), srcs=(induction,), dst=induction)
+                    yield branch(pcs.site(f"p{pass_index}_loop"), taken=stop != rows,
+                                 srcs=(induction,))
+
+        # Group consecutive same-shaped iterations into runs.
+        i = 0
+        while i < n_iters:
+            key, nregs = iteration_key(i)
+            count = 1
+            while i + count < n_iters:
+                next_key, __ = iteration_key(i + count)
+                if next_key != key:
+                    break
+                count += 1
+            base_counter = regs.counter
+            i0 = i
+
+            def make(j, _i0=i0, _base=base_counter, _nregs=nregs, _p=p,
+                     _pred=predicate, _col=column,
+                     _dead=(dead if p > 0 else None), _mk=make_iteration):
+                regs.seek(_base + j * _nregs)
+                return _mk(_i0 + j, _p, _pred, _col, _dead)
+
+            rows_per_iter = unroll * rpc
+            start_row = i0 * rows_per_iter
+            end_row = min((i0 + count) * rows_per_iter, rows)
+            regions = (
+                Region(column.address_of(start_row), column.address_of(end_row),
+                       rows_per_iter * 4),
+                Region(buffers.mask_address(start_row),
+                       buffers.bitmask_base + (end_row + 7) // 8,
+                       Fraction(rows_per_iter, 8)),
+            )
+            yield TraceRun(
+                key=("x86col", p, config.op_bytes, unroll) + key,
+                count=count,
+                make=make,
+                regs_per_iter=nregs,
+                regions=regions,
+                fixed_regs=(induction,),
+            )
+            regs.seek(base_counter + count * nregs)
+            i += count
+
+
+def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
+    """DSM bitmask scan (Figures 3b/3c's x86 bars)."""
+    return flatten_runs(column_runs(workload, config))
 
 
 def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
@@ -188,6 +273,13 @@ def generate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
 lower_filter = generate
 
 
+def lower_filter_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """Filter lowering as steady-state runs (column strategy only)."""
+    if config.strategy != "column":
+        raise ValueError("run-structured lowering exists for column mode only")
+    return column_runs(workload, config)
+
+
 def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     """Aggregate lowering: core-side reduction over the cached bitmask."""
     _check(config)
@@ -197,6 +289,11 @@ def lower_aggregate(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]
 def generate_plan(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:
     """Lower the workload's full query plan."""
     return lower_plan(sys.modules[__name__], workload, config)
+
+
+def generate_plan_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun]:
+    """Lower the workload's full query plan as steady-state trace runs."""
+    return lower_plan_runs(sys.modules[__name__], workload, config)
 
 
 def expected_mask_bytes(workload: ScanWorkload) -> np.ndarray:

@@ -50,11 +50,15 @@ class SlottedResource:
 
     def reserve(self, cycle: int) -> int:
         """Reserve one slot at or after ``cycle``; return the granted cycle."""
-        when = max(int(cycle), self._horizon)
+        when = int(cycle)
+        if when < self._horizon:
+            when = self._horizon
         used = self._used
-        while used.get(when, 0) >= self.slots_per_cycle:
+        used_get = used.get
+        slots = self.slots_per_cycle
+        while used_get(when, 0) >= slots:
             when += 1
-        used[when] = used.get(when, 0) + 1
+        used[when] = used_get(when, 0) + 1
         if when - self._horizon > 2 * self._window:
             self._prune(when - self._window)
         return when
@@ -157,7 +161,15 @@ class MultiChannelBandwidth:
 
     def transfer(self, cycle: int, nbytes: int) -> tuple:
         """Move ``nbytes`` on the channel that can start soonest."""
-        best = min(self.channels, key=lambda ch: max(ch.next_free, cycle))
+        best = None
+        best_start = None
+        for channel in self.channels:
+            start = channel._next_free
+            if start < cycle:
+                start = cycle
+            if best_start is None or start < best_start:
+                best = channel
+                best_start = start
         return best.transfer(cycle, nbytes)
 
     @property
@@ -211,5 +223,13 @@ class UnitPool:
 
     def occupy(self, cycle: int, duration: int) -> tuple:
         """Use the soonest-available unit for ``duration`` cycles."""
-        best = min(self.units, key=lambda u: max(u.next_free, cycle))
+        best = None
+        best_start = None
+        for unit in self.units:
+            start = unit._next_free
+            if start < cycle:
+                start = cycle
+            if best_start is None or start < best_start:
+                best = unit
+                best_start = start
         return best.occupy(cycle, duration)

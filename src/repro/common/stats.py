@@ -25,6 +25,7 @@ class StatGroup:
         self._counters: Dict[str, float] = {}
         self._children: Dict[str, "StatGroup"] = {}
         self._derived: Dict[str, Callable[["StatGroup"], float]] = {}
+        self._flush_hooks: List[Callable[[], None]] = []
 
     # -- counters ---------------------------------------------------------
 
@@ -36,8 +37,24 @@ class StatGroup:
         """Set ``counter`` to an absolute value."""
         self._counters[counter] = value
 
+    def register_flush(self, hook: Callable[[], None]) -> None:
+        """Register a deferred-counter flush, run before any read.
+
+        Hot components batch their event counts in plain integer
+        attributes (a dict update per simulated event is measurable on
+        million-uop traces) and install a hook that folds them into the
+        counter dict; every read-side entry point syncs first, so the
+        deferral is invisible to callers and tests.
+        """
+        self._flush_hooks.append(hook)
+
+    def _sync(self) -> None:
+        for hook in self._flush_hooks:
+            hook()
+
     def get(self, counter: str, default: float = 0) -> float:
         """Read a counter, or ``default`` when it was never touched."""
+        self._sync()
         if counter in self._counters:
             return self._counters[counter]
         if counter in self._derived:
@@ -45,6 +62,7 @@ class StatGroup:
         return default
 
     def __contains__(self, counter: str) -> bool:
+        self._sync()
         return counter in self._counters or counter in self._derived
 
     # -- structure --------------------------------------------------------
@@ -67,6 +85,7 @@ class StatGroup:
 
     def merge(self, other: "StatGroup") -> None:
         """Accumulate ``other``'s counters (and children) into this group."""
+        other._sync()
         for key, value in other._counters.items():
             self.bump(key, value)
         for name, group in other._children.items():
@@ -74,6 +93,7 @@ class StatGroup:
 
     def flatten(self, prefix: str = "") -> Dict[str, float]:
         """All counters (derived included) as ``{"path.counter": value}``."""
+        self._sync()
         path = f"{prefix}{self.name}" if prefix or self.name else self.name
         out: Dict[str, float] = {}
         for key, value in self._counters.items():

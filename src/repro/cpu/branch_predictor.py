@@ -33,6 +33,27 @@ class TwoLevelGAs:
         self._btb: "OrderedDict[int, int]" = OrderedDict()
         self.stats = stats if stats is not None else StatGroup("branch_predictor")
         self.stats.derive("accuracy", ratio("correct", "predictions"))
+        # Hot counters batched as ints (see StatGroup.register_flush).
+        self._n_predictions = 0
+        self._n_correct = 0
+        self._n_mispredictions = 0
+        self._n_btb_misses = 0
+        self.stats.register_flush(self._flush_counts)
+
+    def _flush_counts(self) -> None:
+        stats = self.stats
+        if self._n_predictions:
+            stats.bump("predictions", self._n_predictions)
+            self._n_predictions = 0
+        if self._n_correct:
+            stats.bump("correct", self._n_correct)
+            self._n_correct = 0
+        if self._n_mispredictions:
+            stats.bump("mispredictions", self._n_mispredictions)
+            self._n_mispredictions = 0
+        if self._n_btb_misses:
+            stats.bump("btb_misses", self._n_btb_misses)
+            self._n_btb_misses = 0
 
     def _pht_index(self, pc: int) -> int:
         return ((pc << 2) ^ self._history) & self._pht_mask
@@ -56,7 +77,7 @@ class TwoLevelGAs:
             # A taken branch also needs its target: BTB miss -> redirect.
             if pc not in self._btb:
                 correct = False
-                self.stats.bump("btb_misses")
+                self._n_btb_misses += 1
                 self._btb[pc] = pc  # allocate (target value is irrelevant here)
                 while len(self._btb) > self.config.btb_entries:
                     self._btb.popitem(last=False)
@@ -71,9 +92,9 @@ class TwoLevelGAs:
         # Shift the global history.
         self._history = ((self._history << 1) | (1 if taken else 0)) & self._history_mask
 
-        self.stats.bump("predictions")
+        self._n_predictions += 1
         if correct:
-            self.stats.bump("correct")
+            self._n_correct += 1
         else:
-            self.stats.bump("mispredictions")
+            self._n_mispredictions += 1
         return correct

@@ -112,48 +112,87 @@ class CoreExecution:
         self.last_commit = 0
         self.index = 0
 
+        # Hot event counters, batched as plain ints and folded into the
+        # stats tree lazily (see StatGroup.register_flush).
+        self._n_loads = 0
+        self._n_stores = 0
+        self._n_branches = 0
+        self._n_alu = 0
+        self._n_pim = 0
+        self._n_redirects = 0
+        self._n_forwards = 0
+        stats.register_flush(self._flush_counts)
+
+    def _flush_counts(self) -> None:
+        stats = self.stats
+        if self._n_loads:
+            stats.bump("loads", self._n_loads)
+            self._n_loads = 0
+        if self._n_stores:
+            stats.bump("stores", self._n_stores)
+            self._n_stores = 0
+        if self._n_branches:
+            stats.bump("branches", self._n_branches)
+            self._n_branches = 0
+        if self._n_alu:
+            stats.bump("alu_ops", self._n_alu)
+            self._n_alu = 0
+        if self._n_pim:
+            stats.bump("pim_ops", self._n_pim)
+            self._n_pim = 0
+        if self._n_redirects:
+            stats.bump("redirects", self._n_redirects)
+            self._n_redirects = 0
+        if self._n_forwards:
+            stats.bump("store_forwards", self._n_forwards)
+            self._n_forwards = 0
+
     def process(self, uop: Uop) -> int:
         """Account one uop; returns its commit cycle."""
         core = self.core
-        stats = self.stats
         cls = uop.cls
+        rob = self._rob
+        index = self.index
 
         # ---- front end ----
         fetch = self._fetch_slots.reserve(self._fetch_floor)
-        if cls == UopClass.BRANCH:
-            fetch = max(fetch, self._branch_slots.reserve(fetch))
+        if cls is UopClass.BRANCH:
+            branch_fetch = self._branch_slots.reserve(fetch)
+            if branch_fetch > fetch:
+                fetch = branch_fetch
         dispatch = fetch + core.front_end_depth
-        rob_slot = self.index % len(self._rob)
-        if self.index >= len(self._rob):
-            dispatch = max(dispatch, self._rob[rob_slot])
+        rob_slot = index % len(rob)
+        if index >= len(rob) and rob[rob_slot] > dispatch:
+            dispatch = rob[rob_slot]
 
         # ---- register dependences ----
         ready = dispatch
+        reg_ready_get = self._reg_ready.get
         for src in uop.srcs:
-            t = self._reg_ready.get(src, 0)
+            t = reg_ready_get(src, 0)
             if t > ready:
                 ready = t
 
         # ---- issue + execute ----
         issue = ready
-        if cls == UopClass.LOAD:
+        if cls is UopClass.LOAD:
             issue = self._issue_slots.reserve(ready)
             issue = self._mob_reads.acquire(issue, issue)
             start, __ = self.units.execute(cls, issue)
             forwarded = self._store_forward.get(uop.address)
             if forwarded is not None and forwarded[0] >= uop.size:
                 completion = max(start, forwarded[1]) + 1
-                stats.bump("store_forwards")
+                self._n_forwards += 1
             else:
                 completion = self.hierarchy.load(start, uop.address, uop.size, uop.pc)
             self._mob_reads.acquire(start, completion)
-            stats.bump("loads")
-        elif cls == UopClass.STORE:
+            self._n_loads += 1
+        elif cls is UopClass.STORE:
             issue = self._issue_slots.reserve(ready)
             start, __ = self.units.execute(cls, issue)
             completion = start + 1
-            stats.bump("stores")
-        elif cls == UopClass.BRANCH:
+            self._n_stores += 1
+        elif cls is UopClass.BRANCH:
             issue = self._issue_slots.reserve(ready)
             __, completion = self.units.execute(cls, issue)
             resolve = completion
@@ -163,49 +202,56 @@ class CoreExecution:
                 redirect = resolve + core.mispredict_penalty
                 if redirect > self._fetch_floor:
                     self._fetch_floor = redirect
-                stats.bump("redirects")
+                self._n_redirects += 1
             elif uop.taken:
                 # A correctly predicted taken branch still ends the fetch
                 # group; the next fetch starts the following cycle.
                 if fetch + 1 > self._fetch_floor:
                     self._fetch_floor = fetch + 1
-            stats.bump("branches")
-        elif cls == UopClass.PIM:
+            self._n_branches += 1
+        elif cls is UopClass.PIM:
             if self.pim_backend is None:
                 raise RuntimeError("trace contains PIM uops but no backend is wired")
-            earliest = max(ready, self._last_pim_issue)
+            earliest = ready
+            if self._last_pim_issue > earliest:
+                earliest = self._last_pim_issue
             if uop.pim is None or not uop.pim.speculative:
                 # State-mutating PIM instructions issue non-speculatively.
-                earliest = max(earliest, self._branch_resolve_watermark)
+                if self._branch_resolve_watermark > earliest:
+                    earliest = self._branch_resolve_watermark
             earliest = self._issue_slots.reserve(earliest)
-            earliest = max(earliest, self._pim_window.earliest_free(earliest))
+            window_free = self._pim_window.earliest_free(earliest)
+            if window_free > earliest:
+                earliest = window_free
             start, __ = self.units.execute(cls, earliest)
             completion = self.pim_backend.submit(uop, start)
             self._pim_window.acquire(start, completion)
             self._last_pim_issue = start
-            stats.bump("pim_ops")
-        elif cls == UopClass.NOP:
+            self._n_pim += 1
+        elif cls is UopClass.NOP:
             issue = self._issue_slots.reserve(ready)
             completion = issue
         else:  # plain ALU classes
             issue = self._issue_slots.reserve(ready)
             __, completion = self.units.execute(cls, issue)
-            stats.bump("alu_ops")
+            self._n_alu += 1
 
         # ---- in-order commit ----
-        commit = self._commit_slots.reserve(max(completion, self.last_commit))
+        commit_ready = completion if completion > self.last_commit else self.last_commit
+        commit = self._commit_slots.reserve(commit_ready)
         self.last_commit = commit
-        self._rob[rob_slot] = commit
-        if cls == UopClass.STORE:
+        rob[rob_slot] = commit
+        if cls is UopClass.STORE:
             accepted = self.hierarchy.store(commit, uop.address, uop.size, uop.pc)
             self._mob_writes.acquire(issue, accepted)
-            self._store_forward[uop.address] = (uop.size, completion)
-            if len(self._store_forward) > core.mob_write_entries:
-                self._store_forward.pop(next(iter(self._store_forward)))
+            store_forward = self._store_forward
+            store_forward[uop.address] = (uop.size, completion)
+            if len(store_forward) > core.mob_write_entries:
+                store_forward.pop(next(iter(store_forward)))
 
         if uop.dst is not None:
             self._reg_ready[uop.dst] = completion
-        self.index += 1
+        self.index = index + 1
         return commit
 
     def result(self) -> CoreResult:

@@ -36,6 +36,11 @@ class FunctionalUnits:
         # load unit on their way out (they travel "like a load", §III).
         self._pools[UopClass.BRANCH] = self._pools[UopClass.INT_ALU]
         self._pools[UopClass.PIM] = self._pools[UopClass.LOAD]
+        # Dense dispatch table: (pool, latency, occupancy) per class index.
+        self._table = [None] * len(UopClass)
+        for cls, (pool, spec) in self._pools.items():
+            occupancy = spec.latency if not spec.pipelined else 1
+            self._table[cls.index] = (pool, spec.latency, occupancy)
 
     def execute(self, cls: UopClass, cycle: int) -> Tuple[int, int]:
         """Dispatch one ``cls`` uop at/after ``cycle``.
@@ -44,12 +49,12 @@ class FunctionalUnits:
         ``result_ready`` covers only the unit itself; downstream latency
         (cache, cube) is added by the caller.
         """
-        if cls == UopClass.NOP:
+        entry = self._table[cls.index]
+        if entry is None:  # NOP
             return cycle, cycle
-        pool, spec = self._pools[cls]
-        occupancy = spec.latency if not spec.pipelined else 1
+        pool, latency, occupancy = entry
         start, __ = pool.occupy(cycle, occupancy)
-        return start, start + spec.latency
+        return start, start + latency
 
     def latency_of(self, cls: UopClass) -> int:
         """The raw result latency of a class (tests/diagnostics)."""

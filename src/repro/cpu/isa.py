@@ -39,6 +39,11 @@ class UopClass(enum.Enum):
 #: Uop classes that read or write the cache hierarchy.
 MEMORY_CLASSES = frozenset({UopClass.LOAD, UopClass.STORE})
 
+# Dense integer ids for list-based dispatch on hot paths (enum __hash__
+# is a Python-level call; ``cls.index`` + a list lookup is much cheaper).
+for _i, _member in enumerate(UopClass):
+    _member.index = _i
+
 
 class PimOp(enum.Enum):
     """Operation kinds carried by PIM uops (interpreted by the engines)."""
@@ -63,6 +68,10 @@ class PimOp(enum.Enum):
     # block's chunk masks ride one row-buffer-sized DRAM access.
     PACK_MASK = "pack_mask"
     UNPACK_MASK = "unpack_mask"
+
+
+for _i, _member in enumerate(PimOp):
+    _member.index = _i
 
 
 class AluFunc(enum.Enum):

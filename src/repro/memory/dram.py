@@ -59,7 +59,7 @@ class DramTimings:
         return self.t_ras + self.t_rp
 
 
-@dataclass
+@dataclass(slots=True)
 class BankAccessResult:
     """Timing of one bank access."""
 

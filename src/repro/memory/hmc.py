@@ -28,7 +28,7 @@ from .links import HmcLinks
 from .vault import Vault
 
 
-@dataclass
+@dataclass(slots=True)
 class HmcAccessResult:
     """End-to-end timing of one processor-side HMC transaction."""
 
@@ -45,6 +45,34 @@ class Hmc:
         self.vaults = [Vault(v, config) for v in range(config.num_vaults)]
         self.links = HmcLinks(config)
         self.stats = stats if stats is not None else StatGroup("hmc")
+        self._n_vault_accesses = 0
+        self._n_vault_bytes_read = 0
+        self._n_vault_bytes_written = 0
+        self._n_line_reads = 0
+        self._n_line_writes = 0
+        self._n_pim_updates = 0
+        self.stats.register_flush(self._flush_counts)
+
+    def _flush_counts(self) -> None:
+        stats = self.stats
+        if self._n_vault_accesses:
+            stats.bump("vault_accesses", self._n_vault_accesses)
+            self._n_vault_accesses = 0
+        if self._n_vault_bytes_read:
+            stats.bump("vault_bytes_read", self._n_vault_bytes_read)
+            self._n_vault_bytes_read = 0
+        if self._n_vault_bytes_written:
+            stats.bump("vault_bytes_written", self._n_vault_bytes_written)
+            self._n_vault_bytes_written = 0
+        if self._n_line_reads:
+            stats.bump("line_reads", self._n_line_reads)
+            self._n_line_reads = 0
+        if self._n_line_writes:
+            stats.bump("line_writes", self._n_line_writes)
+            self._n_line_writes = 0
+        if self._n_pim_updates:
+            stats.bump("pim_updates", self._n_pim_updates)
+            self._n_pim_updates = 0
 
     # -- vault-side primitives (no link crossing) --------------------------
 
@@ -62,8 +90,11 @@ class Hmc:
             vault = self.vaults[decoded.vault]
             result = vault.access(cycle, decoded.bank, block_bytes, is_write)
             done = max(done, result.data_ready)
-        self.stats.bump("vault_accesses")
-        self.stats.bump("vault_bytes_written" if is_write else "vault_bytes_read", nbytes)
+        self._n_vault_accesses += 1
+        if is_write:
+            self._n_vault_bytes_written += nbytes
+        else:
+            self._n_vault_bytes_read += nbytes
         return done
 
     # -- processor-side transactions ---------------------------------------
@@ -73,7 +104,7 @@ class Hmc:
         request = self.links.send_request(cycle, payload_bytes=0)
         data_ready = self.vault_access(request.arrival, address, nbytes, is_write=False)
         response = self.links.send_response(data_ready, payload_bytes=nbytes)
-        self.stats.bump("line_reads")
+        self._n_line_reads += 1
         return HmcAccessResult(issue=request.start, completion=response.arrival)
 
     def write_line(self, cycle: int, address: int, nbytes: int) -> HmcAccessResult:
@@ -85,7 +116,7 @@ class Hmc:
         request = self.links.send_request(cycle, payload_bytes=nbytes)
         written = self.vault_access(request.arrival, address, nbytes, is_write=True)
         response = self.links.send_response(written, payload_bytes=0)
-        self.stats.bump("line_writes")
+        self._n_line_writes += 1
         return HmcAccessResult(issue=request.start, completion=response.arrival)
 
     def pim_update(
@@ -118,7 +149,7 @@ class Hmc:
         if writes_back:
             fu_done = self.vault_access(fu_done, address, nbytes, is_write=True)
         response = self.links.send_response(fu_done, payload_bytes=response_payload_bytes)
-        self.stats.bump("pim_updates")
+        self._n_pim_updates += 1
         return HmcAccessResult(issue=request.start, completion=response.arrival)
 
     # -- statistics ---------------------------------------------------------

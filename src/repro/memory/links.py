@@ -19,7 +19,7 @@ from ..common.resources import MultiChannelBandwidth
 from ..common.units import CORE_CLOCK, ClockDomain, GIGA
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkTransfer:
     """Timing of one packet crossing the links."""
 

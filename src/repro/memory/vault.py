@@ -19,7 +19,7 @@ from ..common.resources import BandwidthResource, SlottedResource
 from .dram import BankAccessResult, DramBank, DramTimings
 
 
-@dataclass
+@dataclass(slots=True)
 class VaultAccessResult:
     """Completion info for one <=row-buffer-sized vault access."""
 

@@ -74,6 +74,29 @@ class HiveEngine:
         self._block_watermark = 0  # completion of everything in the block
         self.last_completion = 0  # engine drain time (run end accounting)
         self.max_op_bytes = max(config.op_sizes)
+        self._n_instructions = 0
+        self.stats.register_flush(self._flush_counts)
+        # Dense handler table indexed by PimOp.index (built once; enum
+        # hashing per instruction is measurable on million-uop traces).
+        handlers = {
+            PimOp.LOCK: self._do_lock,
+            PimOp.UNLOCK: self._do_unlock,
+            PimOp.PIM_LOAD: self._do_load,
+            PimOp.PIM_LOAD_MASK: self._do_load,
+            PimOp.PIM_STORE: self._do_store,
+            PimOp.PIM_STORE_MASK: self._do_store,
+            PimOp.PIM_ALU: self._do_alu,
+            PimOp.PACK_MASK: self._do_pack,
+            PimOp.UNPACK_MASK: self._do_unpack,
+        }
+        self._handlers = [None] * len(PimOp)
+        for op, handler in handlers.items():
+            self._handlers[op.index] = handler
+
+    def _flush_counts(self) -> None:
+        if self._n_instructions:
+            self.stats.bump("instructions", self._n_instructions)
+            self._n_instructions = 0
 
     # -- latency helpers ----------------------------------------------------
 
@@ -123,19 +146,9 @@ class HiveEngine:
         proceed in the background otherwise.
         """
         dispatch = max(arrival, self._seq_time)
-        self.stats.bump("instructions")
+        self._n_instructions += 1
 
-        handler = {
-            PimOp.LOCK: self._do_lock,
-            PimOp.UNLOCK: self._do_unlock,
-            PimOp.PIM_LOAD: self._do_load,
-            PimOp.PIM_LOAD_MASK: self._do_load,
-            PimOp.PIM_STORE: self._do_store,
-            PimOp.PIM_STORE_MASK: self._do_store,
-            PimOp.PIM_ALU: self._do_alu,
-            PimOp.PACK_MASK: self._do_pack,
-            PimOp.UNPACK_MASK: self._do_unpack,
-        }.get(inst.op)
+        handler = self._handlers[inst.op.index]
         if handler is None:
             raise ValueError(f"{self.config.name} cannot execute {inst.op!r}")
         completion = handler(inst, dispatch)
@@ -293,7 +306,7 @@ class HiveEngine:
         accumulator.lane_match[:] = accumulator.lanes(4) != 0
         accumulator.ready = max(accumulator.ready, done)
         self.stats.bump("pack_ops")
-        self.registers.stats.bump("writes")
+        self.registers._n_writes += 1
         return done
 
     def _do_unpack(self, inst: PimInstruction, dispatch: int) -> int:

@@ -62,6 +62,17 @@ class PimRegisterBank:
             PimRegister(i, config.register_bytes) for i in range(config.register_count)
         ]
         self.stats = stats if stats is not None else StatGroup("register_bank")
+        self._n_reads = 0
+        self._n_writes = 0
+        self.stats.register_flush(self._flush_counts)
+
+    def _flush_counts(self) -> None:
+        if self._n_reads:
+            self.stats.bump("reads", self._n_reads)
+            self._n_reads = 0
+        if self._n_writes:
+            self.stats.bump("writes", self._n_writes)
+            self._n_writes = 0
 
     def __len__(self) -> int:
         return len(self.registers)
@@ -75,7 +86,7 @@ class PimRegisterBank:
 
     def read(self, index: int) -> PimRegister:
         """A timed read access (accounting; interlock is caller-side)."""
-        self.stats.bump("reads")
+        self._n_reads += 1
         return self[index]
 
     def write(self, index: int, data: np.ndarray, lane_bytes: int, ready: int) -> PimRegister:
@@ -83,5 +94,5 @@ class PimRegisterBank:
         register = self[index]
         register.set_lanes(data, lane_bytes)
         register.ready = max(register.ready, ready)
-        self.stats.bump("writes")
+        self._n_writes += 1
         return register

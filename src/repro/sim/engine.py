@@ -85,6 +85,12 @@ def code_digest() -> str:
     :data:`TIMING_MODEL_DIRS`), so edits that alter results without
     touching any config field no longer silently reuse stale cached
     numbers until someone remembers to bump ``repro.__version__``.
+
+    The steady-state replay layer (``repro.sim.replay``) is covered by
+    the ``sim`` directory, so its code is part of this digest too:
+    replayed and ``REPRO_EXACT=1`` runs produce bit-identical results
+    by contract and therefore *share* cache entries — no separate key
+    field — while any edit to the replay machinery invalidates them.
     """
     global _CODE_DIGEST
     if _CODE_DIGEST is None:

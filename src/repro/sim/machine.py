@@ -42,6 +42,9 @@ class Machine:
     backend: Optional[PimBackend] = None
     engine: Optional[HiveEngine] = None
 
+    #: replay bookkeeping of the last `run_runs` (never part of results)
+    replay_stats: Optional[object] = None
+
     def run(self, trace):
         """Execute a uop trace; returns the core result (stats updated).
 
@@ -50,6 +53,28 @@ class Machine:
         still be executing in the cube when the core retires them).
         """
         result = self.core.run(trace)
+        return self._finish(result)
+
+    def run_runs(self, runs, exact: bool = False):
+        """Execute a steady-state run stream (see :mod:`repro.sim.replay`).
+
+        ``exact=True`` (or ``REPRO_EXACT=1``) flattens the runs and
+        simulates every uop — the escape hatch the replay path is
+        verified against.  Results are bit-identical either way; the
+        replay path is just asymptotically faster on converged scans.
+        """
+        from ..codegen.base import flatten_runs
+        from .replay import ReplayExecutor, replay_enabled
+
+        if exact or not replay_enabled() or self.hierarchy.directory is not None:
+            return self.run(flatten_runs(runs))
+        execution = self.core.execution()
+        executor = ReplayExecutor(self, execution)
+        executor.consume(runs)
+        self.replay_stats = executor.stats
+        return self._finish(execution.result())
+
+    def _finish(self, result):
         if self.engine is not None and self.engine.last_completion > result.cycles:
             result.cycles = self.engine.last_completion
             result.stats.set("cycles", result.cycles)

@@ -1,0 +1,850 @@
+"""Steady-state trace replay: fast-forward converged loop-body runs.
+
+The database scans this repository simulates are one loop body repeated
+thousands of times.  A ZSim-class analytic model spends identical work
+on every repetition; this module exploits the repetition instead, the
+way the bulk-bitwise PIM reproductions replay steady-state behaviour to
+reach full TPC-H scale factors.
+
+The machinery operates on the :class:`~repro.codegen.base.TraceRun`
+protocol: codegen hands the simulator runs of structurally identical
+iterations (same static uops, addresses advancing uniformly).  Within a
+run the executor
+
+1. **detects convergence** — simulates iterations normally while
+   watching the per-iteration commit-cycle deltas; when the delta
+   sequence repeats with some period ``p`` it takes a *probe*: two more
+   periods simulated with a full machine-state *signature* captured at
+   each period boundary,
+2. **verifies shift-periodicity** — the signature normalises every
+   timing quantity to the current commit cycle and every address to the
+   run's declared region advances; two consecutive boundaries with
+   byte-equal signatures and equal statistics deltas prove the machine
+   is advancing uniformly: state(k+1) = shift(state(k)),
+3. **extrapolates** — the remaining whole periods are applied
+   analytically: statistics counters grow by the verified per-period
+   deltas, every clock in the machine advances by the period's cycle
+   delta, address-keyed state (cache tags, MSHR merge tables, prefetch
+   tables, store-forward entries) is relabelled by the region advances,
+   and the run's ``bulk`` hook applies the skipped iterations'
+   functional side effects (engine-stored bitmask bytes, HMC
+   verification masks),
+4. **guards exactness** — anything that breaks uniformity refuses to
+   converge and keeps full simulation: data-dependent chunk skipping,
+   HIPE's predicated loads (per-chunk squash/partial-load timing),
+   cache-resident warmup (residue accumulating in the tags), hot DRAM
+   banks, the tuple-at-a-time round-trip serialisation (opaque runs).
+   ``REPRO_EXACT=1`` bypasses the replay layer entirely so any point
+   can be re-verified against the slow path; replayed and exact runs
+   produce bit-identical :class:`~repro.sim.results.RunResult`\\ s.
+
+The replay layer lives inside the timing-model source digest
+(``repro.sim``), so cached experiment results are invalidated whenever
+this file changes — replayed and exact runs share cache keys by design.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..codegen.base import RegAllocator, TraceRun
+from ..common.resources import (
+    BandwidthResource,
+    BusyResource,
+    MultiChannelBandwidth,
+    OccupancyResource,
+    SlottedResource,
+    UnitPool,
+)
+from ..common.stats import StatGroup
+
+#: the register-id convention every codegen follows (replay relabels
+#: rotating ids in terms of it; loop-invariant ids are left alone)
+REG_START = RegAllocator.DEFAULT_START
+REG_WINDOW = RegAllocator.DEFAULT_WINDOW
+
+#: smallest run worth attempting convergence on
+MIN_RUN_ITERATIONS = 12
+#: longest delta period considered (iterations)
+MAX_PERIOD = 256
+#: DRAM block granularity: a period whose region advances are whole
+#: 256 B blocks keeps the vault/bank rotation phase boundary-invariant
+BLOCK_BYTES = 256
+#: minimum repetitions of the delta period before probing
+MIN_REPEATS = 2
+#: iterations of back-off after a failed probe before trying again
+RETRY_BACKOFF_PERIODS = 4
+#: failed probes per run before giving up (bounds the state-signature
+#: overhead on runs that never converge to ~a few percent)
+MAX_PROBES_PER_RUN = 3
+#: minimum remaining iterations, in periods, to make a probe worthwhile
+MIN_SKIP_PERIODS = 3
+#: how far below "now" timing entries still enter the state signature
+#: (bounds the skew the out-of-order front end can produce)
+GRACE = 1024
+
+
+def replay_enabled() -> bool:
+    """Replay is on unless ``REPRO_EXACT``/``REPRO_REPLAY=0`` disable it."""
+    if os.environ.get("REPRO_EXACT", "0").lower() in ("1", "true", "yes"):
+        return False
+    return os.environ.get("REPRO_REPLAY", "1").lower() not in ("0", "false", "no")
+
+
+class ReplayStats:
+    """Bookkeeping of one replayed trace (not part of the RunResult)."""
+
+    def __init__(self) -> None:
+        self.runs_seen = 0
+        self.runs_converged = 0
+        self.probes_failed = 0
+        self.simulated_iterations = 0
+        self.skipped_iterations = 0
+        self.skipped_uops = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplayStats(converged {self.runs_converged}/{self.runs_seen} runs, "
+            f"skipped {self.skipped_iterations} iters / {self.skipped_uops} uops, "
+            f"simulated {self.simulated_iterations})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# address normalisation helpers
+# ---------------------------------------------------------------------------
+
+
+class _AddressMap:
+    """Maps addresses to per-region deltas (normalisation / relabelling)."""
+
+    def __init__(self, regions, deltas: List[int]) -> None:
+        self._spans = [(r.lo, r.hi, d) for r, d in zip(regions, deltas)]
+
+    def delta_of(self, address: int) -> Tuple[int, int]:
+        """(region index, delta) for ``address``; (-1, 0) when unregioned."""
+        for index, (lo, hi, delta) in enumerate(self._spans):
+            if lo <= address < hi:
+                return index, delta
+        return -1, 0
+
+    def normalize(self, address: int) -> Tuple[int, int]:
+        region, delta = self.delta_of(address)
+        return region, address - delta
+
+    def relabel(self, address: int) -> int:
+        __, delta = self.delta_of(address)
+        return address + delta
+
+
+# ---------------------------------------------------------------------------
+# the state signature (normalised, comparison decides convergence)
+# ---------------------------------------------------------------------------
+
+
+def _sig_slotted(res: SlottedResource, now: int):
+    return (_sig_clock(res._horizon, now),) + tuple(sorted(
+        (c - now, n) for c, n in res._used.items() if c >= now - GRACE
+    ))
+
+
+def _sig_occupancy(res: OccupancyResource, now: int):
+    return tuple(sorted(r - now for r in res._releases if r > now - GRACE))
+
+
+def _sig_clock(value: int, now: int) -> int:
+    slack = value - now
+    return slack if slack > -GRACE else -GRACE
+
+
+def _policy_dict(policy):
+    """The ordered tag container of any replacement policy flavour."""
+    for name in ("_stack", "_queue", "_tags"):
+        container = getattr(policy, name, None)
+        if container is not None:
+            return container
+    raise TypeError(f"unsupported replacement policy {type(policy).__name__}")
+
+
+def _sig_policy(cache_set, now: int, amap: _AddressMap):
+    entries = []
+    for rank, line in enumerate(_policy_dict(cache_set.policy)):
+        region, norm = amap.normalize(line)
+        entries.append((region, norm, rank, bool(cache_set.dirty.get(line, False))))
+    return tuple(entries)
+
+
+def _walk_stats(group: StatGroup, out: List[Tuple[Dict, str]]) -> None:
+    for key in group._counters:
+        out.append((group._counters, key))
+    for child in group._children.values():
+        _walk_stats(child, out)
+
+
+class _MachineState:
+    """Enumerates every timing-relevant part of one machine + execution."""
+
+    def __init__(self, machine, execution) -> None:
+        self.machine = machine
+        self.execution = execution
+        core = execution
+
+        # Positional structures: one fixed instance each.
+        self.slotted: List[SlottedResource] = [
+            core._fetch_slots, core._branch_slots, core._issue_slots,
+            core._commit_slots,
+        ]
+        self.occupancy: List[OccupancyResource] = [
+            core._mob_reads, core._mob_writes,
+        ]
+        if core._pim_window is not None:
+            self.occupancy.append(core._pim_window)
+
+        # Interchangeable server groups: requests rotate round-robin
+        # across them (vaults, banks, FU instances, link lanes), so
+        # their signatures compare as sorted multisets — a stale entry
+        # on a rotated-away server is dead by the time the stream
+        # returns to it (revisit interval >> GRACE), which the
+        # equivalence tests pin down per supported configuration.
+        self.slotted_pools: List[List[SlottedResource]] = []
+        self.busy_pools: List[List[BusyResource]] = []
+        self.bandwidth_pools: List[List[BandwidthResource]] = []
+
+        seen = set()
+        for pool, __ in machine.core.units._pools.values():
+            if id(pool) in seen:
+                continue
+            seen.add(id(pool))
+            self.busy_pools.append(list(pool.units))
+
+        hmc = machine.hmc
+        for lanes in (hmc.links._request_lanes, hmc.links._response_lanes):
+            self.bandwidth_pools.append(list(lanes.channels))
+        self.slotted_pools.append([v._command_queue for v in hmc.vaults])
+        self.slotted_pools.append([v._fu for v in hmc.vaults])
+        self.bandwidth_pools.append([v._data_bus for v in hmc.vaults])
+        self.busy_pools.append(
+            [bank._resource for vault in hmc.vaults for bank in vault.banks]
+        )
+
+        self.levels = [machine.hierarchy.l1, machine.hierarchy.l2,
+                       machine.hierarchy.l3]
+        for level in self.levels:
+            self.slotted.append(level._ports)
+            for pool in (level.mshr.requests, level.mshr.writes,
+                         level.mshr.evictions):
+                self.occupancy.append(pool)
+
+        self.engine = machine.engine
+
+        # Flat views for time-shifting (order irrelevant there).
+        self.all_slotted = self.slotted + [
+            r for group in self.slotted_pools for r in group
+        ]
+        self.all_busy = [u for group in self.busy_pools for u in group]
+        self.all_bandwidth = [
+            c for group in self.bandwidth_pools for c in group
+        ]
+        self.bandwidth = self.all_bandwidth
+        self.busy = self.all_busy
+
+        # Monotonic counters outside the stats tree (extrapolated, not
+        # part of the structural signature).
+        counters: List[Tuple[object, str]] = []
+        _walk_stats(machine.stats, counters)  # type: ignore[arg-type]
+        self.stat_cells = counters
+        # Scalar counters: positionally stable between periods.  The
+        # ``_n_*`` attributes are the hot-path batched counters that
+        # flush lazily into the stats tree (StatGroup.register_flush).
+        self.scalar_cells: List[Tuple[object, str]] = [
+            (hmc.links, "request_packets"),
+            (hmc.links, "response_packets"),
+            (hmc, "_n_vault_accesses"),
+            (hmc, "_n_vault_bytes_read"),
+            (hmc, "_n_vault_bytes_written"),
+            (hmc, "_n_line_reads"),
+            (hmc, "_n_line_writes"),
+            (hmc, "_n_pim_updates"),
+            (machine.hierarchy, "_n_loads"),
+            (machine.hierarchy, "_n_stores"),
+        ]
+        for name in ("_n_loads", "_n_stores", "_n_branches", "_n_alu",
+                     "_n_pim", "_n_redirects", "_n_forwards"):
+            self.scalar_cells.append((execution, name))
+        predictor = machine.core.predictor
+        for name in ("_n_predictions", "_n_correct", "_n_mispredictions",
+                     "_n_btb_misses"):
+            self.scalar_cells.append((predictor, name))
+        self.dict_cells: List[Tuple[Dict, object]] = []
+        for level in self.levels:
+            self.scalar_cells.append((level.mshr, "merges"))
+            self.scalar_cells.append((level.mshr, "allocations"))
+            self.scalar_cells.append((level.prefetcher, "issued"))
+            for name in ("_n_accesses", "_n_hits", "_n_misses",
+                         "_n_prefetch_hits", "_n_invalidations"):
+                self.scalar_cells.append((level, name))
+            for acc_type in level._n_miss_by_type:
+                self.dict_cells.append((level._n_miss_by_type, acc_type))
+        if self.engine is not None:
+            self.scalar_cells.append((self.engine, "_n_instructions"))
+            self.scalar_cells.append((self.engine.registers, "_n_reads"))
+            self.scalar_cells.append((self.engine.registers, "_n_writes"))
+        # Group-summed counters: requests rotate across the pool's
+        # members, so only the pool total extrapolates linearly (and
+        # only the total ever reaches results, via collect_stats).
+        banks = [bank for vault in hmc.vaults for bank in vault.banks]
+        self.group_cells: List[List[Tuple[object, str]]] = [
+            [(vault, "fu_ops") for vault in hmc.vaults],
+        ]
+        for name in ("activations", "reads", "writes", "bytes_read",
+                     "bytes_written"):
+            self.group_cells.append([(bank, name) for bank in banks])
+        for pool in self.busy_pools:
+            self.group_cells.append([(u, "busy_cycles") for u in pool])
+        for pool in self.bandwidth_pools:
+            # One group per lane pool: request lanes, response lanes and
+            # vault data buses feed *separate* result statistics.
+            self.group_cells.append([(c, "bytes_moved") for c in pool])
+
+    # -- counters (values extrapolate linearly) -----------------------------
+
+    def counter_vector(self) -> List[float]:
+        values = [cells[key] for cells, key in self.stat_cells]
+        values.extend(getattr(obj, name, 0) for obj, name in self.scalar_cells)
+        values.extend(cells[key] for cells, key in self.dict_cells)
+        values.extend(
+            sum(getattr(obj, name, 0) for obj, name in group)
+            for group in self.group_cells
+        )
+        return values
+
+    def stat_keys(self):
+        """Stable identity of the stats cells (new counters may appear)."""
+        return [
+            (id(cells), key) for cells, key in self.stat_cells
+        ]
+
+    def refresh_stats(self) -> None:
+        """Re-walk the stats tree (counters can be created lazily)."""
+        counters: List[Tuple[Dict, str]] = []
+        _walk_stats(self.machine.stats, counters)
+        self.stat_cells = counters
+
+    def add_counters(self, delta: List[float], times: int) -> None:
+        n_stats = len(self.stat_cells)
+        n_scalar = len(self.scalar_cells)
+        n_dict = len(self.dict_cells)
+        for (cells, key), d in zip(self.stat_cells, delta[:n_stats]):
+            if d:
+                cells[key] = cells[key] + d * times
+        for (obj, name), d in zip(self.scalar_cells,
+                                  delta[n_stats:n_stats + n_scalar]):
+            if d:
+                setattr(obj, name, getattr(obj, name) + int(d) * times)
+        for (cells, key), d in zip(
+            self.dict_cells, delta[n_stats + n_scalar:n_stats + n_scalar + n_dict]
+        ):
+            if d:
+                cells[key] = cells[key] + int(d) * times
+        for group, d in zip(self.group_cells,
+                            delta[n_stats + n_scalar + n_dict:]):
+            if d:
+                # Attribute the whole pool's growth to its first member;
+                # results only ever read the pool total.
+                obj, name = group[0]
+                setattr(obj, name, getattr(obj, name) + int(d) * times)
+
+    # -- structural signature ----------------------------------------------
+
+    def signature(self, amap: _AddressMap):
+        core = self.execution
+        now = core.last_commit
+        parts: List = []
+
+        # Pool members stay positional: a rotated-but-otherwise-equal
+        # pool is NOT shift-equivalent (the rotation phase feeds future
+        # tie-breaking), and treating it as equal is exactly the false
+        # convergence the bit-identity tests would catch.
+        parts.append(tuple(_sig_slotted(r, now) for r in self.slotted))
+        parts.append(tuple(_sig_occupancy(r, now) for r in self.occupancy))
+        parts.append(tuple(
+            tuple(_sig_slotted(r, now) for r in group)
+            for group in self.slotted_pools
+        ))
+        parts.append(tuple(
+            tuple(_sig_clock(u._next_free, now) for u in group)
+            for group in self.busy_pools
+        ))
+        parts.append(tuple(
+            tuple(_sig_clock(c._next_free, now) for c in group)
+            for group in self.bandwidth_pools
+        ))
+
+        # Core scalar clocks + the ROB in age order (rotation-invariant).
+        parts.append((
+            _sig_clock(core._fetch_floor, now),
+            _sig_clock(core._branch_resolve_watermark, now),
+            _sig_clock(core._last_pim_issue, now),
+        ))
+        rob = core._rob
+        size = len(rob)
+        head = core.index % size
+        parts.append(tuple(
+            _sig_clock(rob[(head - 1 - o) % size], now) for o in range(size)
+        ))
+
+        # Register ready times: rotating ids relabelled to allocation
+        # age; loop-invariant ids (induction/state registers the run
+        # declares) compare — and later shift — by identity.
+        reg_shift = self._reg_phase() % REG_WINDOW
+        fixed = self.fixed_regs
+        regs = tuple(sorted(
+            (("f", rid) if rid in fixed
+             else ("r", (rid - REG_START - reg_shift) % REG_WINDOW),
+             t - now)
+            for rid, t in core._reg_ready.items() if t > now - GRACE
+        ))
+        parts.append(regs)
+
+        # Store-forward entries in insertion order, addresses normalised.
+        parts.append(tuple(
+            (amap.normalize(addr), size_, _sig_clock(t, now))
+            for addr, (size_, t) in core._store_forward.items()
+        ))
+
+        # Branch predictor (must be fully trained and periodic).
+        predictor = self.machine.core.predictor
+        parts.append((predictor._history, bytes(predictor._pht),
+                      tuple(predictor._btb.keys())))
+
+        # Cache tags + dirty bits + LRU ranks, addresses normalised;
+        # MSHR merge tables; prefetcher state.
+        for level in self.levels:
+            parts.append(tuple(
+                _sig_policy(cache_set, now, amap) for cache_set in level._sets
+            ))
+            parts.append(tuple(sorted(
+                (amap.normalize(line), t - now)
+                for line, t in level.mshr._in_flight.items() if t > now - GRACE
+            )))
+            parts.append(_sig_prefetcher(level.prefetcher, amap))
+
+        # Logic-layer engine clocks + register interlock times.
+        engine = self.engine
+        if engine is not None:
+            parts.append((
+                _sig_clock(engine._seq_time, now),
+                _sig_clock(engine._lock_free, now),
+                _sig_clock(engine._block_watermark, now),
+                _sig_clock(engine.last_completion, now),
+                tuple(_sig_clock(r.ready, now) for r in engine.registers.registers),
+            ))
+        return tuple(parts)
+
+    def _reg_phase(self) -> int:
+        """Core-register allocation phase (set by the executor per run)."""
+        return getattr(self, "reg_phase", 0)
+
+    @property
+    def fixed_regs(self):
+        """Loop-invariant register ids of the current run (executor-set)."""
+        return getattr(self, "_fixed_regs", frozenset())
+
+    @fixed_regs.setter
+    def fixed_regs(self, value) -> None:
+        self._fixed_regs = frozenset(value)
+
+    # -- the shift (fast-forward by `times` periods) ------------------------
+
+    def plan_tag_relabel(self, amap: _AddressMap) -> Optional[List]:
+        """Dry-run the cache-tag relabelling; None when it is ambiguous.
+
+        Relabelled lines may move to different sets (region advances are
+        not set-aligned in general).  That is exact as long as every
+        destination set receives lines from at most one source set —
+        otherwise the merged LRU order is unknown and the executor
+        refuses to extrapolate.
+        """
+        plans = []
+        for level in self.levels:
+            num_sets = level.num_sets
+            line_bytes = level.line_bytes
+            new_sets: Dict[int, List] = {}
+            sources: Dict[int, int] = {}
+            for old_index, cache_set in enumerate(level._sets):
+                for line in _policy_dict(cache_set.policy):
+                    new_line = amap.relabel(line)
+                    new_index = (new_line // line_bytes) % num_sets
+                    origin = sources.get(new_index)
+                    if origin is None:
+                        sources[new_index] = old_index
+                    elif origin != old_index:
+                        return None
+                    new_sets.setdefault(new_index, []).append(
+                        (new_line, bool(cache_set.dirty.get(line, False)))
+                    )
+            plans.append(new_sets)
+        return plans
+
+    def apply_tag_relabel(self, plans: List) -> None:
+        for level, new_sets in zip(self.levels, plans):
+            for index, cache_set in enumerate(level._sets):
+                entries = new_sets.get(index)
+                container = _policy_dict(cache_set.policy)
+                container.clear()
+                cache_set.dirty.clear()
+                if entries:
+                    for line, dirty in entries:
+                        container[line] = None
+                        if dirty:
+                            cache_set.dirty[line] = True
+
+    def shift(self, dt: int, amap: _AddressMap, uop_advance: int,
+              reg_advance: int) -> None:
+        """Advance the whole machine by ``dt`` cycles / region deltas."""
+        core = self.execution
+
+        for res in self.all_slotted:
+            res._used = {c + dt: n for c, n in res._used.items()}
+            res._horizon += dt
+        for res in self.occupancy:
+            res._releases = [r + dt for r in res._releases]
+        for res in self.all_busy:
+            res._next_free += dt
+        for res in self.all_bandwidth:
+            res._next_free += dt
+
+        core._fetch_floor += dt
+        core._branch_resolve_watermark += dt
+        core._last_pim_issue += dt
+        core.last_commit += dt
+
+        rob = core._rob
+        size = len(rob)
+        shift = uop_advance % size
+        rotated = [rob[(s - shift) % size] + dt for s in range(size)]
+        core._rob[:] = rotated
+        core.index += uop_advance
+
+        shift_ids = reg_advance % REG_WINDOW
+        fixed = self.fixed_regs
+        core._reg_ready = {
+            (rid if rid in fixed
+             else REG_START + ((rid - REG_START + shift_ids) % REG_WINDOW)): t + dt
+            for rid, t in core._reg_ready.items()
+        }
+        core._store_forward = {
+            amap.relabel(addr): (size_, t + dt)
+            for addr, (size_, t) in core._store_forward.items()
+        }
+
+        for level in self.levels:
+            mshr = level.mshr
+            mshr._in_flight = {
+                amap.relabel(line): t + dt
+                for line, t in mshr._in_flight.items()
+            }
+            mshr._fifo = type(mshr._fifo)(
+                (t + dt, amap.relabel(line)) for t, line in mshr._fifo
+            )
+            mshr._watermark += dt
+            _shift_prefetcher(level.prefetcher, amap)
+
+        engine = self.engine
+        if engine is not None:
+            engine._seq_time += dt
+            engine._lock_free += dt
+            engine._block_watermark += dt
+            engine.last_completion += dt
+            for register in engine.registers.registers:
+                register.ready += dt
+
+
+def _sig_prefetcher(prefetcher, amap: _AddressMap):
+    table = getattr(prefetcher, "_table", None)
+    if table is not None:  # stride prefetcher (pc-indexed)
+        return tuple(
+            (pc, amap.normalize(last), stride, conf)
+            for pc, (last, stride, conf) in table.items()
+        )
+    streams = getattr(prefetcher, "_streams", None)
+    if streams is not None:  # stream prefetcher (region-indexed)
+        return tuple(
+            (amap.normalize(last), direction, trained, amap.normalize(head))
+            for last, direction, trained, head in streams.values()
+        )
+    return ()
+
+
+def _shift_prefetcher(prefetcher, amap: _AddressMap) -> None:
+    table = getattr(prefetcher, "_table", None)
+    if table is not None:
+        items = [
+            (pc, (amap.relabel(last), stride, conf))
+            for pc, (last, stride, conf) in table.items()
+        ]
+        table.clear()
+        table.update(items)
+        return
+    streams = getattr(prefetcher, "_streams", None)
+    if streams is not None:
+        region_span = prefetcher.REGION_LINES * prefetcher.line_bytes
+        items = []
+        for last, direction, trained, head in streams.values():
+            new_last = amap.relabel(last)
+            items.append((new_last // region_span,
+                          (new_last, direction, trained, amap.relabel(head))))
+        streams.clear()
+        streams.update(items)
+
+
+# ---------------------------------------------------------------------------
+# the executor
+# ---------------------------------------------------------------------------
+
+
+class ReplayExecutor:
+    """Consumes a :class:`TraceRun` stream against one machine."""
+
+    def __init__(self, machine, execution) -> None:
+        self.machine = machine
+        self.execution = execution
+        self.state = _MachineState(machine, execution)
+        self.stats = ReplayStats()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _simulate_iteration(self, run: TraceRun, j: int) -> Tuple[int, int]:
+        """Run iteration ``j``; returns (commit delta, uop count)."""
+        execution = self.execution
+        process = execution.process
+        before = execution.last_commit
+        uops = 0
+        for uop in run.make(j):
+            process(uop)
+            uops += 1
+        self.stats.simulated_iterations += 1
+        return execution.last_commit - before, uops
+
+    # -- convergence detection ---------------------------------------------
+
+    @staticmethod
+    def _find_period(deltas: List[int], floor: int = 1) -> Optional[int]:
+        """Smallest multiple of ``floor`` whose recent deltas repeat.
+
+        ``floor`` is the structural period (whole-DRAM-block region
+        advances) and escalates after failed probes: the commit-delta
+        sequence often repeats at a short period while deeper machine
+        state (mask-line crossings, vault rotation) cycles with a longer
+        one that only the signature can see.  Only multiples of the
+        structural period are viable, and slice comparison keeps the
+        scan cheap enough to run while simulating.
+        """
+        n = len(deltas)
+        p = max(1, floor)
+        while p <= MAX_PERIOD:
+            need = (MIN_REPEATS + 1) * p
+            if need > n:
+                return None
+            tail = deltas[-need:]
+            base = tail[:p]
+            if all(tail[r * p:(r + 1) * p] == base
+                   for r in range(1, MIN_REPEATS + 1)):
+                return p
+            p += max(1, floor)
+        return None
+
+    def _region_deltas(self, run: TraceRun, periods: int, p: int) -> Optional[List[int]]:
+        """Per-region address advance over ``periods`` periods (ints only)."""
+        deltas = []
+        for region in run.regions:
+            advance = region.stride * p * periods
+            if advance.denominator != 1:
+                return None
+            deltas.append(int(advance))
+        return deltas
+
+    @staticmethod
+    def _structural_period(run: TraceRun) -> int:
+        """Smallest period whose region advances are whole DRAM blocks.
+
+        When every address stream advances by a multiple of the 256 B
+        row-buffer block per period, the vault/bank rotation phase and
+        mask-line crossings look identical at every period boundary —
+        the natural candidate the commit-delta sequence alone cannot
+        see (its period is usually 1).
+        """
+        period = 1
+        for region in run.regions:
+            if region.stride == 0:
+                continue
+            # Smallest integer p with p * (a/b) ≡ 0 (mod BLOCK_BYTES).
+            a = abs(region.stride.numerator)
+            b = region.stride.denominator
+            p = (BLOCK_BYTES * b) // math.gcd(a, BLOCK_BYTES * b)
+            period = period * p // math.gcd(period, p)
+        return period
+
+    # -- the probe ----------------------------------------------------------
+
+    def _probe_and_skip(self, run: TraceRun, j: int, p: int) -> Tuple[int, bool]:
+        """Verify shift-periodicity at ``j`` and extrapolate if it holds.
+
+        Simulates 2 periods for the probe (always exact); on success
+        skips every remaining whole period.  Returns (iterations
+        consumed, converged).
+        """
+        state = self.state
+        execution = self.execution
+
+        one = self._region_deltas(run, 1, p)
+        if one is None:
+            # Sub-byte per-period advance (bit-packed mask streams):
+            # scale the period up to the smallest integral multiple.
+            scale = 1
+            for region in run.regions:
+                denominator = (region.stride * p).denominator
+                if denominator > 1:
+                    scale = scale * denominator // math.gcd(scale, denominator)
+            p = p * scale
+            if run.count - j < 3 * p:
+                return 0, False
+            one = self._region_deltas(run, 1, p)
+            if one is None:
+                return 0, False
+
+        # Signatures at three consecutive period boundaries, each
+        # normalised by its boundary's accumulated region advance.
+        state.fixed_regs = run.fixed_regs
+        base_phase = (j * run.regs_per_iter) % REG_WINDOW
+        state.reg_phase = base_phase
+        amap0 = _AddressMap(run.regions, [d * 0 for d in one])
+        state.refresh_stats()
+        keys0 = state.stat_keys()
+        sig0 = state.signature(amap0)
+        cnt0 = state.counter_vector()
+        now0 = execution.last_commit
+
+        uops_a = 0
+        for k in range(p):
+            __, uops = self._simulate_iteration(run, j + k)
+            uops_a += uops
+        state.reg_phase = (base_phase + p * run.regs_per_iter) % REG_WINDOW
+        amap1 = _AddressMap(run.regions, list(one))
+        state.refresh_stats()
+        if state.stat_keys() != keys0:
+            return p, False  # new counters appeared: not steady yet
+        sig1 = state.signature(amap1)
+        cnt1 = state.counter_vector()
+        now1 = execution.last_commit
+
+        if sig1 != sig0:
+            return p, False
+
+        uops_b = 0
+        for k in range(p):
+            __, uops = self._simulate_iteration(run, j + p + k)
+            uops_b += uops
+        state.reg_phase = (base_phase + 2 * p * run.regs_per_iter) % REG_WINDOW
+        amap2 = _AddressMap(run.regions, [2 * d for d in one])
+        state.refresh_stats()
+        if state.stat_keys() != keys0:
+            return 2 * p, False
+        sig2 = state.signature(amap2)
+        cnt2 = state.counter_vector()
+        now2 = execution.last_commit
+
+        dt1 = now1 - now0
+        dt2 = now2 - now1
+        if sig2 != sig1 or dt1 != dt2 or uops_a != uops_b:
+            return 2 * p, False
+        delta_a = [b - a for a, b in zip(cnt0, cnt1)]
+        delta_b = [b - a for a, b in zip(cnt1, cnt2)]
+        if delta_a != delta_b:
+            return 2 * p, False
+
+        # Converged.  Skip every remaining whole period.
+        consumed = 2 * p
+        remaining = run.count - (j + consumed)
+        periods = remaining // p
+        if periods <= 0:
+            return consumed, False
+
+        total = self._region_deltas(run, periods, p)
+        amap_skip = _AddressMap(run.regions, total)
+        plans = state.plan_tag_relabel(amap_skip)
+        if plans is None:  # ambiguous LRU merge: the driver logs the failure
+            return consumed, False
+
+        state.apply_tag_relabel(plans)
+        state.shift(dt1 * periods, amap_skip,
+                    uop_advance=uops_a * periods,
+                    reg_advance=run.regs_per_iter * p * periods)
+        state.add_counters(delta_a, periods)
+        if run.bulk is not None:
+            run.bulk(self.machine, j + consumed, j + consumed + periods * p)
+        self.stats.runs_converged += 1
+        self.stats.skipped_iterations += periods * p
+        self.stats.skipped_uops += uops_a * periods
+        return consumed + periods * p, True
+
+    # -- the driver ---------------------------------------------------------
+
+    def consume(self, runs) -> None:
+        """Simulate/extrapolate the full run stream."""
+        for run in runs:
+            self._consume_run(run)
+
+    def _consume_run(self, run: TraceRun) -> None:
+        execution = self.execution
+        count = run.count
+        if run.key is None or count < MIN_RUN_ITERATIONS:
+            process = execution.process
+            for j in range(count):
+                for uop in run.make(j):
+                    process(uop)
+            if run.key is not None:
+                self.stats.simulated_iterations += count
+            return
+
+        self.stats.runs_seen += 1
+        deltas: List[int] = []
+        j = 0
+        next_probe = 0
+        p_floor = min(self._structural_period(run), MAX_PERIOD)
+        failures_at_floor = 0
+        probes_left = MAX_PROBES_PER_RUN
+        start_commit = execution.last_commit
+        while j < count:
+            # Probing before the GRACE window, the ROB and the branch
+            # history have filled with this run's steady behaviour can
+            # only fail (boundary states still carry start-up residue).
+            warmed = execution.last_commit - start_commit >= 2 * GRACE
+            if warmed and j >= next_probe and p_floor <= MAX_PERIOD \
+                    and probes_left > 0:
+                p = self._find_period(deltas, p_floor)
+                if p is not None and count - j >= (2 + MIN_SKIP_PERIODS) * p:
+                    consumed, converged = self._probe_and_skip(run, j, p)
+                    if consumed:
+                        j += consumed
+                        deltas.clear()
+                        if not converged:
+                            self.stats.probes_failed += 1
+                            probes_left -= 1
+                            failures_at_floor += 1
+                            if failures_at_floor >= 2:
+                                # Not just warmup: deeper state cycles
+                                # with a longer period than the commit
+                                # deltas show — escalate the floor.
+                                p_floor = p * 2
+                                failures_at_floor = 0
+                            next_probe = j + p
+                        continue
+                    next_probe = j + RETRY_BACKOFF_PERIODS * p
+            delta, __ = self._simulate_iteration(run, j)
+            deltas.append(delta)
+            if len(deltas) > (MIN_REPEATS + 1) * MAX_PERIOD:
+                del deltas[: len(deltas) - (MIN_REPEATS + 1) * MAX_PERIOD]
+            j += 1

@@ -82,10 +82,14 @@ def run_scan(
     data: Optional[LineitemData] = None,
     verify: bool = True,
     plan: Optional[QueryPlan] = None,
+    exact: Optional[bool] = None,
 ) -> RunResult:
     """Simulate one query plan on one architecture/configuration.
 
     ``plan`` defaults to the Q6 select scan (the paper's workload).
+    ``exact`` forces the uop-by-uop slow path (defaults to the
+    ``REPRO_EXACT`` environment flag); the steady-state replay path is
+    bit-identical and used otherwise.
     """
     arch = arch.lower()
     if arch not in _CODEGENS:
@@ -96,8 +100,8 @@ def run_scan(
         data = generate_table(plan.table, rows, seed)
     machine = build_machine(arch, scale=scale)
     workload = build_workload(machine, data, scan.layout, plan=plan)
-    trace = _CODEGENS[arch].generate_plan(workload, scan)
-    core_result = machine.run(trace)
+    runs = _CODEGENS[arch].generate_plan_runs(workload, scan)
+    core_result = machine.run_runs(runs, exact=bool(exact))
 
     verified: Optional[bool] = None
     if verify and scan.strategy == "column" and arch in ("hive", "hipe"):

@@ -1,0 +1,322 @@
+"""Steady-state trace replay: equivalence, convergence and the guard.
+
+The replay layer's contract is absolute: whatever it does — fast-forward
+a converged run or refuse and simulate — the :class:`RunResult` must be
+bit-identical to the ``REPRO_EXACT=1`` slow path.  These tests pin that
+contract across every architecture, layout and plan family, exercise
+real extrapolation on genuinely periodic traces, and check that the
+exactness guard refuses the aperiodic cases (data-dependent timing,
+latency-bound fetch drift) instead of approximating them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import hipe, hive, hmc, x86
+from repro.codegen.base import (
+    Region,
+    RegAllocator,
+    ScanConfig,
+    TraceRun,
+    flatten_runs,
+    opaque_run,
+)
+from repro.cpu.isa import Uop, UopClass, alu, branch, load
+from repro.db.datagen import generate_table
+from repro.db.query6 import q6_select_plan
+from repro.db.workloads import q1_style_plan, selectivity_scan_plan
+from repro.sim.machine import build_machine
+from repro.sim.replay import ReplayExecutor, replay_enabled
+from repro.sim.runner import build_workload, run_scan
+
+_CODEGENS = {"x86": x86, "hmc": hmc, "hive": hive, "hipe": hipe}
+
+
+def result_fingerprint(result):
+    """Everything a RunResult carries, in comparable form."""
+    return (
+        result.cycles,
+        result.uops,
+        result.verified,
+        result.energy.to_dict(),
+        dict(result.stats),
+        None if result.aggregates is None else sorted(result.aggregates.items()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# replay vs exact equivalence on the real workloads
+# ---------------------------------------------------------------------------
+
+
+_PLANS = {
+    "q6": q6_select_plan,
+    "q1_style": q1_style_plan,
+    "sel_low": lambda: selectivity_scan_plan(0.05),
+    "sel_high": lambda: selectivity_scan_plan(0.8),
+}
+
+
+@pytest.mark.parametrize("arch", ["x86", "hmc", "hive", "hipe"])
+@pytest.mark.parametrize("layout,strategy", [("dsm", "column"), ("nsm", "tuple")])
+@pytest.mark.parametrize("plan_name", ["q6", "q1_style", "sel_low", "sel_high"])
+def test_replay_matches_exact(arch, layout, strategy, plan_name):
+    """Replay-path results equal full simulation bit-for-bit."""
+    plan = _PLANS[plan_name]()
+    if strategy == "tuple" and plan.aggregate is not None:
+        pytest.skip("aggregate lowering targets the DSM layout (ROADMAP item)")
+    op = 64 if arch == "x86" else 256
+    scan = ScanConfig(layout, strategy, op, 2)
+    rows = 2048
+    exact = run_scan(arch, scan, rows=rows, plan=plan, exact=True)
+    replay = run_scan(arch, scan, rows=rows, plan=plan, exact=False)
+    assert result_fingerprint(exact) == result_fingerprint(replay)
+
+
+@pytest.mark.parametrize("arch,op", [("x86", 16), ("hmc", 16), ("hive", 16), ("hipe", 16)])
+def test_replay_matches_exact_small_ops(arch, op):
+    """Small-op column scans (fractional mask strides) stay identical."""
+    scan = ScanConfig("dsm", "column", op, 1)
+    exact = run_scan(arch, scan, rows=2048, exact=True)
+    replay = run_scan(arch, scan, rows=2048, exact=False)
+    assert result_fingerprint(exact) == result_fingerprint(replay)
+
+
+# ---------------------------------------------------------------------------
+# the run protocol
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("arch", ["x86", "hmc", "hive", "hipe"])
+@pytest.mark.parametrize("op,unroll", [(64, 1), (256, 4)])
+def test_flattened_runs_equal_generate_plan(arch, op, unroll):
+    """flatten(generate_plan_runs) is the exact generate_plan stream."""
+    if arch == "x86" and op > 64:
+        pytest.skip("x86 ops cap at 64 B")
+    plan = q6_select_plan()
+    data = generate_table(plan.table, 1024, 7)
+    mod = _CODEGENS[arch]
+
+    def serialize(trace):
+        out = []
+        for u in trace:
+            p = u.pim
+            pim_key = None if p is None else (
+                p.op, p.address, p.size, p.dst_reg, tuple(p.src_regs), p.func,
+                p.imm_lo, p.imm_hi, p.lane_bytes, p.pred_reg, p.returns_value,
+            )
+            out.append((u.cls, u.pc, tuple(u.srcs), u.dst, u.address, u.size,
+                        u.taken, pim_key))
+        return out
+
+    m1 = build_machine(arch)
+    w1 = build_workload(m1, data, "dsm", plan=plan)
+    flat = serialize(mod.generate_plan(w1, ScanConfig("dsm", "column", op, unroll)))
+    m2 = build_machine(arch)
+    w2 = build_workload(m2, data, "dsm", plan=plan)
+    runs = serialize(flatten_runs(
+        mod.generate_plan_runs(w2, ScanConfig("dsm", "column", op, unroll))
+    ))
+    assert flat == runs
+
+
+#: golden digests of the Q6 uop streams (1024 rows, seed 7) — pinned at
+#: PR 3, byte-identical to the PR 2 lowering.  A change here means the
+#: emitted trace changed, which invalidates every calibrated figure.
+_GOLDEN_STREAMS = {
+    ("x86", "dsm", "column", 64, 1): "dc9715cb93ae7c48",
+    ("x86", "nsm", "tuple", 16, 2): "f35e266432ae7769",
+    ("hmc", "dsm", "column", 256, 1): "189f51f072420e31",
+    ("hive", "dsm", "column", 256, 4): "b1c087833d5eaca7",
+    ("hipe", "dsm", "column", 256, 1): "1acfced95b014c7c",
+    ("hive", "nsm", "tuple", 64, 1): "d0cf2f4de5a7485b",
+}
+
+
+@pytest.mark.parametrize("point", sorted(_GOLDEN_STREAMS))
+def test_uop_streams_match_golden_digests(point):
+    """The lowered traces are pinned: run-structuring must not drift."""
+    import hashlib
+
+    arch, layout, strategy, op, unroll = point
+    plan = q6_select_plan()
+    data = generate_table(plan.table, 1024, 7)
+    machine = build_machine(arch)
+    workload = build_workload(machine, data, layout, plan=plan)
+    digest = hashlib.sha256()
+    trace = _CODEGENS[arch].generate_plan(
+        workload, ScanConfig(layout, strategy, op, unroll)
+    )
+    for u in trace:
+        p = u.pim
+        pim_t = None if p is None else (
+            p.op.value, p.address, p.size, p.dst_reg, tuple(p.src_regs),
+            None if p.func is None else p.func.value, p.imm_lo, p.imm_hi,
+            p.lane_bytes, p.pred_reg, p.pred_expect, p.returns_value,
+            p.compound, p.tuple_stride,
+        )
+        digest.update(repr((u.cls.value, u.pc, tuple(u.srcs), u.dst,
+                            u.address, u.size, u.taken, pim_t)).encode())
+    assert digest.hexdigest()[:16] == _GOLDEN_STREAMS[point]
+
+
+def test_run_make_reseats_registers():
+    """make(j) yields identical uops regardless of materialisation order."""
+    plan = q6_select_plan()
+    data = generate_table(plan.table, 2048, 7)
+    machine = build_machine("x86")
+    workload = build_workload(machine, data, "dsm", plan=plan)
+    runs = [r for r in x86.column_runs(workload, ScanConfig("dsm", "column", 64, 1))
+            if r.count > 4]
+    run = runs[0]
+    later = [(u.cls, u.pc, u.srcs, u.dst, u.address) for u in run.make(3)]
+    again = [(u.cls, u.pc, u.srcs, u.dst, u.address) for u in run.make(3)]
+    assert later == again  # deterministic under repeated/out-of-order calls
+
+
+def test_region_strides_are_exact_fractions():
+    """Bit-packed mask streams advance by sub-byte per-iteration strides."""
+    plan = q6_select_plan()
+    data = generate_table(plan.table, 2048, 7)
+    machine = build_machine("x86")
+    workload = build_workload(machine, data, "dsm", plan=plan)
+    run = next(iter(x86.column_runs(workload, ScanConfig("dsm", "column", 16, 1))))
+    mask_region = run.regions[-1]
+    assert mask_region.stride.denominator == 2  # 4 rows/chunk = half a byte
+
+
+def test_opaque_run_consumes_once():
+    source = iter([alu(1, srcs=(), dst=100)])
+    run = opaque_run(source)
+    assert run.key is None and run.count == 1
+    assert len(list(run.make(0))) == 1
+
+
+def test_reg_allocator_seek():
+    regs = RegAllocator()
+    a = [regs.new() for _ in range(5)]
+    regs.seek(0)
+    b = [regs.new() for _ in range(5)]
+    assert a == b
+    assert regs.counter == 5
+
+
+# ---------------------------------------------------------------------------
+# real extrapolation on periodic traces; refusal on aperiodic ones
+# ---------------------------------------------------------------------------
+
+
+def _fetch_bound_runs(count=3000):
+    """A fetch-bound loop: uop flow rates match, state is shift-periodic."""
+
+    def make(j):
+        for k in range(11):
+            yield Uop(UopClass.NOP, 0x2000 + k)
+        yield branch(0x2010, taken=True, srcs=())
+
+    return [TraceRun(key=("synthetic", "fetchbound"), count=count, make=make)]
+
+
+def _fixed_reg_runs(count=3000):
+    """A steady loop keeping a loop-invariant register live: the run
+    declares it via ``fixed_regs`` so the phase relabelling leaves it
+    alone (regression: fixed ids used to block convergence outright)."""
+
+    def make(j):
+        yield alu(0x1FFF, srcs=(100,), dst=100)  # the induction register
+        for k in range(9):
+            yield Uop(UopClass.NOP, 0x2000 + k)
+        yield branch(0x2010, taken=True, srcs=(100,))
+
+    return [TraceRun(key=("synthetic", "fixedreg"), count=count, make=make,
+                     regs_per_iter=1, fixed_regs=(100,))]
+
+
+def _latency_bound_runs(count=1500):
+    """A dependent ALU chain: fetch drifts behind commit without bound,
+    so the machine state never recurs — the guard must refuse."""
+
+    def make(j):
+        reg = 100 + (j % 4096)
+        for k in range(11):
+            yield alu(0x2000 + k, srcs=(reg,), dst=reg)
+        yield branch(0x2010, taken=True, srcs=(reg,))
+
+    return [TraceRun(key=("synthetic", "chain"), count=count, make=make,
+                     regs_per_iter=1)]
+
+
+def _run_both(make_runs):
+    m1 = build_machine("x86")
+    ex1 = m1.core.execution()
+    for run in make_runs():
+        for j in range(run.count):
+            for u in run.make(j):
+                ex1.process(u)
+    r1 = ex1.result()
+    m2 = build_machine("x86")
+    ex2 = m2.core.execution()
+    executor = ReplayExecutor(m2, ex2)
+    executor.consume(make_runs())
+    r2 = ex2.result()
+    return r1, m1.stats.flatten(), r2, m2.stats.flatten(), executor.stats
+
+
+def test_replay_extrapolates_periodic_loop():
+    r1, s1, r2, s2, stats = _run_both(_fetch_bound_runs)
+    assert stats.runs_converged == 1
+    assert stats.skipped_iterations > 1000  # the bulk was extrapolated
+    assert (r1.cycles, r1.uops) == (r2.cycles, r2.uops)
+    assert s1 == s2  # every counter identical, not just the cycle count
+
+
+def test_replay_extrapolates_with_fixed_register():
+    r1, s1, r2, s2, stats = _run_both(_fixed_reg_runs)
+    assert stats.runs_converged == 1
+    assert stats.skipped_iterations > 1000
+    assert (r1.cycles, r1.uops) == (r2.cycles, r2.uops)
+    assert s1 == s2
+
+
+def test_replay_guard_refuses_drifting_loop():
+    r1, s1, r2, s2, stats = _run_both(_latency_bound_runs)
+    assert stats.runs_converged == 0  # the guard saw the fetch drift
+    assert (r1.cycles, r1.uops) == (r2.cycles, r2.uops)
+    assert s1 == s2
+
+
+def test_replay_env_escape_hatch(monkeypatch):
+    monkeypatch.setenv("REPRO_EXACT", "1")
+    assert not replay_enabled()
+    monkeypatch.delenv("REPRO_EXACT")
+    monkeypatch.setenv("REPRO_REPLAY", "0")
+    assert not replay_enabled()
+    monkeypatch.delenv("REPRO_REPLAY")
+    assert replay_enabled()
+
+
+# ---------------------------------------------------------------------------
+# result-cache keying: replayed and exact runs share entries
+# ---------------------------------------------------------------------------
+
+
+def test_replay_and_exact_share_cache_key(tmp_path, monkeypatch):
+    from repro.sim.engine import ExperimentEngine, TIMING_MODEL_DIRS, code_digest
+    from pathlib import Path
+
+    # The replay layer must live inside the timing-model code digest, so
+    # editing it invalidates cached results automatically.
+    assert "sim" in TIMING_MODEL_DIRS
+    assert (Path(__file__).parent.parent / "src/repro/sim/replay.py").exists()
+    assert code_digest()  # computable
+
+    scan = ScanConfig("dsm", "column", 256, 4)
+    engine = ExperimentEngine(jobs=1, cache_dir=tmp_path, use_cache=True)
+    first = engine.run_point("hive", scan, rows=1024)
+    assert engine.cache_misses == 1
+    # The exact path must hit the entry the (possibly replayed) run wrote.
+    monkeypatch.setenv("REPRO_EXACT", "1")
+    second = engine.run_point("hive", scan, rows=1024)
+    assert engine.cache_hits == 1
+    assert result_fingerprint(first) == result_fingerprint(second)

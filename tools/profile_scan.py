@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Profile one simulation point: wall time, uops/sec, hottest functions.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_scan.py hive --op 256 --rows 32768
+    PYTHONPATH=src python tools/profile_scan.py x86 --strategy tuple --exact
+
+The tool is the companion of ``benchmarks/perf_smoke.py``: the smoke
+benchmark records the throughput trajectory, this answers *why* a point
+is slow by printing the top of the cProfile table.  Compare a point
+with and without ``--exact`` to see what the steady-state replay layer
+contributes on that workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("arch", choices=["x86", "hmc", "hive", "hipe"])
+    parser.add_argument("--layout", default=None, choices=["nsm", "dsm"])
+    parser.add_argument("--strategy", default="column", choices=["tuple", "column"])
+    parser.add_argument("--op", type=int, default=None, help="operation bytes")
+    parser.add_argument("--unroll", type=int, default=1)
+    parser.add_argument("--rows", type=int, default=32_768)
+    parser.add_argument("--exact", action="store_true",
+                        help="force the uop-by-uop slow path (REPRO_EXACT)")
+    parser.add_argument("--top", type=int, default=20, help="profile rows shown")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="only time the run (no cProfile overhead)")
+    args = parser.parse_args()
+
+    from repro.codegen.base import ScanConfig
+    from repro.sim.runner import run_scan
+
+    layout = args.layout or ("dsm" if args.strategy == "column" else "nsm")
+    op = args.op or (64 if args.arch == "x86" else 256)
+    scan = ScanConfig(layout, args.strategy, op, args.unroll)
+
+    profiler = None if args.no_profile else cProfile.Profile()
+    start = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
+    result = run_scan(args.arch, scan, rows=args.rows, exact=args.exact)
+    if profiler is not None:
+        profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    print(f"{args.arch} {layout}/{args.strategy} {op}B@{args.unroll}x "
+          f"rows={args.rows:,} exact={args.exact}")
+    print(f"  cycles          {result.cycles:>14,}")
+    print(f"  uops            {result.uops:>14,}")
+    print(f"  wall time       {elapsed:>14.3f} s")
+    print(f"  simulated uops/s{result.uops / elapsed:>14,.0f}")
+    if result.verified is not None:
+        print(f"  verified        {result.verified!s:>14}")
+
+    if profiler is not None:
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("tottime").print_stats(args.top)
+        print()
+        print(stream.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
