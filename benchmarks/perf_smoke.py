@@ -2,8 +2,16 @@
 
 Records the perf trajectory the ROADMAP asked for: every point is
 simulated **cold** (no result cache) and measured in simulated-uops per
-wall-second, then compared against the committed ``BENCH_PR3.json``
+wall-second, then compared against the committed ``BENCH_PR4.json``
 baseline.  A >30 % throughput regression fails the gate.
+
+The payload also carries a **replay canary**: a reduced-interleave-cube
+Q6/selectivity point on which the steady-state replay layer must
+*engage* (converge and skip iterations).  A change that silently
+de-periodises the paper workloads — greedy tie-breaking creeping back
+into a scheduler, a signature component drifting — flips the canary to
+``engaged: false`` and fails the gate outright, independent of
+throughput.
 
 Raw uops/sec varies with the host, so both the baseline and the current
 run include a *calibration score* — a fixed pure-Python workload timed
@@ -21,7 +29,7 @@ import sys
 import time
 from pathlib import Path
 
-BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
 ROWS = 32_768
 #: allowed normalised-throughput regression before the gate fails
 REGRESSION_TOLERANCE = 0.30
@@ -35,6 +43,16 @@ POINTS = [
     ("hive", "dsm", "column", 256, 1),
     ("hipe", "dsm", "column", 256, 1),
     ("x86", "nsm", "tuple", 64, 1),
+]
+
+#: replay-engagement canaries: (label, arch, op_bytes, rows, plan_kind).
+#: HIVE runs the paper's Q6; HIPE runs the single-predicate selectivity
+#: scan (its Q6 predicated-load squashes are data-aperiodic, so the
+#: guard *must* keep Q6 exact — engagement is asserted where the
+#: predicate stream is uniform, as designed).
+CANARIES = [
+    ("canary-hive-q6", "hive", 256, 262_144, "q6"),
+    ("canary-hipe-selectivity", "hipe", 256, 262_144, "selectivity"),
 ]
 
 
@@ -78,14 +96,42 @@ def measure_points(rows: int = ROWS):
     return points
 
 
+def measure_canaries():
+    """Reduced-cube replay points; must converge (engaged=True)."""
+    from repro.codegen.base import ScanConfig
+    from repro.common.config import reduced_cube_config
+    from repro.db.workloads import selectivity_scan_plan
+    from repro.sim.runner import run_scan
+
+    canaries = {}
+    for label, arch, op, rows, plan_kind in CANARIES:
+        plan = selectivity_scan_plan(0.4) if plan_kind == "selectivity" else None
+        start = time.perf_counter()
+        result = run_scan(arch, ScanConfig("dsm", "column", op, 1), rows=rows,
+                          plan=plan, config=reduced_cube_config(arch))
+        elapsed = time.perf_counter() - start
+        replay = result.replay
+        engaged = bool(replay is not None and replay.runs_converged > 0
+                       and replay.skipped_iterations > 0)
+        canaries[label] = {
+            "engaged": engaged,
+            "skipped_iterations": 0 if replay is None else replay.skipped_iterations,
+            "simulated_iterations": 0 if replay is None else replay.simulated_iterations,
+            "seconds": round(elapsed, 4),
+        }
+    return canaries
+
+
 def run_benchmark():
     calibration = calibration_score()
     points = measure_points()
+    canaries = measure_canaries()
     return {
-        "schema": 1,
+        "schema": 2,
         "rows": ROWS,
         "calibration": round(calibration, 1),
         "points": points,
+        "canaries": canaries,
     }
 
 
@@ -114,13 +160,24 @@ def check_against_baseline(payload, baseline):
 
 
 def test_perf_smoke():
-    """Cold-run the grid; fail on a >30 % normalised-throughput drop."""
+    """Cold-run the grid; fail on a >30 % normalised-throughput drop or
+    a replay canary refusing to engage (silent de-periodisation)."""
     payload = run_benchmark()
     print()
     print(f"calibration {payload['calibration']:.0f} ops/s")
     for label, point in payload["points"].items():
         print(f"  {label:28s} {point['uops']:>9,} uops "
               f"{point['seconds']:>8.2f}s {point['uops_per_sec']:>12,.0f} uops/s")
+    for label, canary in payload["canaries"].items():
+        print(f"  {label:28s} engaged={canary['engaged']} "
+              f"skipped={canary['skipped_iterations']:,} "
+              f"simulated={canary['simulated_iterations']:,}")
+    refusals = [label for label, canary in payload["canaries"].items()
+                if not canary["engaged"]]
+    assert not refusals, (
+        "steady-state replay refused to engage on: " + ", ".join(refusals)
+        + " — a scheduler or signature change de-periodised the workloads"
+    )
     if not BASELINE_PATH.exists():  # first run: nothing to gate against
         write_baseline(payload)
         return
@@ -128,7 +185,7 @@ def test_perf_smoke():
         baseline = json.load(handle)
     failures = check_against_baseline(payload, baseline)
     assert not failures, (
-        "simulated-uops/sec regressed >30% vs BENCH_PR3.json on: "
+        "simulated-uops/sec regressed >30% vs BENCH_PR4.json on: "
         + ", ".join(f"{label} ({cur:.4f} < {floor:.4f})"
                     for label, cur, floor in failures)
     )

@@ -226,6 +226,59 @@ def opaque_run(uops: Iterator[Uop]) -> TraceRun:
     return TraceRun(key=None, count=1, make=lambda j, _uops=uops: _uops)
 
 
+def group_runs(
+    regs: "RegAllocator",
+    n_iters: int,
+    iteration_key: Callable[[int], Tuple],
+    make_iteration: Callable[[int], Iterator[Uop]],
+    run_key: Callable[[Tuple], Tuple],
+    regions_of: Callable[[int, int], Tuple[Region, ...]],
+    bulk_of: Optional[Callable[[int, Tuple], Optional[Callable]]] = None,
+    fixed_regs: Tuple[int, ...] = (),
+) -> Iterator[TraceRun]:
+    """Group consecutive same-shaped iterations into :class:`TraceRun`\\ s.
+
+    The scaffold every column codegen shares: scan ``iteration_key``
+    (returning ``(shape, regs_per_iter)``) forward to find maximal runs
+    of identical shape, bind a ``make`` that reseats the register
+    allocator at the run-relative iteration so ``make(j)`` can be called
+    for any subset in increasing order, and assemble the full run from
+    the per-codegen hooks — ``run_key`` prefixes the shape into the
+    run's identity, ``regions_of(i0, count)`` declares the address
+    streams, ``bulk_of(i0, shape)`` supplies the functional-side-effect
+    hook.  The flattened stream is byte-identical to lowering every
+    iteration in sequence.
+    """
+    i = 0
+    while i < n_iters:
+        key, nregs = iteration_key(i)
+        count = 1
+        while i + count < n_iters:
+            next_key, __ = iteration_key(i + count)
+            if next_key != key:
+                break
+            count += 1
+        base_counter = regs.counter
+        i0 = i
+
+        def make(j, _i0=i0, _base=base_counter, _nregs=nregs,
+                 _mk=make_iteration):
+            regs.seek(_base + j * _nregs)
+            return _mk(_i0 + j)
+
+        yield TraceRun(
+            key=run_key(key),
+            count=count,
+            make=make,
+            regs_per_iter=nregs,
+            regions=regions_of(i0, count),
+            bulk=None if bulk_of is None else bulk_of(i0, key),
+            fixed_regs=fixed_regs,
+        )
+        regs.seek(base_counter + count * nregs)
+        i += count
+
+
 def flatten_runs(runs: Iterator[TraceRun]) -> Iterator[Uop]:
     """The flat dynamic uop stream of a run sequence (the exact path)."""
     for run in runs:

@@ -47,7 +47,9 @@ from .base import (
     ScanWorkload,
     TraceRun,
     chunk_bounds,
+    chunk_dead_flags,
     flatten_runs,
+    group_runs,
     lower_plan,
     lower_plan_runs,
 )
@@ -104,6 +106,18 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
     blocks_per_iter = unroll
     n_iters = -(-n_blocks // blocks_per_iter)
     final_mask = workload.final_mask
+    # Predicated-load *timing* is data-dependent exactly where a chunk's
+    # running conjunction dies: an all-false predicate register squashes
+    # the next level's load outright (no DRAM access, squash latency).
+    # The per-chunk squash pattern is therefore part of the iteration
+    # shape: regions of uniform predicate behaviour (no squashes — e.g.
+    # any workload whose per-chunk selectivity never hits zero) group
+    # into runs the replay layer can fast-forward, while chunks that do
+    # squash split the run and stay on the exact path.
+    squashes = [
+        chunk_dead_flags(workload.running_mask(level), rpc, n_chunks)
+        for level in range(levels - 1)
+    ]
 
     def block_chunks(b: int):
         first = b * block_width
@@ -114,7 +128,11 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
         first_b = i * blocks_per_iter
         limit_b = min(first_b + blocks_per_iter, n_blocks)
         shape = tuple(
-            tuple(stop - start for __, start, stop in block_chunks(b))
+            tuple(
+                (stop - start,
+                 tuple(bool(level_flags[c]) for level_flags in squashes))
+                for c, start, stop in block_chunks(b)
+            )
             for b in range(first_b, limit_b)
         )
         return (shape, limit_b == n_blocks)
@@ -193,31 +211,12 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
             yield alu(pcs.site("ind"), srcs=(induction,), dst=induction)
             yield branch(pcs.site("loop"), taken=not last_block, srcs=(induction,))
 
-    i = 0
-    while i < n_iters:
-        key = iteration_key(i)
-        count = 1
-        while i + count < n_iters and iteration_key(i + count) == key:
-            count += 1
-        i0 = i
+    rows_per_iter = blocks_per_iter * block_width * rpc
 
-        def make(j, _i0=i0):
-            return make_iteration(_i0 + j)
-
-        def run_bulk(machine, j0, j1, _i0=i0):
-            """The predicated pass writes the final mask bits directly."""
-            rows_per_iter = blocks_per_iter * block_width * rpc
-            start = _i0 * rows_per_iter + j0 * rows_per_iter
-            stop = min(_i0 * rows_per_iter + j1 * rows_per_iter, rows)
-            machine.image.write(
-                buffers.mask_address(start),
-                _np.packbits(final_mask[start:stop], bitorder="little"),
-            )
-
-        rows_per_iter = blocks_per_iter * block_width * rpc
+    def regions_of(i0, count):
         start_row = i0 * rows_per_iter
         end_row = min((i0 + count) * rows_per_iter, rows)
-        regions = tuple(
+        return tuple(
             Region(col.address_of(start_row), col.address_of(end_row),
                    rows_per_iter * 4)
             for col in columns
@@ -226,16 +225,27 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
                    buffers.bitmask_base + (end_row + 7) // 8,
                    Fraction(rows_per_iter, 8)),
         )
-        yield TraceRun(
-            key=("hipecol", config.op_bytes, unroll) + key,
-            count=count,
-            make=make,
-            regs_per_iter=0,
-            regions=regions,
-            bulk=run_bulk,
-            fixed_regs=(induction,),
-        )
-        i += count
+
+    def bulk_of(i0, key):
+        def run_bulk(machine, j0, j1, _i0=i0):
+            """The predicated pass writes the final mask bits directly."""
+            start = (_i0 + j0) * rows_per_iter
+            stop = min((_i0 + j1) * rows_per_iter, rows)
+            machine.image.write(
+                buffers.mask_address(start),
+                _np.packbits(final_mask[start:stop], bitorder="little"),
+            )
+        return run_bulk
+
+    yield from group_runs(
+        regs, n_iters,
+        iteration_key=lambda i: (iteration_key(i), 0),
+        make_iteration=make_iteration,
+        run_key=lambda key: ("hipecol", config.op_bytes, unroll) + key,
+        regions_of=regions_of,
+        bulk_of=bulk_of,
+        fixed_regs=(induction,),
+    )
 
 
 def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:

@@ -50,6 +50,7 @@ from .base import (
     chunk_bounds,
     chunk_dead_flags,
     flatten_runs,
+    group_runs,
     lower_plan,
     lower_plan_runs,
 )
@@ -334,9 +335,27 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
                              srcs=(induction,))
 
         def make_bulk(i0, shape, bits):
+            rows_per_iter = blocks_per_iter * block_width * rpc
+            all_skip = any(flags and all(flags) for flags, __ in shape)
+
             def bulk(machine, j0, j1, _i0=i0, _shape=shape, _bits=bits):
-                """Engine-stored packed mask bytes of skipped iterations."""
+                """Engine-stored packed mask bytes of skipped iterations.
+
+                Vectorised across the span: when no block of the shape
+                is fully skipped (every iteration stores its whole mask
+                range — the common streaming case) the span is one
+                contiguous ``packbits`` write; otherwise fall back to
+                per-block writes that honour the skip holes.
+                """
                 image = machine.image
+                if not all_skip:
+                    start = (_i0 + j0) * rows_per_iter
+                    stop = min((_i0 + j1) * rows_per_iter, rows)
+                    image.write(
+                        buffers.mask_address(start),
+                        _np.packbits(_bits[start:stop], bitorder="little"),
+                    )
+                    return
                 for i in range(_i0 + j0, _i0 + j1):
                     first_b = i * blocks_per_iter
                     limit_b = min(first_b + blocks_per_iter, n_blocks)
@@ -353,45 +372,32 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
                         )
             return bulk
 
-        i = 0
-        while i < n_iters:
-            key, nregs = iteration_key(i)
-            count = 1
-            while i + count < n_iters:
-                next_key, __ = iteration_key(i + count)
-                if next_key != key:
-                    break
-                count += 1
-            base_counter = regs.counter
-            i0 = i
+        rows_per_iter = blocks_per_iter * block_width * rpc
 
-            def make(j, _i0=i0, _base=base_counter, _nregs=nregs, _p=p,
-                     _pred=predicate, _col=column, _dead=dead,
-                     _mk=make_iteration):
-                regs.seek(_base + j * _nregs)
-                return _mk(_i0 + j, _p, _pred, _col, _dead)
-
-            rows_per_iter = blocks_per_iter * block_width * rpc
+        def regions_of(i0, count, _col=column):
             start_row = i0 * rows_per_iter
             end_row = min((i0 + count) * rows_per_iter, rows)
-            regions = (
-                Region(column.address_of(start_row), column.address_of(end_row),
+            return (
+                Region(_col.address_of(start_row), _col.address_of(end_row),
                        rows_per_iter * 4),
                 Region(buffers.mask_address(start_row),
                        buffers.bitmask_base + (end_row + 7) // 8,
                        Fraction(rows_per_iter, 8)),
             )
-            yield TraceRun(
-                key=("hivecol", p, config.op_bytes, unroll) + key,
-                count=count,
-                make=make,
-                regs_per_iter=nregs,
-                regions=regions,
-                bulk=make_bulk(i0, key[0], running),
-                fixed_regs=(induction,),
-            )
-            regs.seek(base_counter + count * nregs)
-            i += count
+
+        yield from group_runs(
+            regs, n_iters,
+            iteration_key=iteration_key,
+            make_iteration=(
+                lambda i, _p=p, _pred=predicate, _col=column, _dead=dead,
+                _mk=make_iteration: _mk(i, _p, _pred, _col, _dead)
+            ),
+            run_key=(lambda key, _p=p:
+                     ("hivecol", _p, config.op_bytes, unroll) + key),
+            regions_of=regions_of,
+            bulk_of=(lambda i0, key, _bits=running: make_bulk(i0, key[0], _bits)),
+            fixed_regs=(induction,),
+        )
 
 
 def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:

@@ -40,6 +40,7 @@ from .base import (
     chunk_bounds,
     chunk_dead_flags,
     flatten_runs,
+    group_runs,
     lower_plan,
     lower_plan_runs,
 )
@@ -213,60 +214,53 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
 
         def make_bulk(i0, dead_flags, bits):
             def bulk(machine, j0, j1, _i0=i0, _dead=dead_flags, _bits=bits):
-                """Vault-computed masks of skipped chunks (program order)."""
+                """Vault-computed masks of skipped chunks (program order).
+
+                Vectorised across the whole skipped span: converged runs
+                cover full-size chunks only (a short tail chunk changes
+                the run shape), so the span's chunk masks pack as one
+                reshaped ``packbits`` call instead of one per chunk.
+                """
                 backend = machine.backend
-                for i in range(_i0 + j0, _i0 + j1):
-                    first = i * unroll
-                    limit = min(first + unroll, n_chunks)
-                    for c in range(first, limit):
-                        if _dead is not None and _dead[c]:
-                            continue
-                        start = c * rpc
-                        stop = min(start + rpc, rows)
-                        backend.computed_masks.append(
-                            _np.packbits(_bits[start:stop], bitorder="little")
-                        )
+                first = (_i0 + j0) * unroll
+                limit = min((_i0 + j1) * unroll, n_chunks)
+                chunks = _np.arange(first, limit)
+                if _dead is not None:
+                    chunks = chunks[~_dead[first:limit]]
+                if chunks.size == 0:
+                    return
+                lanes = _bits[chunks[:, None] * rpc + _np.arange(rpc)]
+                packed = _np.packbits(lanes, axis=1, bitorder="little")
+                backend.computed_masks.extend(packed)
             return bulk
 
-        i = 0
-        while i < n_iters:
-            key, nregs = iteration_key(i)
-            count = 1
-            while i + count < n_iters:
-                next_key, __ = iteration_key(i + count)
-                if next_key != key:
-                    break
-                count += 1
-            base_counter = regs.counter
-            i0 = i
+        rows_per_iter = unroll * rpc
 
-            def make(j, _i0=i0, _base=base_counter, _nregs=nregs, _p=p,
-                     _pred=predicate, _col=column, _dead=dead,
-                     _mk=make_iteration):
-                regs.seek(_base + j * _nregs)
-                return _mk(_i0 + j, _p, _pred, _col, _dead)
-
-            rows_per_iter = unroll * rpc
+        def regions_of(i0, count, _col=column):
             start_row = i0 * rows_per_iter
             end_row = min((i0 + count) * rows_per_iter, rows)
-            regions = (
-                Region(column.address_of(start_row), column.address_of(end_row),
+            return (
+                Region(_col.address_of(start_row), _col.address_of(end_row),
                        rows_per_iter * 4),
                 Region(buffers.mask_address(start_row),
                        buffers.bitmask_base + (end_row + 7) // 8,
                        Fraction(rows_per_iter, 8)),
             )
-            yield TraceRun(
-                key=("hmccol", p, config.op_bytes, unroll) + key,
-                count=count,
-                make=make,
-                regs_per_iter=nregs,
-                regions=regions,
-                bulk=make_bulk(i0, dead, pass_bits),
-                fixed_regs=(induction,),
-            )
-            regs.seek(base_counter + count * nregs)
-            i += count
+
+        yield from group_runs(
+            regs, n_iters,
+            iteration_key=iteration_key,
+            make_iteration=(
+                lambda i, _p=p, _pred=predicate, _col=column, _dead=dead,
+                _mk=make_iteration: _mk(i, _p, _pred, _col, _dead)
+            ),
+            run_key=(lambda key, _p=p:
+                     ("hmccol", _p, config.op_bytes, unroll) + key),
+            regions_of=regions_of,
+            bulk_of=(lambda i0, key, _dead=dead, _bits=pass_bits:
+                     make_bulk(i0, _dead, _bits)),
+            fixed_regs=(induction,),
+        )
 
 
 def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:

@@ -39,6 +39,7 @@ from .base import (
     chunk_bounds,
     chunk_dead_flags,
     flatten_runs,
+    group_runs,
     iterator_overhead,
     lower_plan,
     lower_plan_runs,
@@ -214,45 +215,32 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
                     yield branch(pcs.site(f"p{pass_index}_loop"), taken=stop != rows,
                                  srcs=(induction,))
 
-        # Group consecutive same-shaped iterations into runs.
-        i = 0
-        while i < n_iters:
-            key, nregs = iteration_key(i)
-            count = 1
-            while i + count < n_iters:
-                next_key, __ = iteration_key(i + count)
-                if next_key != key:
-                    break
-                count += 1
-            base_counter = regs.counter
-            i0 = i
+        rows_per_iter = unroll * rpc
 
-            def make(j, _i0=i0, _base=base_counter, _nregs=nregs, _p=p,
-                     _pred=predicate, _col=column,
-                     _dead=(dead if p > 0 else None), _mk=make_iteration):
-                regs.seek(_base + j * _nregs)
-                return _mk(_i0 + j, _p, _pred, _col, _dead)
-
-            rows_per_iter = unroll * rpc
+        def regions_of(i0, count, _col=column):
             start_row = i0 * rows_per_iter
             end_row = min((i0 + count) * rows_per_iter, rows)
-            regions = (
-                Region(column.address_of(start_row), column.address_of(end_row),
+            return (
+                Region(_col.address_of(start_row), _col.address_of(end_row),
                        rows_per_iter * 4),
                 Region(buffers.mask_address(start_row),
                        buffers.bitmask_base + (end_row + 7) // 8,
                        Fraction(rows_per_iter, 8)),
             )
-            yield TraceRun(
-                key=("x86col", p, config.op_bytes, unroll) + key,
-                count=count,
-                make=make,
-                regs_per_iter=nregs,
-                regions=regions,
-                fixed_regs=(induction,),
-            )
-            regs.seek(base_counter + count * nregs)
-            i += count
+
+        yield from group_runs(
+            regs, n_iters,
+            iteration_key=iteration_key,
+            make_iteration=(
+                lambda i, _p=p, _pred=predicate, _col=column,
+                _dead=(dead if p > 0 else None), _mk=make_iteration:
+                _mk(i, _p, _pred, _col, _dead)
+            ),
+            run_key=(lambda key, _p=p:
+                     ("x86col", _p, config.op_bytes, unroll) + key),
+            regions_of=regions_of,
+            fixed_regs=(induction,),
+        )
 
 
 def column_at_a_time(workload: ScanWorkload, config: ScanConfig) -> Iterator[Uop]:

@@ -295,6 +295,34 @@ def hipe_logic_config() -> PimLogicConfig:
     return PimLogicConfig(name="hipe", predication=True)
 
 
+def reduced_cube_config(
+    arch: str,
+    scale: int = DEFAULT_SCALE,
+    num_vaults: int = 8,
+    banks_per_vault: int = 2,
+) -> MachineConfig:
+    """A machine with a reduced cube interleave and miniature caches.
+
+    The steady-state replay layer's structural period is one full
+    vault x bank sweep of the slowest address stream (256 B x vaults x
+    banks per region); shrinking the interleave from 32x8 to 8x2 cuts
+    that period 16-fold.  The caches shrink with it so their fill/drain
+    transients (an L3-sized working-set turnover must complete before
+    the steady state exists) fit test-sized row counts.  Used by the
+    replay engagement tests and the CI de-periodisation canary —
+    experiment results always use the full Table I machines.
+    """
+    base = machine_for(arch, scale)
+    return replace(
+        base,
+        l1=replace(base.l1, size_bytes=2 * KIB),
+        l2=replace(base.l2, size_bytes=4 * KIB),
+        l3=replace(base.l3, size_bytes=8 * KIB),
+        hmc=replace(base.hmc, num_vaults=num_vaults,
+                    banks_per_vault=banks_per_vault),
+    )
+
+
 def machine_for(arch: str, scale: int = DEFAULT_SCALE) -> MachineConfig:
     """Build the :class:`MachineConfig` for one of the four architectures.
 

@@ -121,6 +121,10 @@ class BandwidthResource:
     ``transfer(t, nbytes)`` returns ``(start, end)``: the transfer begins
     at the later of ``t`` and the pipe draining, and occupies the pipe for
     ``ceil(nbytes / bytes_per_cycle)`` cycles.
+
+    ``last_address`` records the address of the most recent transfer when
+    the caller supplies one; the replay layer uses it to relabel
+    address-routed pipes (a vault's data bus) when it fast-forwards.
     """
 
     def __init__(self, bytes_per_cycle: float) -> None:
@@ -129,8 +133,9 @@ class BandwidthResource:
         self.bytes_per_cycle = float(bytes_per_cycle)
         self._next_free = 0
         self.bytes_moved = 0
+        self.last_address = None
 
-    def transfer(self, cycle: int, nbytes: int) -> tuple:
+    def transfer(self, cycle: int, nbytes: int, address=None) -> tuple:
         """Serialise ``nbytes`` starting at/after ``cycle``; (start, end)."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
@@ -139,6 +144,8 @@ class BandwidthResource:
         end = start + duration
         self._next_free = end
         self.bytes_moved += nbytes
+        if address is not None:
+            self.last_address = address
         return start, end
 
     @property
@@ -148,29 +155,29 @@ class BandwidthResource:
 
 
 class MultiChannelBandwidth:
-    """Several independent pipes; a transfer takes the earliest-free one.
+    """Several identical pipes under a deterministic round-robin scheduler.
 
     Models the HMC's four serial links: each request/response packet rides
-    one lane, lanes operate in parallel.
+    one lane, lanes operate in parallel.  Lane assignment is a pure
+    rotation (packet ``k`` rides lane ``k mod n``), *not* earliest-free
+    selection: greedy tie-breaking makes the lane phase a function of
+    absolute cycle history, which keeps the machine state aperiodic and
+    blocks steady-state replay.  A packet may therefore wait for its
+    assigned lane while a neighbour idles — the bounded price of a
+    schedule that repeats whenever the instruction stream does.
     """
 
     def __init__(self, channels: int, bytes_per_cycle: float) -> None:
         if channels < 1:
             raise ValueError("channels must be >= 1")
         self.channels = [BandwidthResource(bytes_per_cycle) for _ in range(channels)]
+        self.cursor = 0  # total transfers so far; lane = cursor mod n
 
     def transfer(self, cycle: int, nbytes: int) -> tuple:
-        """Move ``nbytes`` on the channel that can start soonest."""
-        best = None
-        best_start = None
-        for channel in self.channels:
-            start = channel._next_free
-            if start < cycle:
-                start = cycle
-            if best_start is None or start < best_start:
-                best = channel
-                best_start = start
-        return best.transfer(cycle, nbytes)
+        """Move ``nbytes`` on the next lane in rotation."""
+        channel = self.channels[self.cursor % len(self.channels)]
+        self.cursor += 1
+        return channel.transfer(cycle, nbytes)
 
     @property
     def bytes_moved(self) -> int:
@@ -183,13 +190,18 @@ class BusyResource:
 
     Models a DRAM bank or one functional-unit instance.  ``occupy(t, d)``
     returns ``(start, end)`` with ``start = max(t, previous end)``.
+
+    ``last_address`` records the most recent request's address when the
+    caller supplies one (address-routed servers: DRAM banks, vault
+    command slots); the replay layer relabels such servers by it.
     """
 
     def __init__(self) -> None:
         self._next_free = 0
         self.busy_cycles = 0
+        self.last_address = None
 
-    def occupy(self, cycle: int, duration: int) -> tuple:
+    def occupy(self, cycle: int, duration: int, address=None) -> tuple:
         """Hold the server for ``duration`` cycles at/after ``cycle``."""
         if duration < 0:
             raise ValueError("duration must be non-negative")
@@ -197,6 +209,8 @@ class BusyResource:
         end = start + int(duration)
         self._next_free = end
         self.busy_cycles += int(duration)
+        if address is not None:
+            self.last_address = address
         return start, end
 
     @property
@@ -210,9 +224,13 @@ class BusyResource:
 
 
 class UnitPool:
-    """A group of identical servers; a request takes the earliest free one.
+    """A group of identical servers under a deterministic round-robin.
 
-    Models ``k`` ALUs of one type, or the per-vault functional units.
+    Models ``k`` ALUs of one type.  Like
+    :class:`MultiChannelBandwidth`, assignment is a pure rotation
+    (request ``k`` takes unit ``k mod n``) rather than earliest-free
+    selection, so the unit phase is a function of the instruction stream
+    alone and steady-state replay can reason about it.
     Returns ``(start, end)`` like :class:`BusyResource`.
     """
 
@@ -220,16 +238,10 @@ class UnitPool:
         if count < 1:
             raise ValueError("count must be >= 1")
         self.units = [BusyResource() for _ in range(count)]
+        self.cursor = 0  # total grants so far; unit = cursor mod n
 
     def occupy(self, cycle: int, duration: int) -> tuple:
-        """Use the soonest-available unit for ``duration`` cycles."""
-        best = None
-        best_start = None
-        for unit in self.units:
-            start = unit._next_free
-            if start < cycle:
-                start = cycle
-            if best_start is None or start < best_start:
-                best = unit
-                best_start = start
-        return best.occupy(cycle, duration)
+        """Use the next unit in rotation for ``duration`` cycles."""
+        unit = self.units[self.cursor % len(self.units)]
+        self.cursor += 1
+        return unit.occupy(cycle, duration)

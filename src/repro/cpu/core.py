@@ -44,12 +44,17 @@ class PimBackend:
     #: outstanding PIM requests the memory controller tracks at once
     max_outstanding: int = 4
 
-    def submit(self, uop: Uop, cycle: int) -> int:
-        """Inject ``uop`` at ``cycle``; return its completion at the core.
+    def submit(self, uop: Uop, cycle: int) -> tuple:
+        """Inject ``uop`` at ``cycle``; return ``(completion, release)``.
 
-        For value-returning instructions (compares, unlock-status reads)
-        the completion is the response arrival; posted instructions
-        complete when the link interface accepts them.
+        ``completion`` is what the uop's dependants see: the response
+        arrival for value-returning instructions (compares, unlock-status
+        reads), link acceptance for posted ones.  ``release`` is when the
+        backend's tracking entry (controller window slot, engine
+        instruction-buffer entry) frees — posted instructions may release
+        long after they complete at the core, which is what lets a
+        bounded buffer backpressure a core that streams faster than the
+        memory side drains.
         """
         raise NotImplementedError
 
@@ -164,6 +169,15 @@ class CoreExecution:
         rob_slot = index % len(rob)
         if index >= len(rob) and rob[rob_slot] > dispatch:
             dispatch = rob[rob_slot]
+            # ROB full: the front end stalls until the head commits, and
+            # resumes from there.  Coupling the fetch floor to the ROB's
+            # commit state (instead of letting fetch run arbitrarily far
+            # ahead on its own bandwidth clock) keeps the fetch/commit
+            # skew bounded, so a memory-bound loop's recovery schedule is
+            # a pure function of the loop body.
+            floor = dispatch - core.front_end_depth
+            if floor > self._fetch_floor:
+                self._fetch_floor = floor
 
         # ---- register dependences ----
         ready = dispatch
@@ -224,8 +238,8 @@ class CoreExecution:
             if window_free > earliest:
                 earliest = window_free
             start, __ = self.units.execute(cls, earliest)
-            completion = self.pim_backend.submit(uop, start)
-            self._pim_window.acquire(start, completion)
+            completion, release = self.pim_backend.submit(uop, start)
+            self._pim_window.acquire(start, release)
             self._last_pim_issue = start
             self._n_pim += 1
         elif cls is UopClass.NOP:

@@ -91,11 +91,14 @@ class DramBank:
         """Core cycles the data bus needs for ``nbytes`` of this bank."""
         return max(1, ceil_div(int(nbytes * self._burst_cpb * 1000), 1000))
 
-    def access(self, cycle: int, nbytes: int, is_write: bool) -> BankAccessResult:
+    def access(
+        self, cycle: int, nbytes: int, is_write: bool, address: int = 0
+    ) -> BankAccessResult:
         """Activate, access ``nbytes`` of one row, precharge.
 
         ``cycle`` is when the command could first be issued; the result
         accounts for the bank still being busy from a prior access.
+        ``address`` tags the bank for replay relabelling.
         """
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
@@ -107,7 +110,7 @@ class DramBank:
         # Closed page: the bank is tied up for the larger of the access
         # itself and the row-cycle time (tRAS + tRP).
         hold = max(access_latency, t.row_cycle)
-        start, bank_free = self._resource.occupy(cycle, hold)
+        start, bank_free = self._resource.occupy(cycle, hold, address=address)
         data_start = start + t.t_rcd + column_delay
         data_end = data_start + burst
         self.activations += 1

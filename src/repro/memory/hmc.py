@@ -88,7 +88,8 @@ class Hmc:
         for block_addr, block_bytes in self.mapping.blocks_of(address, nbytes):
             decoded = self.mapping.decompose(block_addr)
             vault = self.vaults[decoded.vault]
-            result = vault.access(cycle, decoded.bank, block_bytes, is_write)
+            result = vault.access(cycle, decoded.bank, block_bytes, is_write,
+                                  address=block_addr)
             done = max(done, result.data_ready)
         self._n_vault_accesses += 1
         if is_write:
@@ -145,7 +146,7 @@ class Hmc:
         request = self.links.send_request(cycle, payload_bytes=0)
         data_ready = self.vault_access(request.arrival, address, nbytes, is_write=False)
         decoded = self.mapping.decompose(address)
-        fu_done = self.vaults[decoded.vault].execute_fu(data_ready)
+        fu_done = self.vaults[decoded.vault].execute_fu(data_ready, address=address)
         if writes_back:
             fu_done = self.vault_access(fu_done, address, nbytes, is_write=True)
         response = self.links.send_response(fu_done, payload_bytes=response_payload_bytes)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..common.config import HmcConfig
-from ..common.resources import BandwidthResource, SlottedResource
+from ..common.resources import BandwidthResource, BusyResource
 from .dram import BankAccessResult, DramBank, DramTimings
 
 
@@ -42,20 +42,25 @@ class Vault:
             for _ in range(config.banks_per_vault)
         ]
         # One DRAM command slot per DRAM-cycle-ish window; modelled as one
-        # command per 2 core cycles which is far from limiting in practice.
-        self._command_queue = SlottedResource(slots_per_cycle=1)
+        # command per core cycle, serialised in arrival order — far from
+        # limiting in practice, and deterministic so the steady state of
+        # a streaming scan repeats with its address pattern.
+        self._command_queue = BusyResource()
         self._data_bus = BandwidthResource(bus_bytes_per_core_cycle)
         # The per-vault functional unit of the HMC baseline accepts one
         # operation at a time (non-pipelined, 1-cycle per Table I).
-        self._fu = SlottedResource(slots_per_cycle=1)
+        self._fu = BusyResource()
         self.fu_ops = 0
 
-    def access(self, cycle: int, bank: int, nbytes: int, is_write: bool) -> VaultAccessResult:
+    def access(
+        self, cycle: int, bank: int, nbytes: int, is_write: bool, address: int = 0
+    ) -> VaultAccessResult:
         """Perform a closed-page access of ``nbytes`` within one row.
 
         The command is accepted by the queue, the bank performs the
         activate/access/precharge sequence, and the data beats ride the
         vault's shared bus.  Returns vault-local timing (no link cost).
+        ``address`` routes replay relabelling (see BusyResource).
         """
         if not (0 <= bank < len(self.banks)):
             raise ValueError(f"bank {bank} out of range")
@@ -63,18 +68,21 @@ class Vault:
             raise ValueError(
                 f"{nbytes} B exceeds the {self.config.row_buffer_bytes} B row buffer"
             )
-        issued = self._command_queue.reserve(cycle)
-        result: BankAccessResult = self.banks[bank].access(issued, nbytes, is_write)
+        issued, __ = self._command_queue.occupy(cycle, 1, address=address)
+        result: BankAccessResult = self.banks[bank].access(
+            issued, nbytes, is_write, address=address
+        )
         # The shared bus must be free when the bank starts streaming beats.
-        __, bus_end = self._data_bus.transfer(result.data_start, nbytes)
+        __, bus_end = self._data_bus.transfer(result.data_start, nbytes,
+                                              address=address)
         data_ready = max(result.data_end, bus_end)
         return VaultAccessResult(
             start=result.start, data_ready=data_ready, bank_free=result.bank_free
         )
 
-    def execute_fu(self, cycle: int) -> int:
+    def execute_fu(self, cycle: int, address: int = 0) -> int:
         """Run one PIM functional-unit operation; returns completion cycle."""
-        granted = self._fu.reserve(cycle)
+        granted, __ = self._fu.occupy(cycle, 1, address=address)
         self.fu_ops += 1
         return granted + self.config.vault_fu_latency
 

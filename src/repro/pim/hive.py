@@ -295,14 +295,22 @@ class HiveEngine:
         done = start + self.config.int_alu_latency
         lanes = inst.size if inst.size else source.lane_match.size
         bit_offset = inst.imm_lo
-        bits = np.unpackbits(accumulator.value, bitorder="little")
         flags = source.lane_match[:lanes]
-        bits[bit_offset : bit_offset + lanes] = flags
-        # Zero the tail of the last touched byte so a partial final chunk
-        # never leaks stale bits into the stored mask.
-        byte_end = (bit_offset + lanes + 7) // 8 * 8
-        bits[bit_offset + lanes : byte_end] = False
-        accumulator.value[:] = np.packbits(bits, bitorder="little")
+        if bit_offset % 8 == 0:
+            # Byte-aligned deposit (every whole-byte chunk): pack the
+            # flags straight into the accumulator bytes — the common
+            # case, without round-tripping the whole 2048-bit register
+            # through unpackbits/packbits per chunk.
+            packed = np.packbits(flags, bitorder="little")
+            accumulator.value[bit_offset // 8 : bit_offset // 8 + packed.size] = packed
+        else:
+            bits = np.unpackbits(accumulator.value, bitorder="little")
+            bits[bit_offset : bit_offset + lanes] = flags
+            # Zero the tail of the last touched byte so a partial final
+            # chunk never leaks stale bits into the stored mask.
+            byte_end = (bit_offset + lanes + 7) // 8 * 8
+            bits[bit_offset + lanes : byte_end] = False
+            accumulator.value[:] = np.packbits(bits, bitorder="little")
         accumulator.lane_match[:] = accumulator.lanes(4) != 0
         accumulator.ready = max(accumulator.ready, done)
         self.stats.bump("pack_ops")
@@ -376,17 +384,26 @@ class HiveBackend(PimBackend):
             max_outstanding = engine.config.instruction_buffer_entries
         self.max_outstanding = max_outstanding
 
-    def submit(self, uop: Uop, cycle: int) -> int:
-        """One instruction packet out; completion depends on returns_value."""
+    def submit(self, uop: Uop, cycle: int) -> tuple:
+        """One instruction packet out; completion depends on returns_value.
+
+        The instruction-buffer entry is held until the in-order
+        sequencer has dispatched the instruction: a core streaming
+        posted instructions faster than the engine drains them fills the
+        32-entry buffer and stalls — bounding how far the engine's clock
+        can run ahead of the core's.  (Before this backpressure the
+        modelled buffer was unbounded, which no hardware is.)
+        """
         inst = uop.pim
         if inst is None:
             raise ValueError("PIM uop without an instruction payload")
         request = self.hmc.links.send_request(cycle, payload_bytes=0)
         completion = self.engine.execute(inst, request.arrival)
+        release = self.engine._seq_time  # the sequencer consumed the entry
         self.stats.bump("instructions_sent")
         if inst.returns_value:
             lanes = max(1, inst.size // inst.lane_bytes) if inst.size else 1
             payload = max(2, ceil_div(lanes, 8))
             response = self.hmc.links.send_response(completion, payload_bytes=payload)
-            return response.arrival
-        return request.accepted
+            return response.arrival, max(response.arrival, release)
+        return request.accepted, release

@@ -47,8 +47,13 @@ class HmcIsaBackend(PimBackend):
         #: computed compare masks, in program order (verification hook)
         self.computed_masks: List[np.ndarray] = []
 
-    def submit(self, uop: Uop, cycle: int) -> int:
-        """Execute one extended HMC instruction; returns core completion."""
+    def submit(self, uop: Uop, cycle: int) -> tuple:
+        """Execute one extended HMC instruction; returns (completion, release).
+
+        The controller window entry is held for the whole round trip —
+        HMC ISA instructions always return a response the window waits
+        for — so release equals completion.
+        """
         inst = uop.pim
         if inst is None:
             raise ValueError("PIM uop without an instruction payload")
@@ -65,7 +70,7 @@ class HmcIsaBackend(PimBackend):
             self._compute_mask(inst)
             self.stats.bump("loadcmp_ops")
             self.stats.bump("loadcmp_bytes", inst.size)
-            return result.completion
+            return result.completion, result.completion
         if inst.op == PimOp.HMC_UPDATE:
             result = self.hmc.pim_update(
                 cycle,
@@ -76,7 +81,7 @@ class HmcIsaBackend(PimBackend):
             )
             self._apply_update(inst)
             self.stats.bump("update_ops")
-            return result.completion
+            return result.completion, result.completion
         raise ValueError(f"HMC ISA cannot execute {inst.op!r}")
 
     def _compute_mask(self, inst) -> None:

@@ -66,7 +66,15 @@ class Machine:
         from ..codegen.base import flatten_runs
         from .replay import ReplayExecutor, replay_enabled
 
-        if exact or not replay_enabled() or self.hierarchy.directory is not None:
+        partial_loads = (self.engine is not None
+                         and self.engine.config.partial_predicated_loads)
+        if exact or not replay_enabled() or self.hierarchy.directory is not None \
+                or partial_loads:
+            # partial_predicated_loads makes a predicated load's DRAM
+            # transfer size a per-chunk function of the data; the run
+            # shape (squash flags) does not capture matched-lane counts,
+            # so the replay layer cannot prove periodicity for that
+            # extension — keep it on the exact path outright.
             return self.run(flatten_runs(runs))
         execution = self.core.execution()
         executor = ReplayExecutor(self, execution)

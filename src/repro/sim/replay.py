@@ -17,26 +17,38 @@ run the executor
    periods simulated with a full machine-state *signature* captured at
    each period boundary,
 2. **verifies shift-periodicity** — the signature normalises every
-   timing quantity to the current commit cycle and every address to the
-   run's declared region advances; two consecutive boundaries with
-   byte-equal signatures and equal statistics deltas prove the machine
-   is advancing uniformly: state(k+1) = shift(state(k)),
+   timing quantity to the current commit cycle, every address to the
+   run's declared region advances, and every rotating resource pool
+   (round-robin link lanes and functional units, address-routed vaults
+   and DRAM banks) to its rotation phase; two consecutive boundaries
+   with byte-equal signatures and equal statistics deltas prove the
+   machine is advancing uniformly: state(k+1) = shift(state(k)),
 3. **extrapolates** — the remaining whole periods are applied
    analytically: statistics counters grow by the verified per-period
    deltas, every clock in the machine advances by the period's cycle
    delta, address-keyed state (cache tags, MSHR merge tables, prefetch
-   tables, store-forward entries) is relabelled by the region advances,
-   and the run's ``bulk`` hook applies the skipped iterations'
-   functional side effects (engine-stored bitmask bytes, HMC
-   verification masks),
+   tables, store-forward entries, bank/vault busy times) is relabelled
+   by the region advances, round-robin cursors advance by their
+   per-period grant counts, and the run's ``bulk`` hook applies the
+   skipped iterations' functional side effects (engine-stored bitmask
+   bytes, HMC verification masks),
 4. **guards exactness** — anything that breaks uniformity refuses to
    converge and keeps full simulation: data-dependent chunk skipping,
-   HIPE's predicated loads (per-chunk squash/partial-load timing),
-   cache-resident warmup (residue accumulating in the tags), hot DRAM
-   banks, the tuple-at-a-time round-trip serialisation (opaque runs).
-   ``REPRO_EXACT=1`` bypasses the replay layer entirely so any point
-   can be re-verified against the slow path; replayed and exact runs
-   produce bit-identical :class:`~repro.sim.results.RunResult`\\ s.
+   HIPE's squashed/partial predicated loads under non-uniform
+   selectivity, cache-resident warmup (residue accumulating in the
+   tags), ambiguous relabels (two live resources landing on one
+   server).  ``REPRO_EXACT=1`` bypasses the replay layer entirely so
+   any point can be re-verified against the slow path; replayed and
+   exact runs produce bit-identical
+   :class:`~repro.sim.results.RunResult`\\ s.
+
+The schedulers themselves are periodic *by construction* (PR 4): link
+lanes and functional units rotate round-robin instead of greedy
+earliest-free tie-breaking, vault command/FU servers are deterministic
+scalar resources tagged with their last routed address, and the core's
+fetch floor is coupled to ROB commit state — so the steady state of the
+paper's Q6/selectivity workloads recurs (up to relabelling) with the
+vault-aligned structural period and the probe engages at SF1.
 
 The replay layer lives inside the timing-model source digest
 (``repro.sim``), so cached experiment results are invalidated whenever
@@ -51,12 +63,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..codegen.base import RegAllocator, TraceRun
 from ..common.resources import (
-    BandwidthResource,
-    BusyResource,
-    MultiChannelBandwidth,
     OccupancyResource,
     SlottedResource,
-    UnitPool,
 )
 from ..common.stats import StatGroup
 
@@ -67,10 +75,21 @@ REG_WINDOW = RegAllocator.DEFAULT_WINDOW
 
 #: smallest run worth attempting convergence on
 MIN_RUN_ITERATIONS = 12
-#: longest delta period considered (iterations)
-MAX_PERIOD = 256
-#: DRAM block granularity: a period whose region advances are whole
-#: 256 B blocks keeps the vault/bank rotation phase boundary-invariant
+#: longest period considered (iterations); the paper workloads' full
+#: DRAM-phase period is 8192 iterations (HMC/HIVE/HIPE 256 B ops) and
+#: 32768 (x86 64 B ops)
+MAX_PERIOD = 32768
+#: ceiling for runs with no/short structural period (synthetic or
+#: cache-resident loops converge quickly or not at all; scanning every
+#: candidate up to MAX_PERIOD for them is wasted work)
+SHORT_MAX_PERIOD = 256
+#: structural periods at least this long probe directly (no commit-delta
+#: prescan): the slowest stream needs a full DRAM phase per period, so
+#: waiting for (MIN_REPEATS+1) periods of identical deltas before the
+#: first probe would eat most of a paper-scale run
+STRUCT_PROBE_MIN = 512
+#: DRAM block granularity: region advances that are whole 256 B blocks
+#: keep a stream's (vault, bank) decomposition advancing uniformly
 BLOCK_BYTES = 256
 #: minimum repetitions of the delta period before probing
 MIN_REPEATS = 2
@@ -79,6 +98,12 @@ RETRY_BACKOFF_PERIODS = 4
 #: failed probes per run before giving up (bounds the state-signature
 #: overhead on runs that never converge to ~a few percent)
 MAX_PROBES_PER_RUN = 3
+#: structural (direct) probes get a larger budget: their periods are
+#: huge, every iteration in a failed probe would have been simulated
+#: anyway, and long cache transients (an L3-sized fill or residue
+#: drain) legitimately eat several probes before the steady state
+#: begins
+MAX_STRUCT_PROBES_PER_RUN = 10
 #: minimum remaining iterations, in periods, to make a probe worthwhile
 MIN_SKIP_PERIODS = 3
 #: how far below "now" timing entries still enter the state signature
@@ -168,12 +193,68 @@ def _policy_dict(policy):
     raise TypeError(f"unsupported replacement policy {type(policy).__name__}")
 
 
-def _sig_policy(cache_set, now: int, amap: _AddressMap):
+def _sig_tags(level, amap: _AddressMap):
+    """A cache level's tags as a set-position-independent multiset.
+
+    Each line is recorded as (region, normalised address, LRU rank,
+    dirty).  The steady tag state of a streaming scan is a *conveyor*
+    — lines install, sit idle for some retention, and are evicted when
+    their set's LRU turns over — and the whole conveyor advances with
+    the address streams, so every line normalises by the region deltas.
+    The set a line occupies is a pure function of its actual address,
+    and the actual address at any boundary is the normalised address
+    plus that boundary's accumulated region delta — so equal multisets
+    at two boundaries mean the full per-set tag/LRU/dirty state at the
+    second is exactly the relabelling of the first, even when lines
+    have migrated to rotated set indices.  State that does *not* convey
+    (a filling cache, parked residue, a fully resident buffer) cannot
+    match under normalisation and correctly refuses.
+    """
     entries = []
-    for rank, line in enumerate(_policy_dict(cache_set.policy)):
-        region, norm = amap.normalize(line)
-        entries.append((region, norm, rank, bool(cache_set.dirty.get(line, False))))
+    for cache_set in level._sets:
+        for rank, line in enumerate(_policy_dict(cache_set.policy)):
+            region, norm = amap.normalize(line)
+            entries.append((region, norm, rank,
+                            bool(cache_set.dirty.get(line, False))))
+    entries.sort()
     return tuple(entries)
+
+
+def _stride_table(prefetcher) -> Optional[Dict]:
+    """The pc-indexed stride table, None for other prefetcher kinds."""
+    return getattr(prefetcher, "_table", None)
+
+
+def _sig_prefetcher(prefetcher, amap: _AddressMap, prev_pf: Dict):
+    """Prefetcher tables in LRU order, stream state normalised.
+
+    The stream prefetcher's region table is pure conveyor state (the
+    scan trains a region, leaves a cooling trail behind, the LRU trims
+    it), so every entry normalises — keys and addresses alike.  The
+    stride table is pc-keyed: entries of finished code (a dead pass's
+    load pcs) freeze at their final raw addresses forever, so entries
+    are classified by a raw diff against the previous period boundary —
+    unchanged entries are fossils and compare raw, changed ones belong
+    to the running loop and normalise.  Iteration order is part of the
+    signature — it is the tables' LRU eviction order.
+    """
+    table = _stride_table(prefetcher)
+    if table is not None:
+        entries = []
+        for pc, value in table.items():
+            if prev_pf.get(pc) == value:
+                entries.append((pc, value, False))
+            else:
+                last, stride, conf = value
+                entries.append((pc, (amap.normalize(last), stride, conf), True))
+        return tuple(entries)
+    streams = getattr(prefetcher, "_streams", None)
+    if streams is not None:
+        return tuple(
+            (amap.normalize(last), direction, trained, amap.normalize(head))
+            for last, direction, trained, head in streams.values()
+        )
+    return ()
 
 
 def _walk_stats(group: StatGroup, out: List[Tuple[Dict, str]]) -> None:
@@ -202,32 +283,45 @@ class _MachineState:
         if core._pim_window is not None:
             self.occupancy.append(core._pim_window)
 
-        # Interchangeable server groups: requests rotate round-robin
-        # across them (vaults, banks, FU instances, link lanes), so
-        # their signatures compare as sorted multisets — a stale entry
-        # on a rotated-away server is dead by the time the stream
-        # returns to it (revisit interval >> GRACE), which the
-        # equivalence tests pin down per supported configuration.
-        self.slotted_pools: List[List[SlottedResource]] = []
-        self.busy_pools: List[List[BusyResource]] = []
-        self.bandwidth_pools: List[List[BandwidthResource]] = []
-
+        # Round-robin pools: lane/unit assignment is a pure rotation of
+        # the pool cursor, so member states compare (and shift) relative
+        # to the cursor phase.  Each entry is (pool, members, counter) —
+        # ``counter`` names the per-member statistic the pool total
+        # extrapolates through, and doubles as the busy-vs-bandwidth
+        # kind for the flat time-shift views.
+        self.rr_pools: List[Tuple[object, List, str]] = []
         seen = set()
         for pool, __ in machine.core.units._pools.values():
             if id(pool) in seen:
                 continue
             seen.add(id(pool))
-            self.busy_pools.append(list(pool.units))
-
+            self.rr_pools.append((pool, list(pool.units), "busy_cycles"))
         hmc = machine.hmc
         for lanes in (hmc.links._request_lanes, hmc.links._response_lanes):
-            self.bandwidth_pools.append(list(lanes.channels))
-        self.slotted_pools.append([v._command_queue for v in hmc.vaults])
-        self.slotted_pools.append([v._fu for v in hmc.vaults])
-        self.bandwidth_pools.append([v._data_bus for v in hmc.vaults])
-        self.busy_pools.append(
-            [bank._resource for vault in hmc.vaults for bank in vault.banks]
-        )
+            self.rr_pools.append((lanes, list(lanes.channels), "bytes_moved"))
+
+        # Address-routed pools: requests land on the server their DRAM
+        # address decodes to, so a live server's state is keyed by the
+        # last address that touched it and relabels with the region
+        # advances like any other address-keyed state.  Each entry is
+        # (members, index_of_address, counter).
+        mapping = hmc.mapping
+        banks_per_vault = hmc.config.banks_per_vault
+
+        def vault_index(address: int) -> int:
+            return mapping.decompose(address).vault
+
+        def bank_index(address: int) -> int:
+            decoded = mapping.decompose(address)
+            return decoded.vault * banks_per_vault + decoded.bank
+
+        self.addr_pools: List[Tuple[List, object, str]] = [
+            ([v._command_queue for v in hmc.vaults], vault_index, "busy_cycles"),
+            ([v._fu for v in hmc.vaults], vault_index, "busy_cycles"),
+            ([v._data_bus for v in hmc.vaults], vault_index, "bytes_moved"),
+            ([bank._resource for vault in hmc.vaults for bank in vault.banks],
+             bank_index, "busy_cycles"),
+        ]
 
         self.levels = [machine.hierarchy.l1, machine.hierarchy.l2,
                        machine.hierarchy.l3]
@@ -239,16 +333,17 @@ class _MachineState:
 
         self.engine = machine.engine
 
-        # Flat views for time-shifting (order irrelevant there).
-        self.all_slotted = self.slotted + [
-            r for group in self.slotted_pools for r in group
-        ]
-        self.all_busy = [u for group in self.busy_pools for u in group]
-        self.all_bandwidth = [
-            c for group in self.bandwidth_pools for c in group
-        ]
-        self.bandwidth = self.all_bandwidth
-        self.busy = self.all_busy
+        # Flat views for time-shifting (order irrelevant there), derived
+        # from the pools' declared kinds.
+        self.all_slotted = list(self.slotted)
+        self.all_busy = []
+        self.all_bandwidth = []
+        for __, members, counter in self.rr_pools:
+            target = self.all_busy if counter == "busy_cycles" else self.all_bandwidth
+            target.extend(members)
+        for members, __, counter in self.addr_pools:
+            target = self.all_busy if counter == "busy_cycles" else self.all_bandwidth
+            target.extend(members)
 
         # Monotonic counters outside the stats tree (extrapolated, not
         # part of the structural signature).
@@ -293,7 +388,9 @@ class _MachineState:
             self.scalar_cells.append((self.engine.registers, "_n_writes"))
         # Group-summed counters: requests rotate across the pool's
         # members, so only the pool total extrapolates linearly (and
-        # only the total ever reaches results, via collect_stats).
+        # only the total ever reaches results, via collect_stats).  One
+        # group per pool — request lanes, response lanes and the vault
+        # buses feed *separate* statistics.
         banks = [bank for vault in hmc.vaults for bank in vault.banks]
         self.group_cells: List[List[Tuple[object, str]]] = [
             [(vault, "fu_ops") for vault in hmc.vaults],
@@ -301,12 +398,10 @@ class _MachineState:
         for name in ("activations", "reads", "writes", "bytes_read",
                      "bytes_written"):
             self.group_cells.append([(bank, name) for bank in banks])
-        for pool in self.busy_pools:
-            self.group_cells.append([(u, "busy_cycles") for u in pool])
-        for pool in self.bandwidth_pools:
-            # One group per lane pool: request lanes, response lanes and
-            # vault data buses feed *separate* result statistics.
-            self.group_cells.append([(c, "bytes_moved") for c in pool])
+        for __, members, counter in self.rr_pools:
+            self.group_cells.append([(m, counter) for m in members])
+        for members, __, counter in self.addr_pools:
+            self.group_cells.append([(m, counter) for m in members])
 
     # -- counters (values extrapolate linearly) -----------------------------
 
@@ -319,6 +414,10 @@ class _MachineState:
             for group in self.group_cells
         )
         return values
+
+    def rotation_vector(self) -> List[int]:
+        """Round-robin cursors (monotone grant counts) of every rr pool."""
+        return [pool.cursor for pool, __, ___ in self.rr_pools]
 
     def stat_keys(self):
         """Stable identity of the stats cells (new counters may appear)."""
@@ -358,29 +457,59 @@ class _MachineState:
 
     # -- structural signature ----------------------------------------------
 
-    def signature(self, amap: _AddressMap):
+    def raw_snapshot(self) -> List[Dict]:
+        """Per-level raw stride-table state, for the fossil diff."""
+        out = []
+        for level in self.levels:
+            table = _stride_table(level.prefetcher)
+            out.append({} if table is None else dict(table))
+        return out
+
+    def signature(self, amap: _AddressMap, prev_raw: List[Dict]):
         core = self.execution
         now = core.last_commit
         parts: List = []
 
-        # Pool members stay positional: a rotated-but-otherwise-equal
-        # pool is NOT shift-equivalent (the rotation phase feeds future
-        # tie-breaking), and treating it as equal is exactly the false
-        # convergence the bit-identity tests would catch.
         parts.append(tuple(_sig_slotted(r, now) for r in self.slotted))
         parts.append(tuple(_sig_occupancy(r, now) for r in self.occupancy))
-        parts.append(tuple(
-            tuple(_sig_slotted(r, now) for r in group)
-            for group in self.slotted_pools
-        ))
-        parts.append(tuple(
-            tuple(_sig_clock(u._next_free, now) for u in group)
-            for group in self.busy_pools
-        ))
-        parts.append(tuple(
-            tuple(_sig_clock(c._next_free, now) for c in group)
-            for group in self.bandwidth_pools
-        ))
+
+        # Round-robin pools compare cursor-relative: member (cursor + i)
+        # at one boundary corresponds to member (cursor' + i) at the
+        # next.  The cursor advance itself is verified separately
+        # (rotation_vector deltas must match period over period).
+        rr_parts = []
+        for pool, members, __ in self.rr_pools:
+            n = len(members)
+            phase = pool.cursor % n
+            rr_parts.append(tuple(
+                _sig_clock(members[(phase + i) % n]._next_free, now)
+                for i in range(n)
+            ))
+        parts.append(tuple(rr_parts))
+
+        # Address-routed pools compare as multisets of live servers
+        # keyed by the (normalised) address that last touched them: the
+        # server an address lands on is a pure function of the address,
+        # so equal multisets mean the live bank/vault busy pattern at
+        # the next boundary is exactly the relabelling of this one.
+        # Stale servers (idle longer than GRACE) are behaviourally dead
+        # — any future request's max(cycle, next_free) resolves to the
+        # request cycle — and are excluded.
+        addr_parts = []
+        for members, __, ___ in self.addr_pools:
+            live = []
+            for i, member in enumerate(members):
+                slack = member._next_free - now
+                if slack <= -GRACE:
+                    continue
+                address = member.last_address
+                if address is None:
+                    live.append(((-2, i), slack))
+                else:
+                    live.append((self.normalize_addr(amap, address), slack))
+            live.sort()
+            addr_parts.append(tuple(live))
+        parts.append(tuple(addr_parts))
 
         # Core scalar clocks + the ROB in age order (rotation-invariant).
         parts.append((
@@ -419,17 +548,15 @@ class _MachineState:
         parts.append((predictor._history, bytes(predictor._pht),
                       tuple(predictor._btb.keys())))
 
-        # Cache tags + dirty bits + LRU ranks, addresses normalised;
-        # MSHR merge tables; prefetcher state.
-        for level in self.levels:
-            parts.append(tuple(
-                _sig_policy(cache_set, now, amap) for cache_set in level._sets
-            ))
+        # Cache tags + dirty bits + LRU ranks as relabel-invariant
+        # multisets; MSHR merge tables; prefetcher state.
+        for level, prev_pf in zip(self.levels, prev_raw):
+            parts.append(_sig_tags(level, amap))
             parts.append(tuple(sorted(
                 (amap.normalize(line), t - now)
                 for line, t in level.mshr._in_flight.items() if t > now - GRACE
             )))
-            parts.append(_sig_prefetcher(level.prefetcher, amap))
+            parts.append(_sig_prefetcher(level.prefetcher, amap, prev_pf))
 
         # Logic-layer engine clocks + register interlock times.
         engine = self.engine
@@ -442,6 +569,10 @@ class _MachineState:
                 tuple(_sig_clock(r.ready, now) for r in engine.registers.registers),
             ))
         return tuple(parts)
+
+    @staticmethod
+    def normalize_addr(amap: _AddressMap, address: int) -> Tuple[int, int]:
+        return amap.normalize(address)
 
     def _reg_phase(self) -> int:
         """Core-register allocation phase (set by the executor per run)."""
@@ -461,31 +592,110 @@ class _MachineState:
     def plan_tag_relabel(self, amap: _AddressMap) -> Optional[List]:
         """Dry-run the cache-tag relabelling; None when it is ambiguous.
 
-        Relabelled lines may move to different sets (region advances are
-        not set-aligned in general).  That is exact as long as every
-        destination set receives lines from at most one source set —
-        otherwise the merged LRU order is unknown and the executor
-        refuses to extrapolate.
+        Every line relabels with the conveyor — possibly into a
+        different set, since region advances are not set-aligned in
+        general.  Each destination set is reconstructed from its lines'
+        LRU ranks; two lines claiming one rank (or one address) would
+        make the merged state ambiguous, and the executor refuses.
         """
         plans = []
         for level in self.levels:
             num_sets = level.num_sets
             line_bytes = level.line_bytes
             new_sets: Dict[int, List] = {}
-            sources: Dict[int, int] = {}
-            for old_index, cache_set in enumerate(level._sets):
-                for line in _policy_dict(cache_set.policy):
+            for cache_set in level._sets:
+                for rank, line in enumerate(_policy_dict(cache_set.policy)):
+                    dirty = bool(cache_set.dirty.get(line, False))
                     new_line = amap.relabel(line)
                     new_index = (new_line // line_bytes) % num_sets
-                    origin = sources.get(new_index)
-                    if origin is None:
-                        sources[new_index] = old_index
-                    elif origin != old_index:
-                        return None
                     new_sets.setdefault(new_index, []).append(
-                        (new_line, bool(cache_set.dirty.get(line, False)))
+                        (rank, new_line, dirty)
                     )
+            for entries in new_sets.values():
+                entries.sort()
+                ranks = [rank for rank, __, ___ in entries]
+                if len(set(ranks)) != len(ranks):
+                    return None
+                lines = [line for __, line, ___ in entries]
+                if len(set(lines)) != len(lines):
+                    # Two lines landing on one address: the cache is
+                    # (partly) position-static, not conveying —
+                    # extrapolating the advance would corrupt it.
+                    return None
             plans.append(new_sets)
+        return plans
+
+    def plan_prefetcher_relabel(self, amap: _AddressMap,
+                                prev_raw: List[Dict]) -> Optional[List]:
+        """Dry-run the prefetcher-table relabelling; None on collision.
+
+        Stream tables relabel wholesale (conveyor state); stride
+        entries relabel per the fossil diff — unchanged (dead-pc)
+        entries keep their raw values.  A relabelled stream landing on
+        a key another entry keeps would merge two table rows, so the
+        executor refuses.
+        """
+        plans = []
+        for level, prev_pf in zip(self.levels, prev_raw):
+            table = _stride_table(level.prefetcher)
+            items: List[Tuple] = []
+            if table is not None:
+                kind = "stride"
+                for pc, value in table.items():
+                    if prev_pf.get(pc) == value:
+                        items.append((pc, value))
+                    else:
+                        last, stride, conf = value
+                        items.append((pc, (amap.relabel(last), stride, conf)))
+            else:
+                streams = getattr(level.prefetcher, "_streams", None)
+                if streams is None:
+                    plans.append(("none", items))
+                    continue
+                kind = "stream"
+                span = (level.prefetcher.REGION_LINES
+                        * level.prefetcher.line_bytes)
+                for last, direction, trained, head in streams.values():
+                    new_last = amap.relabel(last)
+                    items.append((new_last // span,
+                                  (new_last, direction, trained,
+                                   amap.relabel(head))))
+            keys = [key for key, __ in items]
+            if len(set(keys)) != len(keys):
+                return None
+            plans.append((kind, items))
+        return plans
+
+    def plan_pool_relabel(self, amap: _AddressMap) -> Optional[List]:
+        """Dry-run the address-routed pool relabelling; None on conflict.
+
+        Every live server's last address is relabelled and re-decoded;
+        the server's busy state moves to the server the new address
+        routes to.  Two live servers landing on the same destination
+        (streams crossing in vault space) would leave the destination's
+        state ambiguous, so the executor refuses.
+        """
+        plans = []
+        for members, index_of, __ in self.addr_pools:
+            now = self.execution.last_commit
+            moves = []
+            targets = set()
+            for i, member in enumerate(members):
+                if member._next_free - now <= -GRACE:
+                    continue
+                address = member.last_address
+                if address is None:
+                    return None
+                new_address = amap.relabel(address)
+                try:
+                    target = index_of(new_address)
+                except ValueError:
+                    return None
+                if target in targets:
+                    return None
+                targets.add(target)
+                moves.append((i, target, new_address))
+            plans.append(moves)
         return plans
 
     def apply_tag_relabel(self, plans: List) -> None:
@@ -496,13 +706,50 @@ class _MachineState:
                 container.clear()
                 cache_set.dirty.clear()
                 if entries:
-                    for line, dirty in entries:
+                    for __, line, dirty in entries:  # in LRU-rank order
                         container[line] = None
                         if dirty:
                             cache_set.dirty[line] = True
 
+    def apply_prefetcher_relabel(self, plans: List) -> None:
+        for level, (kind, items) in zip(self.levels, plans):
+            if kind == "stride":
+                table = _stride_table(level.prefetcher)
+            elif kind == "stream":
+                table = level.prefetcher._streams
+            else:
+                continue
+            table.clear()
+            table.update(items)
+
+    def apply_pool_relabel(self, plans: List, dead_floor: int) -> None:
+        """Move live servers' (already time-shifted) state to their new
+        routing positions.  A vacated server's busy time is clamped to
+        the stale horizon: the slow path would have touched it during
+        the skipped span and let the touch age out of the GRACE window,
+        so all that matters — and all that is preserved — is that it is
+        behaviourally dead (any future request's ``max(cycle,
+        next_free)`` resolves to the request cycle)."""
+        for (members, __, ___), moves in zip(self.addr_pools, plans):
+            snapshot = [
+                (target, members[i]._next_free, new_address)
+                for i, target, new_address in moves
+            ]
+            targets = {target for target, __, ___ in snapshot}
+            for i, __, ___ in moves:
+                if i not in targets:
+                    member = members[i]
+                    if member._next_free > dead_floor:
+                        member._next_free = dead_floor
+            for target, next_free, new_address in snapshot:
+                member = members[target]
+                member._next_free = next_free
+                member.last_address = new_address
+
     def shift(self, dt: int, amap: _AddressMap, uop_advance: int,
-              reg_advance: int) -> None:
+              reg_advance: int, rotations: Optional[List[int]] = None,
+              pool_plans: Optional[List] = None,
+              prefetch_plans: Optional[List] = None) -> None:
         """Advance the whole machine by ``dt`` cycles / region deltas."""
         core = self.execution
 
@@ -515,6 +762,24 @@ class _MachineState:
             res._next_free += dt
         for res in self.all_bandwidth:
             res._next_free += dt
+
+        # Round-robin pools: advance the cursor by the accumulated grant
+        # count and rotate the member states with it, so member
+        # (cursor + i) keeps the state the probe verified for phase i.
+        if rotations is not None:
+            for (pool, members, __), advance in zip(self.rr_pools, rotations):
+                n = len(members)
+                pool.cursor += advance
+                rot = advance % n
+                if rot:
+                    values = [m._next_free for m in members]
+                    for i, value in enumerate(values):
+                        members[(i + rot) % n]._next_free = value
+
+        if pool_plans is not None:
+            self.apply_pool_relabel(
+                pool_plans, dead_floor=core.last_commit + dt - GRACE
+            )
 
         core._fetch_floor += dt
         core._branch_resolve_watermark += dt
@@ -550,7 +815,8 @@ class _MachineState:
                 (t + dt, amap.relabel(line)) for t, line in mshr._fifo
             )
             mshr._watermark += dt
-            _shift_prefetcher(level.prefetcher, amap)
+        if prefetch_plans is not None:
+            self.apply_prefetcher_relabel(prefetch_plans)
 
         engine = self.engine
         if engine is not None:
@@ -560,44 +826,6 @@ class _MachineState:
             engine.last_completion += dt
             for register in engine.registers.registers:
                 register.ready += dt
-
-
-def _sig_prefetcher(prefetcher, amap: _AddressMap):
-    table = getattr(prefetcher, "_table", None)
-    if table is not None:  # stride prefetcher (pc-indexed)
-        return tuple(
-            (pc, amap.normalize(last), stride, conf)
-            for pc, (last, stride, conf) in table.items()
-        )
-    streams = getattr(prefetcher, "_streams", None)
-    if streams is not None:  # stream prefetcher (region-indexed)
-        return tuple(
-            (amap.normalize(last), direction, trained, amap.normalize(head))
-            for last, direction, trained, head in streams.values()
-        )
-    return ()
-
-
-def _shift_prefetcher(prefetcher, amap: _AddressMap) -> None:
-    table = getattr(prefetcher, "_table", None)
-    if table is not None:
-        items = [
-            (pc, (amap.relabel(last), stride, conf))
-            for pc, (last, stride, conf) in table.items()
-        ]
-        table.clear()
-        table.update(items)
-        return
-    streams = getattr(prefetcher, "_streams", None)
-    if streams is not None:
-        region_span = prefetcher.REGION_LINES * prefetcher.line_bytes
-        items = []
-        for last, direction, trained, head in streams.values():
-            new_last = amap.relabel(last)
-            items.append((new_last // region_span,
-                          (new_last, direction, trained, amap.relabel(head))))
-        streams.clear()
-        streams.update(items)
 
 
 # ---------------------------------------------------------------------------
@@ -613,6 +841,18 @@ class ReplayExecutor:
         self.execution = execution
         self.state = _MachineState(machine, execution)
         self.stats = ReplayStats()
+        #: full-DRAM-phase alignment: a period whose region advances are
+        #: all multiples of one complete vault x bank interleave span
+        #: keeps every stream's (vault, bank) decomposition — and the
+        #: streams' *relative* phases, i.e. where column traffic crosses
+        #: the mask stream's current vault/bank — boundary-invariant.
+        #: (Vault alignment alone is not enough: the cost of a crossing
+        #: depends on whether the two streams also share a bank, and the
+        #: bank phase of the slowest stream advances once per vault
+        #: sweep.)
+        config = machine.hmc.config
+        self._dram_span = (BLOCK_BYTES * config.num_vaults
+                           * config.banks_per_vault)
 
     # -- plumbing -----------------------------------------------------------
 
@@ -631,20 +871,21 @@ class ReplayExecutor:
     # -- convergence detection ---------------------------------------------
 
     @staticmethod
-    def _find_period(deltas: List[int], floor: int = 1) -> Optional[int]:
+    def _find_period(deltas: List[int], floor: int = 1,
+                     limit: int = MAX_PERIOD) -> Optional[int]:
         """Smallest multiple of ``floor`` whose recent deltas repeat.
 
-        ``floor`` is the structural period (whole-DRAM-block region
+        ``floor`` is the structural period (vault-aligned region
         advances) and escalates after failed probes: the commit-delta
         sequence often repeats at a short period while deeper machine
-        state (mask-line crossings, vault rotation) cycles with a longer
-        one that only the signature can see.  Only multiples of the
-        structural period are viable, and slice comparison keeps the
-        scan cheap enough to run while simulating.
+        state (mask-line crossings, stream crossings in vault space)
+        cycles with a longer one that only the signature can see.  Only
+        multiples of the structural period are viable, and slice
+        comparison keeps the scan cheap enough to run while simulating.
         """
         n = len(deltas)
         p = max(1, floor)
-        while p <= MAX_PERIOD:
+        while p <= limit:
             need = (MIN_REPEATS + 1) * p
             if need > n:
                 return None
@@ -666,24 +907,26 @@ class ReplayExecutor:
             deltas.append(int(advance))
         return deltas
 
-    @staticmethod
-    def _structural_period(run: TraceRun) -> int:
-        """Smallest period whose region advances are whole DRAM blocks.
+    def _structural_period(self, run: TraceRun) -> int:
+        """Smallest period advancing every region by whole DRAM phases.
 
-        When every address stream advances by a multiple of the 256 B
-        row-buffer block per period, the vault/bank rotation phase and
-        mask-line crossings look identical at every period boundary —
-        the natural candidate the commit-delta sequence alone cannot
-        see (its period is usually 1).
+        When every address stream advances by a multiple of the full
+        vault x bank interleave span per period, each stream returns to
+        the same (vault, bank) phase at every boundary and the relative
+        phases of the streams — where and how severely they collide in
+        the memory — recur exactly: the natural candidate the
+        commit-delta sequence alone cannot see (its period is usually
+        1).
         """
         period = 1
+        span = self._dram_span
         for region in run.regions:
             if region.stride == 0:
                 continue
-            # Smallest integer p with p * (a/b) ≡ 0 (mod BLOCK_BYTES).
+            # Smallest integer p with p * (a/b) ≡ 0 (mod span).
             a = abs(region.stride.numerator)
             b = region.stride.denominator
-            p = (BLOCK_BYTES * b) // math.gcd(a, BLOCK_BYTES * b)
+            p = (span * b) // math.gcd(a, span * b)
             period = period * p // math.gcd(period, p)
         return period
 
@@ -715,16 +958,18 @@ class ReplayExecutor:
             if one is None:
                 return 0, False
 
-        # Signatures at three consecutive period boundaries, each
-        # normalised by its boundary's accumulated region advance.
+        # Three consecutive period boundaries: a raw snapshot at the
+        # first anchors the moving/frozen classification, then the two
+        # following boundaries' signatures — each normalised by its
+        # accumulated region advance and classified against the boundary
+        # before it — must agree byte for byte.
         state.fixed_regs = run.fixed_regs
         base_phase = (j * run.regs_per_iter) % REG_WINDOW
-        state.reg_phase = base_phase
-        amap0 = _AddressMap(run.regions, [d * 0 for d in one])
         state.refresh_stats()
         keys0 = state.stat_keys()
-        sig0 = state.signature(amap0)
+        raw0 = state.raw_snapshot()
         cnt0 = state.counter_vector()
+        rot0 = state.rotation_vector()
         now0 = execution.last_commit
 
         uops_a = 0
@@ -736,12 +981,11 @@ class ReplayExecutor:
         state.refresh_stats()
         if state.stat_keys() != keys0:
             return p, False  # new counters appeared: not steady yet
-        sig1 = state.signature(amap1)
+        raw1 = state.raw_snapshot()
+        sig1 = state.signature(amap1, raw0)
         cnt1 = state.counter_vector()
+        rot1 = state.rotation_vector()
         now1 = execution.last_commit
-
-        if sig1 != sig0:
-            return p, False
 
         uops_b = 0
         for k in range(p):
@@ -752,8 +996,9 @@ class ReplayExecutor:
         state.refresh_stats()
         if state.stat_keys() != keys0:
             return 2 * p, False
-        sig2 = state.signature(amap2)
+        sig2 = state.signature(amap2, raw1)
         cnt2 = state.counter_vector()
+        rot2 = state.rotation_vector()
         now2 = execution.last_commit
 
         dt1 = now1 - now0
@@ -763,6 +1008,10 @@ class ReplayExecutor:
         delta_a = [b - a for a, b in zip(cnt0, cnt1)]
         delta_b = [b - a for a, b in zip(cnt1, cnt2)]
         if delta_a != delta_b:
+            return 2 * p, False
+        rot_a = [b - a for a, b in zip(rot0, rot1)]
+        rot_b = [b - a for a, b in zip(rot1, rot2)]
+        if rot_a != rot_b:
             return 2 * p, False
 
         # Converged.  Skip every remaining whole period.
@@ -777,11 +1026,20 @@ class ReplayExecutor:
         plans = state.plan_tag_relabel(amap_skip)
         if plans is None:  # ambiguous LRU merge: the driver logs the failure
             return consumed, False
+        pool_plans = state.plan_pool_relabel(amap_skip)
+        if pool_plans is None:  # streams cross in vault space
+            return consumed, False
+        prefetch_plans = state.plan_prefetcher_relabel(amap_skip, raw1)
+        if prefetch_plans is None:
+            return consumed, False
 
         state.apply_tag_relabel(plans)
         state.shift(dt1 * periods, amap_skip,
                     uop_advance=uops_a * periods,
-                    reg_advance=run.regs_per_iter * p * periods)
+                    reg_advance=run.regs_per_iter * p * periods,
+                    rotations=[advance * periods for advance in rot_a],
+                    pool_plans=pool_plans,
+                    prefetch_plans=prefetch_plans)
         state.add_counters(delta_a, periods)
         if run.bulk is not None:
             run.bulk(self.machine, j + consumed, j + consumed + periods * p)
@@ -813,19 +1071,36 @@ class ReplayExecutor:
         deltas: List[int] = []
         j = 0
         next_probe = 0
-        p_floor = min(self._structural_period(run), MAX_PERIOD)
+        p_floor = self._structural_period(run)
+        # Long structural periods (DRAM-striding paper workloads) probe
+        # directly: the probe itself is the verification, and waiting
+        # for (MIN_REPEATS+1) periods of repeating commit deltas first
+        # would consume most of even an SF1-scale run.  One skipped
+        # period is already tens of thousands of iterations.
+        # Non-structural runs keep the short scan ceiling: their commit
+        # deltas are examined every iteration, and a deep candidate scan
+        # over a 100 K-entry delta window would throttle exactly the
+        # runs that gain nothing from replay.
+        structural = p_floor >= STRUCT_PROBE_MIN
+        p_limit = MAX_PERIOD if structural else SHORT_MAX_PERIOD
+        min_skip = 1 if structural else MIN_SKIP_PERIODS
         failures_at_floor = 0
-        probes_left = MAX_PROBES_PER_RUN
+        probes_left = (MAX_STRUCT_PROBES_PER_RUN if structural
+                       else MAX_PROBES_PER_RUN)
         start_commit = execution.last_commit
         while j < count:
-            # Probing before the GRACE window, the ROB and the branch
-            # history have filled with this run's steady behaviour can
-            # only fail (boundary states still carry start-up residue).
+            # Probing before the GRACE window, the ROB, the caches and
+            # the branch history have filled with this run's steady
+            # behaviour can only fail (boundary states still carry
+            # start-up residue).
             warmed = execution.last_commit - start_commit >= 2 * GRACE
-            if warmed and j >= next_probe and p_floor <= MAX_PERIOD \
+            if warmed and j >= next_probe and p_floor <= p_limit \
                     and probes_left > 0:
-                p = self._find_period(deltas, p_floor)
-                if p is not None and count - j >= (2 + MIN_SKIP_PERIODS) * p:
+                if structural:
+                    p = p_floor if j >= p_floor // 2 else None
+                else:
+                    p = self._find_period(deltas, p_floor, p_limit)
+                if p is not None and count - j >= (2 + min_skip) * p:
                     consumed, converged = self._probe_and_skip(run, j, p)
                     if consumed:
                         j += consumed
@@ -834,7 +1109,7 @@ class ReplayExecutor:
                             self.stats.probes_failed += 1
                             probes_left -= 1
                             failures_at_floor += 1
-                            if failures_at_floor >= 2:
+                            if failures_at_floor >= 2 and not structural:
                                 # Not just warmup: deeper state cycles
                                 # with a longer period than the commit
                                 # deltas show — escalate the floor.
@@ -844,7 +1119,8 @@ class ReplayExecutor:
                         continue
                     next_probe = j + RETRY_BACKOFF_PERIODS * p
             delta, __ = self._simulate_iteration(run, j)
-            deltas.append(delta)
-            if len(deltas) > (MIN_REPEATS + 1) * MAX_PERIOD:
-                del deltas[: len(deltas) - (MIN_REPEATS + 1) * MAX_PERIOD]
+            if not structural:
+                deltas.append(delta)
+                if len(deltas) > (MIN_REPEATS + 1) * p_limit:
+                    del deltas[: len(deltas) - (MIN_REPEATS + 1) * p_limit]
             j += 1

@@ -27,6 +27,12 @@ class RunResult:
     verified: Optional[bool] = None  # functional check, where applicable
     stats: Dict[str, float] = field(default_factory=dict)
     aggregates: Optional[AggregateResults] = None  # plans with an Aggregate
+    #: replay bookkeeping of the producing simulation (None when the
+    #: point was simulated exactly, ran replay-disabled, or came out of
+    #: the result cache).  Deliberately *not* serialised and not part of
+    #: result equality: replayed and exact runs are bit-identical in
+    #: every field above, and cache entries are shared between them.
+    replay: Optional[Any] = field(default=None, compare=False, repr=False)
 
     @property
     def seconds(self) -> float:

@@ -83,13 +83,16 @@ def run_scan(
     verify: bool = True,
     plan: Optional[QueryPlan] = None,
     exact: Optional[bool] = None,
+    config=None,
 ) -> RunResult:
     """Simulate one query plan on one architecture/configuration.
 
     ``plan`` defaults to the Q6 select scan (the paper's workload).
     ``exact`` forces the uop-by-uop slow path (defaults to the
     ``REPRO_EXACT`` environment flag); the steady-state replay path is
-    bit-identical and used otherwise.
+    bit-identical and used otherwise.  ``config`` overrides the machine
+    (e.g. :func:`~repro.common.config.reduced_cube_config`); cached
+    experiment sweeps always use the standard per-arch machines.
     """
     arch = arch.lower()
     if arch not in _CODEGENS:
@@ -98,7 +101,7 @@ def run_scan(
         plan = q6_select_plan()
     if data is None:
         data = generate_table(plan.table, rows, seed)
-    machine = build_machine(arch, scale=scale)
+    machine = build_machine(arch, scale=scale, config=config)
     workload = build_workload(machine, data, scan.layout, plan=plan)
     runs = _CODEGENS[arch].generate_plan_runs(workload, scan)
     core_result = machine.run_runs(runs, exact=bool(exact))
@@ -140,6 +143,7 @@ def run_scan(
         verified=verified,
         stats=machine.stats.flatten(),
         aggregates=aggregates,
+        replay=machine.replay_stats,
     )
 
 

@@ -45,7 +45,7 @@ class _RecordingBackend(PimBackend):
 
     def submit(self, uop, cycle):
         self.submissions.append((cycle, uop))
-        return cycle + self.latency
+        return cycle + self.latency, cycle + self.latency
 
 
 def make_core(backend=None, memory=None):

@@ -113,8 +113,9 @@ class TestHmcIsaBackend:
         alloc = self.image.allocate_array("col", values)
         inst = PimInstruction(PimOp.HMC_LOADCMP, address=alloc.base, size=16,
                               func=AluFunc.CMP_GE, imm_lo=5, returns_value=True)
-        done = self.backend.submit(pim(1, inst), 0)
+        done, release = self.backend.submit(pim(1, inst), 0)
         assert done > 0
+        assert release == done  # the controller window holds the round trip
         bits = np.unpackbits(self.backend.computed_masks[0], count=4,
                              bitorder="little")
         assert bits.tolist() == [0, 1, 0, 1]
@@ -355,10 +356,15 @@ class TestBackends:
         hmc, image = make_cube()
         engine = HiveEngine(hive_logic_config(), hmc, image)
         backend = HiveBackend(engine, hmc)
-        posted = backend.submit(pim(1, PimInstruction(PimOp.LOCK)), 0)
-        status = backend.submit(
+        posted, posted_release = backend.submit(
+            pim(1, PimInstruction(PimOp.LOCK)), 0)
+        status, status_release = backend.submit(
             pim(2, PimInstruction(PimOp.UNLOCK, returns_value=True), dst=1), 0)
         assert posted < status  # status waits for the response packet
+        # The posted instruction's buffer entry frees only once the
+        # in-order sequencer has consumed it (engine-side backpressure).
+        assert posted_release >= posted
+        assert status_release >= status
 
     def test_hipe_backend_window_from_buffer(self):
         hmc, image = make_cube()

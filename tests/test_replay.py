@@ -234,8 +234,10 @@ def _fixed_reg_runs(count=3000):
 
 
 def _latency_bound_runs(count=1500):
-    """A dependent ALU chain: fetch drifts behind commit without bound,
-    so the machine state never recurs — the guard must refuse."""
+    """A dependent ALU chain.  Before PR 4 the fetch clock ran ahead of
+    commit without bound here, so the state never recurred; with the
+    fetch floor coupled to ROB commit state the skew is bounded by
+    construction and the loop converges."""
 
     def make(j):
         reg = 100 + (j % 4096)
@@ -245,6 +247,20 @@ def _latency_bound_runs(count=1500):
 
     return [TraceRun(key=("synthetic", "chain"), count=count, make=make,
                      regs_per_iter=1)]
+
+
+def _aperiodic_branch_runs(count=1500):
+    """A data-dependent branch following the Thue-Morse sequence: the
+    taken pattern never repeats, the predictor state never recurs, and
+    the guard must refuse — there is no period to extrapolate."""
+
+    def make(j):
+        taken = bool(bin(j).count("1") % 2)  # Thue-Morse: aperiodic
+        for k in range(7):
+            yield Uop(UopClass.NOP, 0x2000 + k)
+        yield branch(0x2010, taken=taken, srcs=())
+
+    return [TraceRun(key=("synthetic", "thue-morse"), count=count, make=make)]
 
 
 def _run_both(make_runs):
@@ -279,11 +295,134 @@ def test_replay_extrapolates_with_fixed_register():
     assert s1 == s2
 
 
-def test_replay_guard_refuses_drifting_loop():
+def test_replay_extrapolates_latency_chain():
+    """ROB-coupled fetch floor: the dependent chain's fetch/commit skew
+    is bounded, so the loop is shift-periodic and replay engages."""
     r1, s1, r2, s2, stats = _run_both(_latency_bound_runs)
-    assert stats.runs_converged == 0  # the guard saw the fetch drift
+    assert stats.runs_converged == 1
+    assert stats.skipped_iterations > 1000
     assert (r1.cycles, r1.uops) == (r2.cycles, r2.uops)
     assert s1 == s2
+
+
+def test_replay_guard_refuses_aperiodic_branches():
+    r1, s1, r2, s2, stats = _run_both(_aperiodic_branch_runs)
+    assert stats.runs_converged == 0  # no period exists to verify
+    assert (r1.cycles, r1.uops) == (r2.cycles, r2.uops)
+    assert s1 == s2
+
+
+# ---------------------------------------------------------------------------
+# periodic-by-construction schedulers (PR 4)
+# ---------------------------------------------------------------------------
+
+
+def test_round_robin_lane_assignment():
+    """Link lanes rotate deterministically: packet k rides lane k mod n,
+    even when another lane is idle — the pinned scheduler contract the
+    replay layer's rotation algebra depends on."""
+    from repro.common.resources import MultiChannelBandwidth
+
+    pool = MultiChannelBandwidth(4, 2.0)
+    grants = [pool.transfer(0, 4) for _ in range(6)]
+    # Lane 0 gets packets 0 and 4, lane 1 gets 1 and 5, etc.
+    assert grants == [(0, 2), (0, 2), (0, 2), (0, 2), (2, 4), (2, 4)]
+    assert pool.cursor == 6
+    assert [ch.bytes_moved for ch in pool.channels] == [8, 8, 4, 4]
+    # An earliest-free scheduler would give the late packet to lane 2;
+    # round-robin makes it wait for its assigned lane.
+    late = pool.transfer(0, 4)
+    assert late == (2, 4)  # lane 2's second slot, not lane 2 at cycle 0
+
+
+def test_round_robin_unit_pool():
+    from repro.common.resources import UnitPool
+
+    pool = UnitPool(3)
+    starts = [pool.occupy(0, 5)[0] for _ in range(6)]
+    assert starts == [0, 0, 0, 5, 5, 5]  # strict rotation, no stealing
+    assert pool.cursor == 6
+
+
+def test_bandwidth_resource_public_next_free():
+    """MultiChannelBandwidth no longer reaches into _next_free; the
+    public property is the supported view of a pipe's availability."""
+    from repro.common.resources import BandwidthResource
+
+    pipe = BandwidthResource(4.0)
+    __, end = pipe.transfer(3, 8, address=0x1234)
+    assert pipe.next_free == end
+    assert pipe.last_address == 0x1234
+
+
+def test_vault_servers_track_last_address():
+    from repro.common.config import HmcConfig
+    from repro.memory.vault import Vault
+
+    vault = Vault(0, HmcConfig())
+    vault.access(0, bank=2, nbytes=64, is_write=False, address=0xABC0)
+    assert vault._command_queue.last_address == 0xABC0
+    assert vault.banks[2]._resource.last_address == 0xABC0
+    assert vault._data_bus.last_address == 0xABC0
+
+
+# ---------------------------------------------------------------------------
+# engagement on the paper workloads (reduced-interleave cube)
+# ---------------------------------------------------------------------------
+
+
+def _engagement_point(arch, op, rows, plan=None):
+    from repro.common.config import reduced_cube_config
+
+    scan = ScanConfig("dsm", "column", op, 1)
+    replayed = run_scan(arch, scan, rows=rows, plan=plan,
+                        config=reduced_cube_config(arch))
+    exact = run_scan(arch, scan, rows=rows, plan=plan,
+                     config=reduced_cube_config(arch), exact=True)
+    assert result_fingerprint(replayed) == result_fingerprint(exact)
+    return replayed.replay
+
+
+def test_replay_engages_hive_q6_reduced_cube():
+    """The full pipeline — round-robin lanes, vault relabelling, tag
+    conveyor — engages on the paper's Q6 for HIVE, bit-identically."""
+    stats = _engagement_point("hive", 256, 262_144)
+    assert stats.runs_converged >= 1
+    assert stats.skipped_iterations > 1_000
+
+
+def test_replay_engages_hipe_selectivity_reduced_cube():
+    """HIPE engages when the predicate stream is uniform (a single
+    predicate leaves predication nothing to squash)."""
+    from repro.db.workloads import selectivity_scan_plan
+
+    stats = _engagement_point("hipe", 256, 262_144,
+                              plan=selectivity_scan_plan(0.4))
+    assert stats.runs_converged >= 1
+    assert stats.skipped_iterations > 1_000
+
+
+def test_replay_guards_hipe_q6_squashes():
+    """HIPE's Q6 predicated-load squashes are data-positional: the
+    codegen splits runs at squashing chunks, so the replay layer must
+    refuse (the squash pattern never repeats) and stay bit-identical."""
+    stats = _engagement_point("hipe", 256, 131_072)
+    assert stats.runs_converged == 0  # aperiodic predicate stream
+    assert stats.runs_seen > 1  # the squash flags split the runs
+
+
+def test_hipe_run_keys_carry_squash_flags():
+    """Iterations whose chunks squash a predicated load lower to a
+    different run shape than squash-free iterations."""
+    plan = q6_select_plan()
+    data = generate_table(plan.table, 65_536, 1994)
+    machine = build_machine("hipe")
+    workload = build_workload(machine, data, "dsm", plan=plan)
+    runs = [r for r in hipe.column_runs(workload, ScanConfig("dsm", "column", 256, 1))]
+    assert len(runs) > 1  # Q6's conjunction dies on some 64-row chunks
+    # Each key embeds the per-chunk squash flags per predicated level.
+    shapes = {r.key[3] for r in runs if r.key is not None}
+    assert len(shapes) > 1
 
 
 def test_replay_env_escape_hatch(monkeypatch):
