@@ -2,7 +2,7 @@
 
 Records the perf trajectory the ROADMAP asked for: every point is
 simulated **cold** (no result cache) and measured in simulated-uops per
-wall-second, then compared against the committed ``BENCH_PR4.json``
+wall-second, then compared against the committed ``BENCH_PR5.json``
 baseline.  A >30 % throughput regression fails the gate.
 
 The payload also carries a **replay canary**: a reduced-interleave-cube
@@ -29,7 +29,7 @@ import sys
 import time
 from pathlib import Path
 
-BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 ROWS = 32_768
 #: allowed normalised-throughput regression before the gate fails
 REGRESSION_TOLERANCE = 0.30
@@ -185,7 +185,7 @@ def test_perf_smoke():
         baseline = json.load(handle)
     failures = check_against_baseline(payload, baseline)
     assert not failures, (
-        "simulated-uops/sec regressed >30% vs BENCH_PR4.json on: "
+        "simulated-uops/sec regressed >30% vs BENCH_PR5.json on: "
         + ", ".join(f"{label} ({cur:.4f} < {floor:.4f})"
                     for label, cur, floor in failures)
     )

@@ -125,7 +125,7 @@ from .sim.results import (
 )
 from .sim.runner import DEFAULT_ROWS, build_workload, run_scan
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ARCHITECTURES",

@@ -29,10 +29,10 @@ class HmcPort:
     def access(self, cycle: int, line_address: int, acc_type: AccessType, pc: int = 0) -> int:
         """Forward one line request over the serial links."""
         if acc_type in (AccessType.LOAD, AccessType.PREFETCH):
-            return self.hmc.read_line(cycle, line_address, self.line_bytes).completion
+            return self.hmc.read_line_times(cycle, line_address, self.line_bytes)[1]
         # Stores/writebacks are posted: the core-side completes when the
         # packet is accepted by the links; DRAM absorbs it asynchronously.
-        return self.hmc.write_line(cycle, line_address, self.line_bytes).issue
+        return self.hmc.write_line_times(cycle, line_address, self.line_bytes)[0]
 
 
 class CacheHierarchy:

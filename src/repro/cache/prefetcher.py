@@ -11,6 +11,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List
 
+#: shared empty result: most observations issue nothing, and the hot
+#: path should not allocate a fresh list to say so
+_NO_PREFETCHES: tuple = ()
+
 
 class Prefetcher:
     """Interface: observe one demand access, propose prefetch addresses."""
@@ -43,28 +47,31 @@ class StridePrefetcher(Prefetcher):
         self._table: "OrderedDict[int, tuple]" = OrderedDict()
         self.issued = 0
 
-    def observe(self, pc: int, line_address: int, was_miss: bool) -> List[int]:
-        entry = self._table.pop(pc, None)
-        prefetches: List[int] = []
+    def observe(self, pc: int, line_address: int, was_miss: bool):
+        table = self._table
+        entry = table.pop(pc, None)
         if entry is None:
-            self._table[pc] = (line_address, 0, 0)
-        else:
-            last_line, stride, confidence = entry
-            new_stride = line_address - last_line
-            if new_stride == stride and new_stride != 0:
-                confidence = min(confidence + 1, 3)
-            elif new_stride != 0:
-                stride, confidence = new_stride, 1
-            else:
-                # Same line again: keep state, no new information.
-                self._table[pc] = (line_address, stride, confidence)
+            table[pc] = (line_address, 0, 0)
+            if len(table) > self.table_entries:
                 self._trim()
-                return prefetches
-            if confidence >= 2:
-                for i in range(1, self.degree + 1):
-                    prefetches.append(line_address + i * stride)
-            self._table[pc] = (line_address, stride, confidence)
-        self._trim()
+            return _NO_PREFETCHES
+        last_line, stride, confidence = entry
+        new_stride = line_address - last_line
+        if new_stride == stride and new_stride != 0:
+            if confidence < 3:
+                confidence += 1
+        elif new_stride != 0:
+            stride, confidence = new_stride, 1
+        else:
+            # Same line again: keep state, no new information.
+            table[pc] = (line_address, stride, confidence)
+            return _NO_PREFETCHES
+        table[pc] = (line_address, stride, confidence)
+        if confidence < 2:
+            return _NO_PREFETCHES
+        prefetches = [
+            line_address + i * stride for i in range(1, self.degree + 1)
+        ]
         self.issued += len(prefetches)
         return prefetches
 
@@ -113,9 +120,11 @@ class StreamPrefetcher(Prefetcher):
             if trained and delta != 0:
                 # Advance the head to stay `degree` lines past the demand.
                 target = line_address + direction * self.degree * step
-                next_head = max(head, line_address + direction * step) if direction > 0 else min(
-                    head, line_address + direction * step
-                )
+                candidate = line_address + direction * step
+                if direction > 0:
+                    next_head = head if head > candidate else candidate
+                else:
+                    next_head = head if head < candidate else candidate
                 while (direction > 0 and next_head <= target) or (
                     direction < 0 and next_head >= target
                 ):

@@ -194,10 +194,15 @@ class TraceRun:
       of iterations ``[j0, j1)`` without simulating them (memory-image
       writes of engine-computed bitmasks, HMC verification masks); only
       required for runs whose iterations have functional effects.
+    * ``reg_base`` — the register-allocator counter at the run's first
+      iteration (None for hand-built runs).  Together with ``regions``
+      it lets the run-compiled kernels *synthesise* a previously
+      validated body shape onto this run without materialising a single
+      iteration (see :mod:`repro.cpu.kernel`).
     """
 
     __slots__ = ("key", "count", "make", "regs_per_iter", "regions", "bulk",
-                 "fixed_regs")
+                 "fixed_regs", "reg_base")
 
     def __init__(
         self,
@@ -208,6 +213,7 @@ class TraceRun:
         regions: Tuple[Region, ...] = (),
         bulk: Optional[Callable[..., None]] = None,
         fixed_regs: Tuple[int, ...] = (),
+        reg_base: Optional[int] = None,
     ) -> None:
         self.key = key
         self.count = count
@@ -216,6 +222,7 @@ class TraceRun:
         self.regions = regions
         self.bulk = bulk
         self.fixed_regs = fixed_regs
+        self.reg_base = reg_base
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TraceRun(key={self.key!r}, count={self.count})"
@@ -235,6 +242,7 @@ def group_runs(
     regions_of: Callable[[int, int], Tuple[Region, ...]],
     bulk_of: Optional[Callable[[int, Tuple], Optional[Callable]]] = None,
     fixed_regs: Tuple[int, ...] = (),
+    key_ids: Optional[np.ndarray] = None,
 ) -> Iterator[TraceRun]:
     """Group consecutive same-shaped iterations into :class:`TraceRun`\\ s.
 
@@ -248,7 +256,43 @@ def group_runs(
     streams, ``bulk_of(i0, shape)`` supplies the functional-side-effect
     hook.  The flattened stream is byte-identical to lowering every
     iteration in sequence.
+
+    ``key_ids``, when given, is an integer per iteration such that two
+    iterations share an id exactly when they share a key: the run
+    boundaries then come from one vectorised comparison and
+    ``iteration_key`` is evaluated once per *run* instead of once per
+    iteration (the dominant codegen cost of a fragmented pass).
     """
+    if key_ids is not None and n_iters > 1:
+        ids = np.asarray(key_ids)
+        boundaries = np.flatnonzero(ids[1:] != ids[:-1]) + 1
+        segments = np.empty(boundaries.size + 2, dtype=np.int64)
+        segments[0] = 0
+        segments[1:-1] = boundaries
+        segments[-1] = n_iters
+        for s in range(segments.size - 1):
+            i0 = int(segments[s])
+            count = int(segments[s + 1]) - i0
+            key, nregs = iteration_key(i0)
+            base_counter = regs.counter
+
+            def make(j, _i0=i0, _base=base_counter, _nregs=nregs,
+                     _mk=make_iteration):
+                regs.seek(_base + j * _nregs)
+                return _mk(_i0 + j)
+
+            yield TraceRun(
+                key=run_key(key),
+                count=count,
+                make=make,
+                regs_per_iter=nregs,
+                regions=regions_of(i0, count),
+                bulk=None if bulk_of is None else bulk_of(i0, key),
+                fixed_regs=fixed_regs,
+                reg_base=base_counter,
+            )
+            regs.seek(base_counter + count * nregs)
+        return
     i = 0
     while i < n_iters:
         key, nregs = iteration_key(i)
@@ -274,9 +318,31 @@ def group_runs(
             regions=regions_of(i0, count),
             bulk=None if bulk_of is None else bulk_of(i0, key),
             fixed_regs=fixed_regs,
+            reg_base=base_counter,
         )
         regs.seek(base_counter + count * nregs)
         i += count
+
+
+def skip_pattern_key_ids(dead, n_iters: int, unroll: int) -> np.ndarray:
+    """Vectorised run-boundary ids for a chunk-skip-keyed column pass.
+
+    Two iterations share a :func:`group_runs` key exactly when their
+    per-chunk skip-flag patterns match — except the final iteration,
+    whose loop branch (and possibly chunk sizes) always differ, so it
+    gets an id no flag pattern can produce.  ``dead`` is the per-chunk
+    dead-flag vector (None for an unconditioned first pass).
+    """
+    if dead is not None:
+        padded = np.zeros(n_iters * unroll, dtype=bool)
+        padded[:len(dead)] = dead
+        key_ids = padded.reshape(n_iters, unroll).dot(
+            1 << np.arange(unroll, dtype=np.int64)
+        )
+    else:
+        key_ids = np.zeros(n_iters, dtype=np.int64)
+    key_ids[-1] += np.int64(1) << (unroll + 1)
+    return key_ids
 
 
 def flatten_runs(runs: Iterator[TraceRun]) -> Iterator[Uop]:

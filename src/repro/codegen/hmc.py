@@ -43,6 +43,7 @@ from .base import (
     group_runs,
     lower_plan,
     lower_plan_runs,
+    skip_pattern_key_ids,
 )
 
 
@@ -247,6 +248,8 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
                        Fraction(rows_per_iter, 8)),
             )
 
+        key_ids = skip_pattern_key_ids(dead, n_iters, unroll)
+
         yield from group_runs(
             regs, n_iters,
             iteration_key=iteration_key,
@@ -260,6 +263,7 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
             bulk_of=(lambda i0, key, _dead=dead, _bits=pass_bits:
                      make_bulk(i0, _dead, _bits)),
             fixed_regs=(induction,),
+            key_ids=key_ids,
         )
 
 

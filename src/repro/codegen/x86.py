@@ -43,6 +43,7 @@ from .base import (
     iterator_overhead,
     lower_plan,
     lower_plan_runs,
+    skip_pattern_key_ids,
 )
 
 
@@ -228,6 +229,9 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
                        Fraction(rows_per_iter, 8)),
             )
 
+        key_ids = skip_pattern_key_ids(dead if p > 0 else None,
+                                       n_iters, unroll)
+
         yield from group_runs(
             regs, n_iters,
             iteration_key=iteration_key,
@@ -240,6 +244,7 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
                      ("x86col", _p, config.op_bytes, unroll) + key),
             regions_of=regions_of,
             fixed_regs=(induction,),
+            key_ids=key_ids,
         )
 
 

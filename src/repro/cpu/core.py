@@ -56,6 +56,17 @@ class PimBackend:
         bounded buffer backpressure a core that streams faster than the
         memory side drains.
         """
+        inst = uop.pim
+        if inst is None:
+            raise ValueError("PIM uop without an instruction payload")
+        return self.submit_inst(inst, cycle)
+
+    def submit_inst(self, inst, cycle: int) -> tuple:
+        """Inject a bare instruction payload (see :meth:`submit`).
+
+        The run-compiled kernels call this directly — a compiled body
+        carries payloads, not Uop objects.
+        """
         raise NotImplementedError
 
 
@@ -116,6 +127,14 @@ class CoreExecution:
         self._last_pim_issue = 0
         self.last_commit = 0
         self.index = 0
+
+        #: validated run-body shapes (run key -> generated kernel); the
+        #: kernel runners re-anchor these onto later runs of the same
+        #: shape without materialising them (repro.cpu.kernel), and
+        #: ``kernel_pending`` counts iterations of not-yet-compiled
+        #: shapes so one-shot boundary shapes never pay codegen
+        self.kernel_shapes: dict = {}
+        self.kernel_pending: dict = {}
 
         # Hot event counters, batched as plain ints and folded into the
         # stats tree lazily (see StatGroup.register_flush).

@@ -1,0 +1,915 @@
+"""Run-compiled exact-path kernels: specialise a TraceRun body once.
+
+The exact simulation path costs a flat pure-Python constant per dynamic
+uop: the codegen generator re-lowers every iteration (allocating fresh
+:class:`~repro.cpu.isa.Uop` objects through nested generators and
+pc-site lookups) and :meth:`CoreExecution.process` re-dispatches every
+uop through the class ladder and a dozen attribute chases.  For the
+steady-state workloads this repository simulates, both are pure waste:
+a :class:`~repro.codegen.base.TraceRun` guarantees that every iteration
+of a run lowers to the *same static uops* with addresses advancing
+uniformly by the declared regions.
+
+This module exploits that guarantee the ZSim way — keep O(1) work per
+uop, make the constant small:
+
+* the first time a run-body shape is seen, three consecutive iterations
+  are materialised, validated field by field, and **compiled to Python
+  source**: the body becomes one generated function with every per-uop
+  dispatch decided at compile time — front-end depths, ROB size,
+  functional-unit pools/latencies/occupancies, pcs, branch directions
+  and mispredict penalties are literals; the cache hierarchy, branch
+  predictor, MOB/issue/commit resources and the PIM backend are baked
+  in as bound-method default arguments; addresses arrive as per-run
+  base tuples plus literal per-iteration deltas; rotating register ids
+  are recovered from the iteration index in a short prelude;
+* later runs with the same key reuse the generated function outright:
+  their address bases and register-allocation phase are *synthesised*
+  from the run's declared ``regions``/``reg_base`` without
+  materialising a single iteration — which makes a pass fragmented
+  into one-iteration runs by data-dependent skip flags as cheap as an
+  unbroken stream;
+* anything the compiler cannot prove affine (fractional region phases,
+  shape drift between consecutive iterations, unknown uop classes)
+  falls back to the uncompiled path for the entire run.
+
+Compilation is validated, not assumed: the three captured iterations
+are simulated through the ordinary :meth:`process` path (so capture is
+free), and the template is accepted only if every structural field
+matches and both consecutive per-uop address/register deltas agree.
+``REPRO_KERNEL=0`` disables compilation entirely; kernel and uncompiled
+paths are bit-identical by construction, and CI cross-checks them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from .isa import Uop, UopClass
+
+#: dense kernel opcodes
+OP_ALU = 0
+OP_LOAD = 1
+OP_STORE = 2
+OP_BRANCH = 3
+OP_PIM = 4
+OP_NOP = 5
+
+#: UopClass -> kernel opcode (every ALU flavour shares OP_ALU; the
+#: pre-bound pool/latency carries the difference)
+_CLASS_OPS = {
+    UopClass.INT_ALU: OP_ALU,
+    UopClass.INT_MUL: OP_ALU,
+    UopClass.INT_DIV: OP_ALU,
+    UopClass.FP_ALU: OP_ALU,
+    UopClass.FP_MUL: OP_ALU,
+    UopClass.FP_DIV: OP_ALU,
+    UopClass.LOAD: OP_LOAD,
+    UopClass.STORE: OP_STORE,
+    UopClass.BRANCH: OP_BRANCH,
+    UopClass.PIM: OP_PIM,
+    UopClass.NOP: OP_NOP,
+}
+
+#: smallest run worth compiling from scratch: capture burns three
+#: iterations, so a run must have at least a few more to pay off
+MIN_KERNEL_ITERATIONS = 6
+
+#: iterations captured (and simulated uncompiled) before compilation;
+#: two consecutive delta vectors must agree, so three samples
+CAPTURE_ITERATIONS = 3
+
+#: iterations a shape must promise before paying code generation:
+#: either remaining in the current run or accumulated across earlier
+#: short runs of the same key.  Boundary shapes (a pass's final
+#: partial iteration) appear a handful of times ever; compiling them
+#: costs more than they will ever repay.
+MIN_COMPILE_BENEFIT = 24
+
+
+#: compiled code objects keyed by generated source: identical shapes
+#: across machines/executions (experiment sweeps re-simulating the same
+#: workload) skip the expensive ``compile`` step and only re-``exec``
+#: against their own bound resources
+_CODE_CACHE: dict = {}
+
+
+def kernels_enabled() -> bool:
+    """Run compilation is on unless ``REPRO_KERNEL=0`` disables it."""
+    return os.environ.get("REPRO_KERNEL", "1").lower() not in ("0", "false", "no")
+
+
+def _encode_reg(ids, j0: int, rpi: int, reg_start: int, window: int,
+                fixed_regs) -> Optional[int]:
+    """Encode a register observed as ``ids`` at iterations j0, j0+1, j0+2.
+
+    Loop-invariant ids encode as ``-(id + 1)``; ids rotating with the
+    per-iteration allocation phase encode as their window offset.
+    Returns None when the observations fit neither model.
+    """
+    a, b, c = ids
+    if a == b and b == c:
+        return -(a + 1)
+    if a in fixed_regs:
+        return None  # a declared-invariant id must not move
+    if rpi:
+        off = (a - reg_start - j0 * rpi) % window
+        if (b == reg_start + (off + (j0 + 1) * rpi) % window
+                and c == reg_start + (off + (j0 + 2) * rpi) % window):
+            return off
+    return None
+
+
+def _same_pim(a, b) -> bool:
+    """Structural equality of two PIM payloads, addresses excluded."""
+    return (
+        a.op is b.op and a.size == b.size and a.dst_reg == b.dst_reg
+        and a.src_regs == b.src_regs and a.func is b.func
+        and a.imm_lo == b.imm_lo and a.imm_hi == b.imm_hi
+        and a.lane_bytes == b.lane_bytes and a.pred_reg == b.pred_reg
+        and a.pred_expect == b.pred_expect
+        and a.returns_value == b.returns_value and a.compound == b.compound
+        and a.tuple_stride == b.tuple_stride
+    )
+
+
+class RunShape:
+    """One validated, code-generated body shape (kept per run key).
+
+    ``fn`` is the generated function; it takes ``(ex, dj, sh, AB, PB)``
+    — the execution, the iteration offset from the instance's base, the
+    combined register-window shift, and the instance's address/PIM base
+    tuples — so every run instance of the shape shares one function.
+    ``steps``/``strides``/``reg_base``/``region_map`` retain the
+    structural record used to anchor new instances.
+    """
+
+    __slots__ = ("steps", "j0", "rpi", "reg_start", "reg_window",
+                 "fn", "n_steps",
+                 "region_map", "strides", "reg_base", "synth_ok")
+
+    def __init__(self, steps: List[tuple], j0: int, rpi: int,
+                 reg_start: int, reg_window: int) -> None:
+        self.steps = steps
+        self.j0 = j0  # iteration the address bases were captured at
+        self.rpi = rpi
+        self.reg_start = reg_start
+        self.reg_window = reg_window
+        self.fn = None
+        self.n_steps = len(steps)
+        self.region_map: Optional[List[tuple]] = None
+        self.strides: tuple = ()
+        self.reg_base: Optional[int] = None
+        self.synth_ok = False
+
+
+class RunInstance:
+    """A shape anchored to one concrete run: bases + register phase."""
+
+    __slots__ = ("shape", "j0", "abases", "pbases", "rebase", "sh0")
+
+    def __init__(self, shape: RunShape, j0: int, abases: tuple,
+                 pbases: tuple, rebase: int) -> None:
+        self.shape = shape
+        self.j0 = j0
+        self.abases = abases
+        self.pbases = pbases
+        self.rebase = rebase
+        #: register shift at iteration ``j`` is ``(sh0 + (j - j0) * rpi)``
+        #: modulo the window — the generated loop computes it per step
+        self.sh0 = rebase + j0 * shape.rpi
+
+
+# ---------------------------------------------------------------------------
+# shape compilation (three validated consecutive iterations -> steps)
+# ---------------------------------------------------------------------------
+
+
+def compile_shape(execution, run, samples, j0: int) -> Optional[RunShape]:
+    """Build a :class:`RunShape` from three consecutive iterations.
+
+    Returns None whenever any per-uop field fails the affine model —
+    the caller then keeps the uncompiled path for this run.
+    """
+    a_list, b_list, c_list = samples
+    if len(a_list) != len(b_list) or len(b_list) != len(c_list):
+        return None
+    if not a_list:
+        return None
+    from ..codegen.base import RegAllocator
+
+    reg_start = RegAllocator.DEFAULT_START
+    window = RegAllocator.DEFAULT_WINDOW
+    rpi = run.regs_per_iter
+    fixed = frozenset(run.fixed_regs)
+    units_table = execution.units._table
+    steps: List[tuple] = []
+    for ua, ub, uc in zip(a_list, b_list, c_list):
+        cls = ua.cls
+        if cls is not ub.cls or cls is not uc.cls:
+            return None
+        if ua.pc != ub.pc or ua.pc != uc.pc:
+            return None
+        if ua.taken != ub.taken or ua.taken != uc.taken:
+            return None
+        if ua.size != ub.size or ua.size != uc.size:
+            return None
+        delta = ub.address - ua.address
+        if uc.address - ub.address != delta:
+            return None
+        op = _CLASS_OPS.get(cls)
+        if op is None:
+            return None
+        if len(ua.srcs) != len(ub.srcs) or len(ua.srcs) != len(uc.srcs):
+            return None
+        srcs = []
+        for sa, sb, sc in zip(ua.srcs, ub.srcs, uc.srcs):
+            encoded = _encode_reg((sa, sb, sc), j0, rpi, reg_start, window,
+                                  fixed)
+            if encoded is None:
+                return None
+            srcs.append(encoded)
+        if ua.dst is None:
+            if ub.dst is not None or uc.dst is not None:
+                return None
+            dst = None
+        else:
+            if ub.dst is None or uc.dst is None:
+                return None
+            dst = _encode_reg((ua.dst, ub.dst, uc.dst), j0, rpi, reg_start,
+                              window, fixed)
+            if dst is None:
+                return None
+        aux = None
+        if op == OP_PIM:
+            pa, pb, pc_ = ua.pim, ub.pim, uc.pim
+            if pa is None or pb is None or pc_ is None:
+                return None
+            if not (_same_pim(pa, pb) and _same_pim(pa, pc_)):
+                return None
+            pim_delta = pb.address - pa.address
+            if pc_.address - pb.address != pim_delta:
+                return None
+            aux = (pa, pa.address, pim_delta, pa.speculative)
+        elif op != OP_NOP:
+            entry = units_table[cls.index]
+            if entry is None:
+                return None
+            aux = entry  # (pool, latency, occupancy)
+        steps.append((op, ua.pc, ua.address, delta, ua.size,
+                      tuple(srcs), dst, bool(ua.taken), aux))
+    shape = RunShape(steps, j0, rpi, reg_start, window)
+    # An emitter bug must fail loudly here: a silent fallback would keep
+    # results bit-identical while quietly losing the compiled path.
+    _emit(shape, execution)
+    _anchor_shape(shape, run)
+    return shape
+
+
+# ---------------------------------------------------------------------------
+# region anchoring (shape + run.regions/reg_base -> instance, no capture)
+# ---------------------------------------------------------------------------
+
+
+def _anchor_address(address: int, delta: int, regions) -> Optional[tuple]:
+    """(region index, offset from the region's start) for one address.
+
+    ``address`` is the step's address at the run's first iteration.  A
+    step advancing by ``delta`` must anchor inside a region whose
+    per-iteration stride is exactly ``delta``; a static step
+    (``delta == 0``) outside every region anchors as ``(-1, address)``.
+    Returns None when no consistent anchor exists.
+    """
+    for index, region in enumerate(regions):
+        if region.lo <= address < region.hi:
+            if region.stride == delta:
+                return index, address - region.lo
+            return None
+    if delta == 0:
+        return -1, address
+    return None
+
+
+def _anchor_shape(shape: RunShape, run) -> None:
+    """Record how ``shape`` anchors to ``run``'s regions/phase."""
+    shape.strides = tuple(
+        (region.stride.numerator, region.stride.denominator)
+        for region in run.regions
+    )
+    shape.reg_base = run.reg_base
+    if run.reg_base is None:
+        return
+    j0 = shape.j0
+    region_map: List[tuple] = []
+    for step in shape.steps:
+        op, _pc, a0, delta, _size, _srcs, _dst, _taken, aux = step
+        anchor = _anchor_address(a0 - j0 * delta, delta, run.regions)
+        if anchor is None:
+            return
+        if op == OP_PIM:
+            pim_anchor = _anchor_address(aux[1] - j0 * aux[2], aux[2],
+                                         run.regions)
+            if pim_anchor is None:
+                return
+        else:
+            pim_anchor = None
+        region_map.append((anchor, pim_anchor))
+    shape.region_map = region_map
+    shape.synth_ok = True
+
+
+def _own_instance(shape: RunShape) -> RunInstance:
+    """The instance anchored to the run the shape was compiled from."""
+    abases = tuple(step[2] for step in shape.steps)
+    pbases = tuple(step[8][1] for step in shape.steps if step[0] == OP_PIM)
+    return RunInstance(shape, shape.j0, abases, pbases, 0)
+
+
+def synthesize_instance(shape: RunShape, run) -> Optional[RunInstance]:
+    """Anchor a validated shape onto a new run without materialising it.
+
+    Two runs sharing a key lower to the same static body; the only
+    per-run quantities are the address-stream bases (``run.regions``)
+    and the register-allocation phase (``run.reg_base``).  Both are
+    declared on the run, so the generated function can be re-anchored
+    outright — this is what makes single-iteration runs (a pass
+    fragmented by data-dependent skip flags) as cheap as long ones.
+    """
+    if not shape.synth_ok or run.reg_base is None:
+        return None
+    regions = run.regions
+    if len(regions) != len(shape.strides):
+        return None
+    for region, (numerator, denominator) in zip(regions, shape.strides):
+        stride = region.stride
+        if stride.numerator != numerator or stride.denominator != denominator:
+            return None
+    rebase = (run.reg_base - shape.reg_base) % shape.reg_window
+    abases: List[int] = []
+    pbases: List[int] = []
+    for step, (anchor, pim_anchor) in zip(shape.steps, shape.region_map):
+        index, offset = anchor
+        abases.append(offset if index < 0 else regions[index].lo + offset)
+        if pim_anchor is not None:
+            pindex, poffset = pim_anchor
+            pbases.append(poffset if pindex < 0
+                          else regions[pindex].lo + poffset)
+    return RunInstance(shape, 0, tuple(abases), tuple(pbases), rebase)
+
+
+def rebase_instance(shape: RunShape, run, sample, j: int) -> Optional[RunInstance]:
+    """Re-anchor a shape onto a new run from one materialised iteration.
+
+    The fallback when region anchoring was not possible (a step outside
+    every declared region, or a hand-built run without ``reg_base``):
+    every structural field of ``sample`` is checked against the shape —
+    one iteration suffices because the register encoding predicts the
+    exact ids any iteration must carry.
+    """
+    steps = shape.steps
+    if len(sample) != len(steps):
+        return None
+    reg_start = shape.reg_start
+    window = shape.reg_window
+    rpi = shape.rpi
+    if run.reg_base is not None and shape.reg_base is not None:
+        rebase = (run.reg_base - shape.reg_base) % window
+    else:
+        rebase = 0
+    shift = (rebase + j * rpi) % window
+    abases: List[int] = []
+    pbases: List[int] = []
+    for uop, step in zip(sample, steps):
+        op, pc, _a0, delta, size, srcs, dst, taken, aux = step
+        if (_CLASS_OPS.get(uop.cls) != op or uop.pc != pc
+                or bool(uop.taken) != taken or uop.size != size):
+            return None
+        if len(uop.srcs) != len(srcs):
+            return None
+        for observed, encoded in zip(uop.srcs, srcs):
+            if encoded < 0:
+                if observed != -encoded - 1:
+                    return None
+            elif observed != reg_start + (encoded + shift) % window:
+                return None
+        if dst is None:
+            if uop.dst is not None:
+                return None
+        elif dst < 0:
+            if uop.dst != -dst - 1:
+                return None
+        elif uop.dst != reg_start + (dst + shift) % window:
+            return None
+        abases.append(uop.address)
+        if op == OP_PIM:
+            inst = uop.pim
+            if inst is None or not _same_pim(inst, aux[0]):
+                return None
+            pbases.append(inst.address)
+    return RunInstance(shape, j, tuple(abases), tuple(pbases), rebase)
+
+
+# ---------------------------------------------------------------------------
+# the code generator
+# ---------------------------------------------------------------------------
+
+
+def _emit(shape: RunShape, execution) -> None:
+    """Generate ``shape.fn``: the whole body as one specialised function.
+
+    The emitted source is a literal transcription of
+    :meth:`CoreExecution.process` for the shape's exact uop sequence —
+    same resource operations, same order, same arguments — with every
+    compile-time-known quantity folded in.  Bit-identity with the
+    uncompiled path is the contract (CI cross-checks it).
+    """
+    core = execution.core
+    fe = core.front_end_depth
+    rob_len = core.rob_entries
+    window = shape.reg_window
+    start = shape.reg_start
+
+    import heapq as _heapq
+    from ..cache.cache import AccessType as _AccessType
+
+    hierarchy = execution.hierarchy
+    line_bytes = getattr(hierarchy, "line_bytes", 64)
+    binds = {
+        "_fs": execution._fetch_slots,
+        "_bs": execution._branch_slots,
+        "_qs": execution._issue_slots,
+        "_cs": execution._commit_slots,
+        "_mr": execution._mob_reads,
+        "_mw": execution._mob_writes,
+        "_hl": hierarchy.load,
+        "_hs": hierarchy.store,
+        "_hy": hierarchy,
+        "_l1a": hierarchy.l1.access if hasattr(hierarchy, "l1") else None,
+        "_AL": _AccessType.LOAD,
+        "_AS": _AccessType.STORE,
+        "_pu": execution.predictor.update,
+        "_pd": execution.predictor,
+        "_pht": execution.predictor._pht,
+        "_btb": execution.predictor._btb,
+        "_hpu": _heapq.heappush,
+        "_hpo": _heapq.heappop,
+    }
+    predictor = execution.predictor
+    # The single-line L1 fast path is only inlined for plain
+    # single-level-entry hierarchies (no coherence directory redirect).
+    inline_l1 = (binds["_l1a"] is not None
+                 and getattr(hierarchy, "directory", None) is None)
+    slotted = {
+        "fs": execution._fetch_slots,
+        "bs": execution._branch_slots,
+        "qs": execution._issue_slots,
+        "cs": execution._commit_slots,
+    }
+    if execution._pim_window is not None:
+        binds["_pw"] = execution._pim_window
+        binds["_sub"] = execution.pim_backend.submit_inst
+    pools: dict = {}
+
+    def pool_names(pool) -> tuple:
+        if id(pool) not in pools:
+            k = len(pools)
+            binds[f"_pl{k}"] = pool
+            binds[f"_un{k}"] = pool.units
+            pools[id(pool)] = (f"_pl{k}", f"_un{k}", len(pool.units))
+        return pools[id(pool)]
+
+    offsets = set()
+    for step in shape.steps:
+        for encoded in step[5]:
+            if encoded >= 0:
+                offsets.add(encoded)
+        if step[6] is not None and step[6] >= 0:
+            offsets.add(step[6])
+
+    def reg_expr(encoded: int) -> str:
+        if encoded < 0:
+            return str(-encoded - 1)
+        return f"R{encoded}"
+
+    L: List[str] = []
+    body_mode = [False]
+
+    def emit(line: str) -> None:
+        if body_mode[0]:
+            L.append("    " + line)
+        else:
+            L.append(line)
+
+    emit("def _kernel(ex, djlo, djhi, sh0, AB, PB, {binds}):".format(
+        binds=", ".join(f"{name}={name}" for name in binds)))
+    emit("    ff = ex._fetch_floor")
+    emit("    bw = ex._branch_resolve_watermark")
+    emit("    lp = ex._last_pim_issue")
+    emit("    lc = ex.last_commit")
+    emit("    ix = ex.index")
+    emit("    rob = ex._rob")
+    emit("    rr = ex._reg_ready")
+    emit("    rrg = rr.get")
+    emit("    sf = ex._store_forward")
+    emit("    sfg = sf.get")
+    emit("    nld = nst = nbr = nal = npm = nrd = nfw = 0")
+    emit("    nhl = nhs = 0")
+    emit("    npr = nco = nmi = nbm = 0")
+    emit("    hist = _pd._history")
+    emit("    mrl = _mr._releases")
+    emit("    mwl = _mw._releases")
+    if "_pw" in binds:
+        emit("    pwl = _pw._releases")
+    for p in slotted:
+        emit(f"    {p}c = _{p}._counts")
+        emit(f"    {p}h = _{p}._horizon")
+        emit(f"    {p}r = _{p}._rot")
+        emit(f"    {p}k = _{p}._peak")
+    emit("    for dj in range(djlo, djhi):")
+    body_mode[0] = True
+    if offsets:
+        emit(f"    sh = (sh0 + dj * {shape.rpi}) % {window}")
+    for off in sorted(offsets):
+        emit(f"    R{off} = {start} + (({off} + sh) % {window})")
+    body_mode[0] = False
+
+    def addr_expr(k: int, delta: int) -> str:
+        return f"AB[{k}]" + (f" + dj * {delta}" if delta else "")
+
+    def emit_acquire(lst: str, entries: int, at: str, release: str,
+                     out: Optional[str]) -> None:
+        """Inline OccupancyResource.acquire on the pre-bound heap."""
+        emit(f"    while {lst} and {lst}[0] <= {at}: _hpo({lst})")
+        emit(f"    if len({lst}) < {entries}: g = {at}")
+        emit(f"    else: g = _hpo({lst})")
+        emit(f"    _hpu({lst}, {release} if {release} > g else g)")
+        if out is not None:
+            emit(f"    {out} = g")
+
+    def emit_reserve(p: str, in_expr: str, out: str) -> None:
+        """Inline SlottedResource.reserve on the pre-bound ring state.
+
+        The rare paths (window reset, prune) drop to the method and
+        re-bind the locals; the grant scan itself runs against the
+        shared counter list, so only ``_peak`` needs a write-back (the
+        epilogue does it).
+        """
+        res = slotted[p]
+        mask = res._mask
+        emit(f"    w = {in_expr}")
+        emit(f"    if w < {p}h: w = {p}h")
+        emit(f"    if w > {p}h + {mask}:")
+        emit(f"        _{p}._peak = {p}k")
+        emit(f"        w = _{p}.reserve(w)")
+        emit(f"        {p}c = _{p}._counts; {p}h = _{p}._horizon; "
+             f"{p}r = _{p}._rot; {p}k = _{p}._peak")
+        emit("    else:")
+        emit(f"        i = (w + {p}r) & {mask}")
+        emit(f"        while {p}c[i] >= {res.slots_per_cycle}:")
+        emit("            w += 1")
+        emit(f"            i = (w + {p}r) & {mask}")
+        emit(f"        {p}c[i] += 1")
+        emit(f"        if w > {p}k: {p}k = w")
+        emit(f"        if w - {p}h > {2 * res._window}:")
+        emit(f"            _{p}._advance(w - {res._window})")
+        emit(f"            {p}h = _{p}._horizon")
+        if out != "w":
+            emit(f"    {out} = w")
+
+    def emit_occupy(names: tuple, at: str, occupancy: int) -> None:
+        pool, units, n = names
+        emit(f"    c = {pool}.cursor")
+        emit(f"    u = {units}[c % {n}]")
+        emit(f"    {pool}.cursor = c + 1")
+        emit("    st = u._next_free")
+        emit(f"    if {at} > st: st = {at}")
+        emit(f"    u._next_free = st + {occupancy}")
+        emit(f"    u.busy_cycles += {occupancy}")
+
+    body_mode[0] = True
+    pim_ordinal = 0
+    for k, step in enumerate(shape.steps):
+        op, pc, _a0, delta, size, srcs, dst, taken, aux = step
+        # ---- front end ----
+        emit_reserve("fs", "ff", "f")
+        if op == OP_BRANCH:
+            emit_reserve("bs", "f", "bf")
+            emit("    if bf > f: f = bf")
+        emit(f"    d = f + {fe}")
+        emit(f"    rs = ix % {rob_len}")
+        emit(f"    if ix >= {rob_len}:")
+        emit("        h = rob[rs]")
+        emit("        if h > d:")
+        emit("            d = h")
+        emit(f"            fl = d - {fe}")
+        emit("            if fl > ff: ff = fl")
+        # ---- register dependences ----
+        emit("    rdy = d")
+        for encoded in srcs:
+            emit(f"    t = rrg({reg_expr(encoded)}, 0)")
+            emit("    if t > rdy: rdy = t")
+        # ---- issue + execute ----
+        if op == OP_ALU:
+            pool, latency, occupancy = aux
+            names = pool_names(pool)
+            emit_reserve("qs", "rdy", "iss")
+            emit_occupy(names, "iss", occupancy)
+            emit(f"    cp = st + {latency}")
+            emit("    nal += 1")
+        elif op == OP_LOAD:
+            pool, latency, occupancy = aux
+            names = pool_names(pool)
+            emit_reserve("qs", "rdy", "iss")
+            emit_acquire("mrl", core.mob_read_entries, "iss", "iss", "iss")
+            emit_occupy(names, "iss", occupancy)
+            emit(f"    a = {addr_expr(k, delta)}")
+            emit("    fw = sfg(a)")
+            emit(f"    if fw is not None and fw[0] >= {size}:")
+            emit("        t = fw[1]")
+            emit("        cp = (st if st > t else t) + 1")
+            emit("        nfw += 1")
+            if inline_l1:
+                span = size if size > 1 else 1
+                emit("    else:")
+                emit(f"        ln = a - a % {line_bytes}")
+                emit(f"        if (a + {span - 1}) - ln < {line_bytes}:")
+                emit(f"            cp = _l1a(st, ln, _AL, {pc})")
+                emit("            if cp < st: cp = st")
+                emit("            nhl += 1")
+                emit("        else:")
+                emit(f"            cp = _hl(st, a, {size}, {pc})")
+            else:
+                emit("    else:")
+                emit(f"        cp = _hl(st, a, {size}, {pc})")
+            emit_acquire("mrl", core.mob_read_entries, "st", "cp", None)
+            emit("    nld += 1")
+        elif op == OP_STORE:
+            pool, latency, occupancy = aux
+            names = pool_names(pool)
+            emit_reserve("qs", "rdy", "iss")
+            emit_occupy(names, "iss", occupancy)
+            emit("    cp = st + 1")
+            emit("    nst += 1")
+        elif op == OP_BRANCH:
+            pool, latency, occupancy = aux
+            names = pool_names(pool)
+            emit_reserve("qs", "rdy", "iss")
+            emit_occupy(names, "iss", occupancy)
+            emit(f"    cp = st + {latency}")
+            emit("    if cp > bw: bw = cp")
+            # Inlined TwoLevelGAs.update with the direction a constant:
+            # the PHT/BTB containers are baked in, the global history
+            # lives in a loop local, counters batch like the others.
+            pht_mask = predictor._pht_mask
+            hist_mask = predictor._history_mask
+            emit(f"    pi = (({pc << 2}) ^ hist) & {pht_mask}")
+            emit("    ctr = _pht[pi]")
+            if taken:
+                emit("    ok = ctr >= 2")
+                emit("    if {pc} in _btb:".format(pc=pc))
+                emit(f"        _btb.move_to_end({pc})")
+                emit("    else:")
+                emit("        ok = False")
+                emit("        nbm += 1")
+                emit(f"        _btb[{pc}] = {pc}")
+                emit(f"        while len(_btb) > {predictor.config.btb_entries}: "
+                     "_btb.popitem(last=False)")
+                emit("    if ctr < 3: _pht[pi] = ctr + 1")
+                emit(f"    hist = ((hist << 1) | 1) & {hist_mask}")
+            else:
+                emit("    ok = ctr < 2")
+                emit("    if ctr > 0: _pht[pi] = ctr - 1")
+                emit(f"    hist = (hist << 1) & {hist_mask}")
+            emit("    npr += 1")
+            emit("    if ok:")
+            emit("        nco += 1")
+            emit("    else:")
+            emit("        nmi += 1")
+            emit(f"        rd = cp + {core.mispredict_penalty}")
+            emit("        if rd > ff: ff = rd")
+            emit("        nrd += 1")
+            if taken:
+                emit("    if ok:")
+                emit("        if f + 1 > ff: ff = f + 1")
+            emit("    nbr += 1")
+        elif op == OP_PIM:
+            inst, _p0, pdelta, speculative = aux
+            name = f"_pi{pim_ordinal}"
+            binds[name] = inst
+            names = pool_names(execution.units._table[UopClass.PIM.index][0])
+            occupancy = execution.units._table[UopClass.PIM.index][2]
+            emit("    e = rdy")
+            emit("    if lp > e: e = lp")
+            if not speculative:
+                emit("    if bw > e: e = bw")
+            emit_reserve("qs", "e", "e")
+            pw_entries = execution._pim_window.num_entries
+            emit("    while pwl and pwl[0] <= e: _hpo(pwl)")
+            emit(f"    if len(pwl) >= {pw_entries}:")
+            emit("        wf = pwl[0]")
+            emit("        if wf > e: e = wf")
+            emit_occupy(names, "e", occupancy)
+            emit(f"    {name}.address = PB[{pim_ordinal}]"
+                 + (f" + dj * {pdelta}" if pdelta else ""))
+            emit(f"    cp, rl = _sub({name}, st)")
+            emit_acquire("pwl", pw_entries, "st", "rl", None)
+            emit("    lp = st")
+            emit("    npm += 1")
+            pim_ordinal += 1
+        else:  # OP_NOP
+            emit_reserve("qs", "rdy", "iss")
+            emit("    cp = iss")
+        # ---- in-order commit ----
+        emit("    cr = cp if cp > lc else lc")
+        emit_reserve("cs", "cr", "cm")
+        emit("    lc = cm")
+        emit("    rob[rs] = cm")
+        if op == OP_STORE:
+            emit(f"    a = {addr_expr(k, delta)}")
+            if inline_l1:
+                span = size if size > 1 else 1
+                emit(f"    ln = a - a % {line_bytes}")
+                emit(f"    if (a + {span - 1}) - ln < {line_bytes}:")
+                emit(f"        ac = _l1a(cm, ln, _AS, {pc})")
+                emit("        if ac < cm: ac = cm")
+                emit("        nhs += 1")
+                emit("    else:")
+                emit(f"        ac = _hs(cm, a, {size}, {pc})")
+            else:
+                emit(f"    ac = _hs(cm, a, {size}, {pc})")
+            emit_acquire("mwl", core.mob_write_entries, "iss", "ac", None)
+            emit(f"    sf[a] = ({size}, cp)")
+            emit(f"    if len(sf) > {core.mob_write_entries}: "
+                 "sf.pop(next(iter(sf)))")
+        if dst is not None:
+            emit(f"    rr[{reg_expr(dst)}] = cp")
+        emit("    ix += 1")
+    body_mode[0] = False
+
+    for p in slotted:
+        emit(f"    _{p}._peak = {p}k")
+    emit("    if nhl: _hy._n_loads += nhl")
+    emit("    if nhs: _hy._n_stores += nhs")
+    emit("    _pd._history = hist")
+    emit("    if npr:")
+    emit("        _pd._n_predictions += npr")
+    emit("        _pd._n_correct += nco")
+    emit("        _pd._n_mispredictions += nmi")
+    emit("        _pd._n_btb_misses += nbm")
+    emit("    ex._fetch_floor = ff")
+    emit("    ex._branch_resolve_watermark = bw")
+    emit("    ex._last_pim_issue = lp")
+    emit("    ex.last_commit = lc")
+    emit("    ex.index = ix")
+    emit("    if nld: ex._n_loads += nld")
+    emit("    if nst: ex._n_stores += nst")
+    emit("    if nbr: ex._n_branches += nbr")
+    emit("    if nal: ex._n_alu += nal")
+    emit("    if npm: ex._n_pim += npm")
+    emit("    if nrd: ex._n_redirects += nrd")
+    emit("    if nfw: ex._n_forwards += nfw")
+
+    namespace = dict(binds)
+    source = "\n".join(L)
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, "<runkernel>", "exec")
+        if len(_CODE_CACHE) > 256:  # runaway-shape backstop
+            _CODE_CACHE.clear()
+        _CODE_CACHE[source] = code
+    exec(code, namespace)  # noqa: S102 - source is built from internal ints
+    shape.fn = namespace["_kernel"]
+
+
+# ---------------------------------------------------------------------------
+# the per-run driver
+# ---------------------------------------------------------------------------
+
+
+class KernelRunner:
+    """Per-run executor: captures, compiles/anchors, then replays the body.
+
+    ``iteration(j)`` is the single entry point both exact-path and
+    replay-path drivers use; it returns the number of uops processed.
+    Iterations must be requested in increasing order (the TraceRun
+    contract) but may jump forward — the affine model is positional in
+    ``j``, so a fast-forwarded run resumes correctly.
+    """
+
+    __slots__ = ("execution", "run", "instance", "_shape", "_capturing",
+                 "_samples", "_expect_j")
+
+    def __init__(self, execution, run) -> None:
+        self.execution = execution
+        self.run = run
+        self.instance: Optional[RunInstance] = None
+        self._shape: Optional[RunShape] = None
+        self._capturing = False
+        if kernels_enabled() and run.key is not None:
+            shape = execution.kernel_shapes.get(run.key)
+            self._shape = shape
+            if shape is not None:
+                self.instance = synthesize_instance(shape, run)
+                self._capturing = self.instance is None
+            else:
+                # Compile only when the shape will repay the code
+                # generation — enough iterations left in this run, or
+                # enough short runs of this key seen before.
+                pending = execution.kernel_pending
+                seen = pending.get(run.key, 0) + run.count
+                if (run.count >= MIN_KERNEL_ITERATIONS
+                        and seen - CAPTURE_ITERATIONS >= MIN_COMPILE_BENEFIT):
+                    self._capturing = True
+                else:
+                    pending[run.key] = seen
+        self._samples: List[List[Uop]] = []
+        self._expect_j = None
+
+    def iterations(self, jlo: int, jhi: int) -> int:
+        """Simulate iterations ``[jlo, jhi)``; returns the uop total.
+
+        Once the run is compiled, the whole span is one generated-loop
+        call — the per-iteration cost is the body alone, with the
+        pipeline-state loads/stores amortised over the span.
+        """
+        instance = self.instance
+        j = jlo
+        total = 0
+        while instance is None and j < jhi:
+            total += self.iteration(j)
+            j += 1
+            instance = self.instance
+        if j < jhi:
+            shape = instance.shape
+            base = instance.j0
+            shape.fn(self.execution, j - base, jhi - base, instance.sh0,
+                     instance.abases, instance.pbases)
+            total += (jhi - j) * shape.n_steps
+        return total
+
+    def iteration(self, j: int) -> int:
+        """Simulate iteration ``j`` of the run; returns its uop count."""
+        instance = self.instance
+        if instance is not None:
+            shape = instance.shape
+            dj = j - instance.j0
+            shape.fn(self.execution, dj, dj + 1, instance.sh0,
+                     instance.abases, instance.pbases)
+            return shape.n_steps
+        execution = self.execution
+        process = execution.process
+        if not self._capturing:
+            uops = 0
+            for uop in self.run.make(j):
+                process(uop)
+                uops += 1
+            return uops
+        # Capture: materialise, simulate normally, keep for compilation.
+        sample = list(self.run.make(j))
+        for uop in sample:
+            process(uop)
+        if self._shape is not None:
+            # The shape exists but could not be synthesised from the
+            # run's declared anchors: one iteration re-anchors it.
+            self.instance = rebase_instance(self._shape, self.run, sample, j)
+            if self.instance is not None:
+                self._capturing = False
+                return len(sample)
+            # Shape mismatch (should not happen under the TraceRun
+            # contract): drop it and fall back to a fresh capture,
+            # under the same benefit gating as a never-seen shape.
+            self._shape = None
+            pending = execution.kernel_pending
+            seen = pending.get(self.run.key, 0) + self.run.count
+            self._capturing = (
+                self.run.count >= MIN_KERNEL_ITERATIONS
+                and seen - CAPTURE_ITERATIONS >= MIN_COMPILE_BENEFIT
+            )
+            if not self._capturing:
+                pending[self.run.key] = seen
+                return len(sample)
+        if self._expect_j is not None and j != self._expect_j:
+            self._samples = []  # capture needs consecutive iterations
+        self._samples.append(sample)
+        self._expect_j = j + 1
+        if len(self._samples) == CAPTURE_ITERATIONS:
+            shape = compile_shape(execution, self.run, self._samples, j - 2)
+            self._samples = []
+            self._capturing = False
+            if shape is not None:
+                execution.kernel_shapes[self.run.key] = shape
+                execution.kernel_pending.pop(self.run.key, None)
+                self.instance = _own_instance(shape)
+        return len(sample)
+
+
+def consume_runs(execution, runs) -> None:
+    """Drive a TraceRun stream through the kernel cache (the exact path).
+
+    Equivalent to processing ``flatten_runs(runs)`` uop by uop — the
+    kernel path is bit-identical — but each compiled run body skips the
+    codegen generators and the per-uop dispatch entirely.
+    """
+    for run in runs:
+        KernelRunner(execution, run).iterations(0, run.count)

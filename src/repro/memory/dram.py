@@ -80,6 +80,7 @@ class DramBank:
     def __init__(self, timings: DramTimings, burst_core_cycles_per_byte: float) -> None:
         self.timings = timings
         self._burst_cpb = burst_core_cycles_per_byte
+        self._burst_cache: dict = {}
         self._resource = BusyResource()
         self.activations = 0
         self.reads = 0
@@ -89,16 +90,20 @@ class DramBank:
 
     def transfer_cycles(self, nbytes: int) -> int:
         """Core cycles the data bus needs for ``nbytes`` of this bank."""
-        return max(1, ceil_div(int(nbytes * self._burst_cpb * 1000), 1000))
+        cycles = self._burst_cache.get(nbytes)
+        if cycles is None:
+            cycles = max(1, ceil_div(int(nbytes * self._burst_cpb * 1000), 1000))
+            self._burst_cache[nbytes] = cycles
+        return cycles
 
-    def access(
+    def access_times(
         self, cycle: int, nbytes: int, is_write: bool, address: int = 0
-    ) -> BankAccessResult:
-        """Activate, access ``nbytes`` of one row, precharge.
+    ) -> tuple:
+        """Lean :meth:`access`: ``(start, data_start, data_end, bank_free)``.
 
-        ``cycle`` is when the command could first be issued; the result
-        accounts for the bank still being busy from a prior access.
-        ``address`` tags the bank for replay relabelling.
+        The hot path (every DRAM access of every fill and PIM operand)
+        returns a plain tuple; :meth:`access` wraps it for callers that
+        want the named view.
         """
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
@@ -109,8 +114,15 @@ class DramBank:
         access_latency = t.t_rcd + column_delay + burst
         # Closed page: the bank is tied up for the larger of the access
         # itself and the row-cycle time (tRAS + tRP).
-        hold = max(access_latency, t.row_cycle)
-        start, bank_free = self._resource.occupy(cycle, hold, address=address)
+        hold = access_latency if access_latency > t.row_cycle else t.row_cycle
+        resource = self._resource
+        start = resource._next_free
+        if cycle > start:
+            start = cycle
+        bank_free = start + hold
+        resource._next_free = bank_free
+        resource.busy_cycles += hold
+        resource.last_address = address
         data_start = start + t.t_rcd + column_delay
         data_end = data_start + burst
         self.activations += 1
@@ -120,6 +132,20 @@ class DramBank:
         else:
             self.reads += 1
             self.bytes_read += nbytes
+        return start, data_start, data_end, bank_free
+
+    def access(
+        self, cycle: int, nbytes: int, is_write: bool, address: int = 0
+    ) -> BankAccessResult:
+        """Activate, access ``nbytes`` of one row, precharge.
+
+        ``cycle`` is when the command could first be issued; the result
+        accounts for the bank still being busy from a prior access.
+        ``address`` tags the bank for replay relabelling.
+        """
+        start, data_start, data_end, bank_free = self.access_times(
+            cycle, nbytes, is_write, address
+        )
         return BankAccessResult(
             start=start, data_start=data_start, data_end=data_end, bank_free=bank_free
         )

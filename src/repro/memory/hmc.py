@@ -44,6 +44,15 @@ class Hmc:
         self.mapping = AddressMapping(config)
         self.vaults = [Vault(v, config) for v in range(config.num_vaults)]
         self.links = HmcLinks(config)
+        # Decode fields copied out of the mapping: the single-block fast
+        # path below decodes inline instead of building DecodedAddress
+        # objects per access.
+        self._offset_mask = self.mapping._offset_mask
+        self._offset_bits = self.mapping._offset_bits
+        self._vault_mask = self.mapping._vault_mask
+        self._vault_bits = self.mapping._vault_bits
+        self._bank_mask = self.mapping._bank_mask
+        self._header_bytes = config.request_header_bytes
         self.stats = stats if stats is not None else StatGroup("hmc")
         self._n_vault_accesses = 0
         self._n_vault_bytes_read = 0
@@ -74,6 +83,46 @@ class Hmc:
             stats.bump("pim_updates", self._n_pim_updates)
             self._n_pim_updates = 0
 
+    # -- lean link crossings (no LinkTransfer objects) ---------------------
+
+    def _request(self, cycle: int, payload_bytes: int) -> tuple:
+        """Inline request-lane crossing: ``(start, accepted, arrival)``."""
+        links = self.links
+        lanes = links._request_lanes
+        channel = lanes.channels[lanes.cursor % lanes._n]
+        lanes.cursor += 1
+        packet = self._header_bytes + payload_bytes
+        start = channel._next_free
+        if cycle > start:
+            start = cycle
+        duration = int(-(-packet // channel.bytes_per_cycle))
+        if duration < 1:
+            duration = 1
+        end = start + duration
+        channel._next_free = end
+        channel.bytes_moved += packet
+        links.request_packets += 1
+        return start, end, end + links.latency
+
+    def _response(self, cycle: int, payload_bytes: int) -> tuple:
+        """Inline response-lane crossing: ``(start, accepted, arrival)``."""
+        links = self.links
+        lanes = links._response_lanes
+        channel = lanes.channels[lanes.cursor % lanes._n]
+        lanes.cursor += 1
+        packet = self._header_bytes + payload_bytes
+        start = channel._next_free
+        if cycle > start:
+            start = cycle
+        duration = int(-(-packet // channel.bytes_per_cycle))
+        if duration < 1:
+            duration = 1
+        end = start + duration
+        channel._next_free = end
+        channel.bytes_moved += packet
+        links.response_packets += 1
+        return start, end, end + links.latency
+
     # -- vault-side primitives (no link crossing) --------------------------
 
     def vault_access(self, cycle: int, address: int, nbytes: int, is_write: bool) -> int:
@@ -84,13 +133,29 @@ class Hmc:
         this is how a 256 B HIVE/HIPE operation exploits one full row and
         how multi-block transfers ride vault parallelism.
         """
-        done = cycle
-        for block_addr, block_bytes in self.mapping.blocks_of(address, nbytes):
-            decoded = self.mapping.decompose(block_addr)
-            vault = self.vaults[decoded.vault]
-            result = vault.access(cycle, decoded.bank, block_bytes, is_write,
-                                  address=block_addr)
-            done = max(done, result.data_ready)
+        offset_bits = self._offset_bits
+        if (address & ~self._offset_mask) == \
+                ((address + nbytes - 1) & ~self._offset_mask):
+            # Fast path: the access lies in one row-buffer block (every
+            # cache-line fill and every <=256 B PIM operand), so it lands
+            # in exactly one (vault, bank) — decode inline.
+            rest = address >> offset_bits
+            vault = self.vaults[rest & self._vault_mask]
+            bank = (rest >> self._vault_bits) & self._bank_mask
+            done = vault.access_times(cycle, bank, nbytes, is_write,
+                                      address)[1]
+            if done < cycle:
+                done = cycle
+        else:
+            done = cycle
+            for block_addr, block_bytes in self.mapping.blocks_of(address, nbytes):
+                rest = block_addr >> offset_bits
+                vault = self.vaults[rest & self._vault_mask]
+                bank = (rest >> self._vault_bits) & self._bank_mask
+                ready = vault.access_times(cycle, bank, block_bytes, is_write,
+                                           block_addr)[1]
+                if ready > done:
+                    done = ready
         self._n_vault_accesses += 1
         if is_write:
             self._n_vault_bytes_written += nbytes
@@ -100,13 +165,18 @@ class Hmc:
 
     # -- processor-side transactions ---------------------------------------
 
+    def read_line_times(self, cycle: int, address: int, nbytes: int) -> tuple:
+        """Lean :meth:`read_line`: ``(issue, completion)``."""
+        start, __, arrival = self._request(cycle, 0)
+        data_ready = self.vault_access(arrival, address, nbytes, is_write=False)
+        completion = self._response(data_ready, nbytes)[2]
+        self._n_line_reads += 1
+        return start, completion
+
     def read_line(self, cycle: int, address: int, nbytes: int) -> HmcAccessResult:
         """A demand fill: request packet out, DRAM read, data packet back."""
-        request = self.links.send_request(cycle, payload_bytes=0)
-        data_ready = self.vault_access(request.arrival, address, nbytes, is_write=False)
-        response = self.links.send_response(data_ready, payload_bytes=nbytes)
-        self._n_line_reads += 1
-        return HmcAccessResult(issue=request.start, completion=response.arrival)
+        issue, completion = self.read_line_times(cycle, address, nbytes)
+        return HmcAccessResult(issue=issue, completion=completion)
 
     def write_line(self, cycle: int, address: int, nbytes: int) -> HmcAccessResult:
         """A writeback: request packet carries the data; ack comes back.
@@ -114,11 +184,16 @@ class Hmc:
         Writes are posted — callers normally use ``issue`` time; the
         acknowledgement matters only for fence-like semantics.
         """
-        request = self.links.send_request(cycle, payload_bytes=nbytes)
-        written = self.vault_access(request.arrival, address, nbytes, is_write=True)
-        response = self.links.send_response(written, payload_bytes=0)
+        issue, completion = self.write_line_times(cycle, address, nbytes)
+        return HmcAccessResult(issue=issue, completion=completion)
+
+    def write_line_times(self, cycle: int, address: int, nbytes: int) -> tuple:
+        """Lean :meth:`write_line`: ``(issue, completion)``."""
+        start, __, arrival = self._request(cycle, nbytes)
+        written = self.vault_access(arrival, address, nbytes, is_write=True)
+        completion = self._response(written, 0)[2]
         self._n_line_writes += 1
-        return HmcAccessResult(issue=request.start, completion=response.arrival)
+        return start, completion
 
     def pim_update(
         self,
@@ -143,15 +218,42 @@ class Hmc:
                 f"operation size {nbytes} exceeds HMC ISA maximum "
                 f"{max(self.config.op_sizes)}"
             )
-        request = self.links.send_request(cycle, payload_bytes=0)
-        data_ready = self.vault_access(request.arrival, address, nbytes, is_write=False)
-        decoded = self.mapping.decompose(address)
-        fu_done = self.vaults[decoded.vault].execute_fu(data_ready, address=address)
+        issue, completion = self.pim_update_times(
+            cycle, address, nbytes, response_payload_bytes, writes_back
+        )
+        return HmcAccessResult(issue=issue, completion=completion)
+
+    def pim_update_times(
+        self,
+        cycle: int,
+        address: int,
+        nbytes: int,
+        response_payload_bytes: int,
+        writes_back: bool = False,
+    ) -> tuple:
+        """Lean :meth:`pim_update`: ``(issue, completion)``."""
+        if nbytes > max(self.config.op_sizes):
+            raise ValueError(
+                f"operation size {nbytes} exceeds HMC ISA maximum "
+                f"{max(self.config.op_sizes)}"
+            )
+        start, __, arrival = self._request(cycle, 0)
+        data_ready = self.vault_access(arrival, address, nbytes, is_write=False)
+        vault = self.vaults[(address >> self._offset_bits) & self._vault_mask]
+        fu = vault._fu
+        fu_start = fu._next_free
+        if data_ready > fu_start:
+            fu_start = data_ready
+        fu._next_free = fu_start + 1
+        fu.busy_cycles += 1
+        fu.last_address = address
+        vault.fu_ops += 1
+        fu_done = fu_start + self.config.vault_fu_latency
         if writes_back:
             fu_done = self.vault_access(fu_done, address, nbytes, is_write=True)
-        response = self.links.send_response(fu_done, payload_bytes=response_payload_bytes)
+        completion = self._response(fu_done, response_payload_bytes)[2]
         self._n_pim_updates += 1
-        return HmcAccessResult(issue=request.start, completion=response.arrival)
+        return start, completion
 
     # -- statistics ---------------------------------------------------------
 

@@ -68,17 +68,43 @@ class Vault:
             raise ValueError(
                 f"{nbytes} B exceeds the {self.config.row_buffer_bytes} B row buffer"
             )
-        issued, __ = self._command_queue.occupy(cycle, 1, address=address)
-        result: BankAccessResult = self.banks[bank].access(
-            issued, nbytes, is_write, address=address
+        start, data_ready, bank_free = self.access_times(
+            cycle, bank, nbytes, is_write, address
+        )
+        return VaultAccessResult(
+            start=start, data_ready=data_ready, bank_free=bank_free
+        )
+
+    def access_times(
+        self, cycle: int, bank: int, nbytes: int, is_write: bool, address: int = 0
+    ) -> tuple:
+        """Lean :meth:`access` (no bounds re-checks, plain tuple):
+        ``(start, data_ready, bank_free)``.  The per-fill hot path."""
+        # One command slot per core cycle, serialised in arrival order.
+        queue = self._command_queue
+        issued = queue._next_free
+        if cycle > issued:
+            issued = cycle
+        queue._next_free = issued + 1
+        queue.busy_cycles += 1
+        queue.last_address = address
+        start, data_start, data_end, bank_free = self.banks[bank].access_times(
+            issued, nbytes, is_write, address
         )
         # The shared bus must be free when the bank starts streaming beats.
-        __, bus_end = self._data_bus.transfer(result.data_start, nbytes,
-                                              address=address)
-        data_ready = max(result.data_end, bus_end)
-        return VaultAccessResult(
-            start=result.start, data_ready=data_ready, bank_free=result.bank_free
-        )
+        bus = self._data_bus
+        bus_start = bus._next_free
+        if data_start > bus_start:
+            bus_start = data_start
+        duration = int(-(-nbytes // bus.bytes_per_cycle))
+        if duration < 1:
+            duration = 1
+        bus_end = bus_start + duration
+        bus._next_free = bus_end
+        bus.bytes_moved += nbytes
+        bus.last_address = address
+        data_ready = data_end if data_end > bus_end else bus_end
+        return start, data_ready, bank_free
 
     def execute_fu(self, cycle: int, address: int = 0) -> int:
         """Run one PIM functional-unit operation; returns completion cycle."""

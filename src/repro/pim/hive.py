@@ -33,7 +33,7 @@ from ..common.config import PimLogicConfig
 from ..common.stats import StatGroup
 from ..common.units import ceil_div
 from ..cpu.core import PimBackend
-from ..cpu.isa import AluFunc, PimInstruction, PimOp, Uop
+from ..cpu.isa import AluFunc, PimInstruction, PimOp
 from ..memory.hmc import Hmc
 from ..memory.image import MemoryImage
 from .ops import apply_alu, apply_compound, is_comparison
@@ -384,7 +384,7 @@ class HiveBackend(PimBackend):
             max_outstanding = engine.config.instruction_buffer_entries
         self.max_outstanding = max_outstanding
 
-    def submit(self, uop: Uop, cycle: int) -> tuple:
+    def submit_inst(self, inst: PimInstruction, cycle: int) -> tuple:
         """One instruction packet out; completion depends on returns_value.
 
         The instruction-buffer entry is held until the in-order
@@ -394,9 +394,6 @@ class HiveBackend(PimBackend):
         can run ahead of the core's.  (Before this backpressure the
         modelled buffer was unbounded, which no hardware is.)
         """
-        inst = uop.pim
-        if inst is None:
-            raise ValueError("PIM uop without an instruction payload")
         request = self.hmc.links.send_request(cycle, payload_bytes=0)
         completion = self.engine.execute(inst, request.arrival)
         release = self.engine._seq_time  # the sequencer consumed the entry

@@ -23,11 +23,11 @@ import numpy as np
 
 from ..common.stats import StatGroup
 from ..cpu.core import PimBackend
-from ..cpu.isa import PimOp, Uop
+from ..cpu.isa import PimOp
 from ..memory.hmc import Hmc
 from ..memory.image import MemoryImage
 from ..common.units import ceil_div
-from .ops import apply_alu, apply_compound, mask_to_bits
+from .ops import apply_alu, apply_compound, compare_mask_bits, mask_to_bits
 
 
 class HmcIsaBackend(PimBackend):
@@ -46,54 +46,65 @@ class HmcIsaBackend(PimBackend):
         self.max_outstanding = max_outstanding
         #: computed compare masks, in program order (verification hook)
         self.computed_masks: List[np.ndarray] = []
+        # Hot counters batched as ints (see StatGroup.register_flush).
+        self._n_loadcmp_ops = 0
+        self._n_loadcmp_bytes = 0
+        self.stats.register_flush(self._flush_counts)
 
-    def submit(self, uop: Uop, cycle: int) -> tuple:
+    def _flush_counts(self) -> None:
+        if self._n_loadcmp_ops:
+            self.stats.bump("loadcmp_ops", self._n_loadcmp_ops)
+            self._n_loadcmp_ops = 0
+        if self._n_loadcmp_bytes:
+            self.stats.bump("loadcmp_bytes", self._n_loadcmp_bytes)
+            self._n_loadcmp_bytes = 0
+
+    def submit_inst(self, inst, cycle: int) -> tuple:
         """Execute one extended HMC instruction; returns (completion, release).
 
         The controller window entry is held for the whole round trip —
         HMC ISA instructions always return a response the window waits
         for — so release equals completion.
         """
-        inst = uop.pim
-        if inst is None:
-            raise ValueError("PIM uop without an instruction payload")
         if inst.op == PimOp.HMC_LOADCMP:
             lanes = inst.size // inst.lane_bytes
             mask_bytes = ceil_div(lanes, 8)
-            result = self.hmc.pim_update(
+            completion = self.hmc.pim_update_times(
                 cycle,
                 inst.address,
                 inst.size,
                 response_payload_bytes=mask_bytes,
                 writes_back=False,
-            )
+            )[1]
             self._compute_mask(inst)
-            self.stats.bump("loadcmp_ops")
-            self.stats.bump("loadcmp_bytes", inst.size)
-            return result.completion, result.completion
+            self._n_loadcmp_ops += 1
+            self._n_loadcmp_bytes += inst.size
+            return completion, completion
         if inst.op == PimOp.HMC_UPDATE:
-            result = self.hmc.pim_update(
+            completion = self.hmc.pim_update_times(
                 cycle,
                 inst.address,
                 inst.size,
                 response_payload_bytes=0,
                 writes_back=True,
-            )
+            )[1]
             self._apply_update(inst)
             self.stats.bump("update_ops")
-            return result.completion, result.completion
+            return completion, completion
         raise ValueError(f"HMC ISA cannot execute {inst.op!r}")
 
     def _compute_mask(self, inst) -> None:
         raw = self.image.read(inst.address, inst.size)
         if inst.compound is not None:
             mask = apply_compound(raw, inst.tuple_stride, inst.compound)
-        else:
-            lanes = raw.view(
-                {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}[inst.lane_bytes]
-            )
-            mask = apply_alu(inst.func, lanes, imm_lo=inst.imm_lo, imm_hi=inst.imm_hi)
-        self.computed_masks.append(mask_to_bits(mask))
+            self.computed_masks.append(mask_to_bits(mask))
+            return
+        lanes = raw.view(
+            {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}[inst.lane_bytes]
+        )
+        self.computed_masks.append(
+            compare_mask_bits(inst.func, lanes, inst.imm_lo, inst.imm_hi)
+        )
 
     def _apply_update(self, inst) -> None:
         raw = self.image.read(inst.address, inst.size)

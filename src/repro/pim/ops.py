@@ -49,6 +49,31 @@ def apply_alu(
     raise ValueError(f"unsupported ALU function {func!r}")
 
 
+def compare_mask_bits(func: AluFunc, lanes: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Packed little-endian match bits of an immediate compare.
+
+    The hot verification path of the HMC load-compare: produces the
+    response bitmask without materialising an integer lane vector
+    (boolean compare -> packbits directly).
+    """
+    if func == AluFunc.CMP_RANGE:
+        flags = lanes >= lo
+        flags &= lanes <= hi
+    elif func == AluFunc.CMP_GE:
+        flags = lanes >= lo
+    elif func == AluFunc.CMP_GT:
+        flags = lanes > lo
+    elif func == AluFunc.CMP_LE:
+        flags = lanes <= lo
+    elif func == AluFunc.CMP_LT:
+        flags = lanes < lo
+    elif func == AluFunc.CMP_EQ:
+        flags = lanes == lo
+    else:
+        raise ValueError(f"unsupported compare function {func!r}")
+    return np.packbits(flags, bitorder="little")
+
+
 def is_comparison(func: AluFunc) -> bool:
     """True for the compare family (single-source, immediate operand)."""
     return func in (

@@ -77,35 +77,53 @@ def _package_version() -> str:
 _CODE_DIGEST: Optional[str] = None
 
 
+def timing_model_files() -> List[Path]:
+    """Every source file folded into :func:`code_digest`, sorted.
+
+    Exposed so tests can assert the digest's coverage — in particular
+    that the run-compiled kernel stack (``common/resources.py``,
+    ``cpu/core.py``, ``cpu/kernel.py``) is inside it: cached points
+    written before a kernel/resource rewrite must never be served
+    against the rewritten simulator.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    files: List[Path] = []
+    for directory in TIMING_MODEL_DIRS:
+        root = package_root / directory
+        if not root.is_dir():
+            raise RuntimeError(
+                f"timing-model directory {directory!r} missing under "
+                f"{package_root} — TIMING_MODEL_DIRS is out of date"
+            )
+        files.extend(sorted(root.rglob("*.py")))
+    return files
+
+
 def code_digest() -> str:
     """Stable hash of the timing-model source files (cached per process).
 
     The machine digest catches *config-driven* timing changes; this
     catches *code* changes to the simulator itself (every directory in
-    :data:`TIMING_MODEL_DIRS`), so edits that alter results without
-    touching any config field no longer silently reuse stale cached
-    numbers until someone remembers to bump ``repro.__version__``.
+    :data:`TIMING_MODEL_DIRS`, enumerated by :func:`timing_model_files`),
+    so edits that alter results without touching any config field no
+    longer silently reuse stale cached numbers until someone remembers
+    to bump ``repro.__version__``.
 
     The steady-state replay layer (``repro.sim.replay``) is covered by
-    the ``sim`` directory, so its code is part of this digest too:
-    replayed and ``REPRO_EXACT=1`` runs produce bit-identical results
-    by contract and therefore *share* cache entries — no separate key
-    field — while any edit to the replay machinery invalidates them.
+    the ``sim`` directory, and the run-compiled kernels
+    (``repro.cpu.kernel``) plus the ring-buffer resources they inline
+    (``repro.common.resources``) by ``cpu``/``common`` — replayed,
+    kernel-compiled and ``REPRO_EXACT=1``/``REPRO_KERNEL=0`` runs all
+    produce bit-identical results by contract and therefore *share*
+    cache entries, while any edit to that machinery invalidates them.
     """
     global _CODE_DIGEST
     if _CODE_DIGEST is None:
         package_root = Path(__file__).resolve().parent.parent
         digest = hashlib.sha256()
-        for directory in TIMING_MODEL_DIRS:
-            root = package_root / directory
-            if not root.is_dir():
-                raise RuntimeError(
-                    f"timing-model directory {directory!r} missing under "
-                    f"{package_root} — TIMING_MODEL_DIRS is out of date"
-                )
-            for path in sorted(root.rglob("*.py")):
-                digest.update(str(path.relative_to(package_root)).encode())
-                digest.update(path.read_bytes())
+        for path in timing_model_files():
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
         _CODE_DIGEST = digest.hexdigest()[:16]
     return _CODE_DIGEST
 

@@ -58,12 +58,15 @@ class Machine:
     def run_runs(self, runs, exact: bool = False):
         """Execute a steady-state run stream (see :mod:`repro.sim.replay`).
 
-        ``exact=True`` (or ``REPRO_EXACT=1``) flattens the runs and
-        simulates every uop — the escape hatch the replay path is
-        verified against.  Results are bit-identical either way; the
-        replay path is just asymptotically faster on converged scans.
+        ``exact=True`` (or ``REPRO_EXACT=1``) simulates every uop — the
+        escape hatch the replay path is verified against.  Results are
+        bit-identical either way; the replay path is just asymptotically
+        faster on converged scans.  Both paths run each body through the
+        run-compiled kernels of :mod:`repro.cpu.kernel` (disable with
+        ``REPRO_KERNEL=0``; kernel and uncompiled execution are likewise
+        bit-identical).
         """
-        from ..codegen.base import flatten_runs
+        from ..cpu.kernel import consume_runs
         from .replay import ReplayExecutor, replay_enabled
 
         partial_loads = (self.engine is not None
@@ -75,7 +78,9 @@ class Machine:
             # shape (squash flags) does not capture matched-lane counts,
             # so the replay layer cannot prove periodicity for that
             # extension — keep it on the exact path outright.
-            return self.run(flatten_runs(runs))
+            execution = self.core.execution()
+            consume_runs(execution, runs)
+            return self._finish(execution.result())
         execution = self.core.execution()
         executor = ReplayExecutor(self, execution)
         executor.consume(runs)

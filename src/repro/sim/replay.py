@@ -67,6 +67,7 @@ from ..common.resources import (
     SlottedResource,
 )
 from ..common.stats import StatGroup
+from ..cpu.kernel import KernelRunner
 
 #: the register-id convention every codegen follows (replay relabels
 #: rotating ids in terms of it; loop-invariant ids are left alone)
@@ -170,13 +171,11 @@ class _AddressMap:
 
 
 def _sig_slotted(res: SlottedResource, now: int):
-    return (_sig_clock(res._horizon, now),) + tuple(sorted(
-        (c - now, n) for c, n in res._used.items() if c >= now - GRACE
-    ))
+    return (_sig_clock(res._horizon, now),) + res.sig_entries(now, GRACE)
 
 
 def _sig_occupancy(res: OccupancyResource, now: int):
-    return tuple(sorted(r - now for r in res._releases if r > now - GRACE))
+    return res.sig_entries(now, GRACE)
 
 
 def _sig_clock(value: int, now: int) -> int:
@@ -378,14 +377,21 @@ class _MachineState:
             self.scalar_cells.append((level.mshr, "allocations"))
             self.scalar_cells.append((level.prefetcher, "issued"))
             for name in ("_n_accesses", "_n_hits", "_n_misses",
-                         "_n_prefetch_hits", "_n_invalidations"):
+                         "_n_prefetch_hits", "_n_invalidations",
+                         "_n_evictions", "_n_writebacks",
+                         "_n_prefetches_issued", "_n_prefetches_dropped"):
                 self.scalar_cells.append((level, name))
-            for acc_type in level._n_miss_by_type:
-                self.dict_cells.append((level._n_miss_by_type, acc_type))
+            for index in range(len(level._n_miss_by_type)):
+                self.dict_cells.append((level._n_miss_by_type, index))
         if self.engine is not None:
             self.scalar_cells.append((self.engine, "_n_instructions"))
             self.scalar_cells.append((self.engine.registers, "_n_reads"))
             self.scalar_cells.append((self.engine.registers, "_n_writes"))
+        backend = machine.backend
+        if backend is not None:
+            for name in ("_n_loadcmp_ops", "_n_loadcmp_bytes"):
+                if hasattr(backend, name):
+                    self.scalar_cells.append((backend, name))
         # Group-summed counters: requests rotate across the pool's
         # members, so only the pool total extrapolates linearly (and
         # only the total ever reaches results, via collect_stats).  One
@@ -738,9 +744,7 @@ class _MachineState:
             targets = {target for target, __, ___ in snapshot}
             for i, __, ___ in moves:
                 if i not in targets:
-                    member = members[i]
-                    if member._next_free > dead_floor:
-                        member._next_free = dead_floor
+                    members[i].clamp_next_free(dead_floor)
             for target, next_free, new_address in snapshot:
                 member = members[target]
                 member._next_free = next_free
@@ -754,10 +758,9 @@ class _MachineState:
         core = self.execution
 
         for res in self.all_slotted:
-            res._used = {c + dt: n for c, n in res._used.items()}
-            res._horizon += dt
+            res.shift_time(dt)
         for res in self.occupancy:
-            res._releases = [r + dt for r in res._releases]
+            res.shift_time(dt)
         for res in self.all_busy:
             res._next_free += dt
         for res in self.all_bandwidth:
@@ -857,14 +860,15 @@ class ReplayExecutor:
     # -- plumbing -----------------------------------------------------------
 
     def _simulate_iteration(self, run: TraceRun, j: int) -> Tuple[int, int]:
-        """Run iteration ``j``; returns (commit delta, uop count)."""
+        """Run iteration ``j``; returns (commit delta, uop count).
+
+        Simulation goes through the current run's compiled kernel (see
+        :mod:`repro.cpu.kernel`): the replay layer decides *which*
+        iterations must be simulated, the kernel makes each one cheap.
+        """
         execution = self.execution
-        process = execution.process
         before = execution.last_commit
-        uops = 0
-        for uop in run.make(j):
-            process(uop)
-            uops += 1
+        uops = self._runner.iteration(j)
         self.stats.simulated_iterations += 1
         return execution.last_commit - before, uops
 
@@ -1058,11 +1062,11 @@ class ReplayExecutor:
     def _consume_run(self, run: TraceRun) -> None:
         execution = self.execution
         count = run.count
+        self._runner = KernelRunner(execution, run)
         if run.key is None or count < MIN_RUN_ITERATIONS:
-            process = execution.process
+            runner = self._runner
             for j in range(count):
-                for uop in run.make(j):
-                    process(uop)
+                runner.iteration(j)
             if run.key is not None:
                 self.stats.simulated_iterations += count
             return
@@ -1082,8 +1086,22 @@ class ReplayExecutor:
         # over a 100 K-entry delta window would throttle exactly the
         # runs that gain nothing from replay.
         structural = p_floor >= STRUCT_PROBE_MIN
-        p_limit = MAX_PERIOD if structural else SHORT_MAX_PERIOD
         min_skip = 1 if structural else MIN_SKIP_PERIODS
+        if structural:
+            # Structural probes may escalate past MAX_PERIOD (see the
+            # failure handling below) up to whatever still fits the run.
+            p_limit = max(MAX_PERIOD, count // (2 + min_skip))
+        else:
+            p_limit = SHORT_MAX_PERIOD
+        if structural and count < (2 + min_skip) * p_floor:
+            # The run ends before even one probe-plus-skip could fit:
+            # no per-iteration bookkeeping is needed, so hand the whole
+            # run to the kernel in one span (paper workloads below the
+            # structural scale — e.g. the 32 K benchmark points — spend
+            # their entire runtime here).
+            self._runner.iterations(0, count)
+            self.stats.simulated_iterations += count
+            return
         failures_at_floor = 0
         probes_left = (MAX_STRUCT_PROBES_PER_RUN if structural
                        else MAX_PROBES_PER_RUN)
@@ -1109,7 +1127,21 @@ class ReplayExecutor:
                             self.stats.probes_failed += 1
                             probes_left -= 1
                             failures_at_floor += 1
-                            if failures_at_floor >= 2 and not structural:
+                            if structural:
+                                # The probe simulated two whole periods
+                                # and proved the state is not p-periodic
+                                # — either a draining transient (which
+                                # fails at any p) or a slow oscillation
+                                # whose true period is a multiple of the
+                                # structural one (x86's L2/L3 conveyor
+                                # phase flips sign every 32 K-iteration
+                                # sweep at SF1).  Doubling catches the
+                                # oscillation and still matches once a
+                                # transient drains, since any multiple
+                                # of the structural period keeps every
+                                # stream vault/bank-aligned.
+                                p_floor = p * 2
+                            elif failures_at_floor >= 2:
                                 # Not just warmup: deeper state cycles
                                 # with a longer period than the commit
                                 # deltas show — escalate the floor.

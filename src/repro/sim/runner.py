@@ -49,6 +49,26 @@ _CODEGENS = {
 #: the paper's working-set >> LLC regime at tractable simulation times
 DEFAULT_ROWS = 32_768
 
+#: generated tables memoised per (schema digest, rows, seed): a sweep
+#: process simulating many points of one workload regenerates the same
+#: deterministic table for every point otherwise.  Tables are read-only
+#: to every consumer (codegen reads columns, tables copy them into the
+#: machine's memory image), so sharing is safe; the cap bounds memory.
+_TABLE_MEMO: dict = {}
+_TABLE_MEMO_MAX = 4
+
+
+def _memoised_table(schema, rows: int, seed: int) -> LineitemData:
+    key = (schema.digest() if hasattr(schema, "digest") else repr(schema),
+           rows, seed)
+    data = _TABLE_MEMO.get(key)
+    if data is None:
+        data = generate_table(schema, rows, seed)
+        if len(_TABLE_MEMO) >= _TABLE_MEMO_MAX:
+            _TABLE_MEMO.pop(next(iter(_TABLE_MEMO)))
+        _TABLE_MEMO[key] = data
+    return data
+
 
 def build_workload(
     machine: Machine,
@@ -100,7 +120,7 @@ def run_scan(
     if plan is None:
         plan = q6_select_plan()
     if data is None:
-        data = generate_table(plan.table, rows, seed)
+        data = _memoised_table(plan.table, rows, seed)
     machine = build_machine(arch, scale=scale, config=config)
     workload = build_workload(machine, data, scan.layout, plan=plan)
     runs = _CODEGENS[arch].generate_plan_runs(workload, scan)
@@ -204,14 +224,25 @@ def _verify_hmc_masks(machine: Machine, workload: ScanWorkload, scan: ScanConfig
     for p in range(len(workload.predicates)):
         prev = workload.running_mask(p - 1) if p > 0 else None
         pass_mask = np.zeros(rows, dtype=bool)
+        included = []  # (start, stop, bit offset into the pass's masks)
+        bit_cursor = 0
+        pass_masks = []
         for c in range(chunks_per_pass):
             start = c * rpc
             stop = min(start + rpc, rows)
             if p > 0 and not bool(prev[start:stop].any()):
                 continue  # chunk was skipped: no HMC op was issued
-            bits = np.unpackbits(masks[cursor], count=stop - start,
-                                 bitorder="little").astype(bool)
-            pass_mask[start:stop] = bits
+            included.append((start, stop, bit_cursor))
+            pass_masks.append(masks[cursor])
+            bit_cursor += masks[cursor].size * 8
             cursor += 1
+        if not included:
+            running = pass_mask if running is None else (running & pass_mask)
+            continue
+        # One unpack for the whole pass instead of one per chunk.
+        bits = np.unpackbits(np.concatenate(pass_masks),
+                             bitorder="little").astype(bool)
+        for start, stop, offset in included:
+            pass_mask[start:stop] = bits[offset:offset + (stop - start)]
         running = pass_mask if running is None else (running & pass_mask)
     return bool(np.array_equal(running, workload.final_mask))

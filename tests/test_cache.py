@@ -174,8 +174,8 @@ class TestCacheLevel:
 class TestPrefetchers:
     def test_stride_trains_after_two_strides(self):
         pf = StridePrefetcher(line_bytes=64, degree=2)
-        assert pf.observe(1, 0, True) == []
-        assert pf.observe(1, 64, True) == []
+        assert list(pf.observe(1, 0, True)) == []
+        assert list(pf.observe(1, 64, True)) == []
         out = pf.observe(1, 128, True)
         assert out == [192, 256]
 

@@ -300,3 +300,18 @@ class TestExperimentsIntegration:
         outcome = sweep("routed", POINTS[:2], ROWS, engine=engine)
         assert len(outcome.runs) == 2
         assert engine.simulated_points == 2
+
+
+class TestCodeDigestCoverage:
+    """The result-cache code digest must cover the kernel rewrite stack."""
+
+    def test_kernel_stack_is_inside_the_digest(self):
+        from repro.sim.engine import timing_model_files
+
+        names = {"/".join(path.parts[-2:]) for path in timing_model_files()}
+        for required in ("common/resources.py", "cpu/core.py",
+                         "cpu/kernel.py", "sim/replay.py", "sim/machine.py"):
+            assert required in names, (
+                f"{required} missing from the timing-model digest: cached "
+                "points from before a rewrite there could be served stale"
+            )

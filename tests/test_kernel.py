@@ -1,0 +1,110 @@
+"""Run-compiled kernel tests: bit-identity, shape reuse, gating knobs.
+
+The kernels of :mod:`repro.cpu.kernel` are a *compiler*, not a model:
+their single correctness property is that a compiled run body produces
+exactly the timing, statistics and energy of the uncompiled
+uop-by-uop path.  These tests pin that property across architectures
+and paths, and pin the compilation economics (shape reuse via
+synthesis, the skip of one-shot boundary shapes, the ``REPRO_KERNEL``
+escape hatch).
+"""
+
+import pytest
+
+from repro.codegen.base import ScanConfig
+from repro.cpu.kernel import (
+    MIN_COMPILE_BENEFIT,
+    KernelRunner,
+    kernels_enabled,
+)
+from repro.db.datagen import generate_table
+from repro.db.query6 import q6_select_plan
+from repro.sim.machine import build_machine
+from repro.sim.runner import _CODEGENS, build_workload, run_scan
+
+ROWS = 8192
+
+
+def _fingerprint(result):
+    return (result.cycles, result.uops, result.verified, result.stats,
+            result.energy.to_dict())
+
+
+POINTS = [("x86", 64), ("hmc", 256), ("hive", 256), ("hipe", 256)]
+
+
+@pytest.mark.parametrize("arch,op", POINTS)
+@pytest.mark.parametrize("exact", [False, True])
+def test_kernel_bit_identical_to_uncompiled(arch, op, exact, monkeypatch):
+    scan = ScanConfig("dsm", "column", op, 1)
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert kernels_enabled()
+    compiled = run_scan(arch, scan, rows=ROWS, exact=exact)
+    monkeypatch.setenv("REPRO_KERNEL", "0")
+    assert not kernels_enabled()
+    uncompiled = run_scan(arch, scan, rows=ROWS, exact=exact)
+    assert _fingerprint(compiled) == _fingerprint(uncompiled)
+
+
+def _drive(arch, op, rows=ROWS):
+    """Run one exact point by hand; returns the stepping execution."""
+    plan = q6_select_plan()
+    data = generate_table(plan.table, rows, 1994)
+    machine = build_machine(arch)
+    workload = build_workload(machine, data, "dsm", plan=plan)
+    runs = list(_CODEGENS[arch].generate_plan_runs(
+        workload, ScanConfig("dsm", "column", op, 1)))
+    execution = machine.core.execution()
+    for run in runs:
+        KernelRunner(execution, run).iterations(0, run.count)
+    return execution, runs
+
+
+def test_shapes_compile_and_are_reused():
+    """Each productive run shape compiles once; later runs synthesise."""
+    execution, runs = _drive("x86", 64)
+    shapes = execution.kernel_shapes
+    assert shapes, "no run shape compiled on the paper's Q6 column scan"
+    keyed_runs = [run for run in runs if run.key is not None]
+    assert len(keyed_runs) > len(shapes), (
+        "every run compiled its own shape: the per-shape cache is dead"
+    )
+    for shape in shapes.values():
+        assert shape.fn is not None
+        assert shape.synth_ok, (
+            "a grouped codegen run should anchor to its declared regions"
+        )
+
+
+def test_boundary_shapes_skip_codegen():
+    """Unprofitable shapes stay uncompiled (pass-tail iterations and
+    fragmented stragglers must not pay Python codegen)."""
+    execution, __ = _drive("x86", 64, rows=ROWS)
+    pending = execution.kernel_pending
+    assert pending, "expected at least one uncompiled boundary shape"
+    # Compiled shapes leave the pending ledger; what remains never
+    # crossed the benefit threshold with a capturable run.
+    assert not set(pending) & set(execution.kernel_shapes)
+    assert any(seen - 3 < MIN_COMPILE_BENEFIT for seen in pending.values())
+
+
+def test_repro_kernel_disables_compilation(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "0")
+    execution, __ = _drive("hmc", 256)
+    assert not execution.kernel_shapes
+
+
+def test_synthesised_runs_skip_capture():
+    """A second run of a known shape executes compiled from iteration 0."""
+    execution, runs = _drive("hive", 256)
+    shapes = execution.kernel_shapes
+    assert shapes
+    reused = None
+    for run in runs:
+        if run.key in shapes and run.count >= 1:
+            runner = KernelRunner(execution, run)
+            if runner.instance is not None:
+                reused = runner
+                break
+    assert reused is not None, "no run could be synthesised from its shape"
+    assert reused.instance.j0 == 0

@@ -163,3 +163,104 @@ class TestUnitPool:
     def test_rejects_empty_pool(self):
         with pytest.raises(ValueError):
             UnitPool(0)
+
+
+class TestSlottedRing:
+    """Ring-buffer edge cases: wraparound, long stalls, time shifts."""
+
+    def test_wraparound_under_long_stall_matches_reference(self):
+        """Grants across several prune windows equal the unbounded model."""
+        res = SlottedResource(2, window=64)
+
+        class Unbounded:
+            def __init__(self, slots):
+                self.slots = slots
+                self.used = {}
+
+            def reserve(self, cycle):
+                while self.used.get(cycle, 0) >= self.slots:
+                    cycle += 1
+                self.used[cycle] = self.used.get(cycle, 0) + 1
+                return cycle
+
+        reference = Unbounded(2)
+        cycle = 0
+        for step in [1, 1, 0, 3, 150, 1, 0, 700, 2, 2, 5000, 1, 1]:
+            cycle += step
+            # Monotone requests never look behind the horizon, so the
+            # bounded ring must agree with the unbounded model exactly,
+            # however many times the ring has wrapped.
+            assert res.reserve(cycle) == reference.reserve(cycle)
+
+    def test_far_jump_resets_ring_cleanly(self):
+        res = SlottedResource(1, window=16)
+        for c in range(10):
+            assert res.reserve(0) == c
+        far = 10_000_000
+        assert res.reserve(far) == far
+        # The reset must not leak stale counters into the new window.
+        assert res.reserve(far) == far + 1
+        assert res.used_at(far) == 1
+
+    def test_past_requests_clamp_to_horizon(self):
+        res = SlottedResource(1, window=16)
+        res.reserve(1000)  # horizon advances past 2*window
+        granted = res.reserve(0)
+        assert granted >= res._horizon
+
+    def test_shift_time_preserves_relative_state(self):
+        res = SlottedResource(1)
+        res.reserve(100)
+        res.reserve(100)
+        before = res.sig_entries(now=100, grace=1024)
+        res.shift_time(5000)
+        after = res.sig_entries(now=5100, grace=1024)
+        assert before == after
+        # The shifted cycle is genuinely occupied at its new position.
+        assert res.used_at(5100) == 1
+        assert res.reserve(5100) == 5102
+
+
+class TestOccupancyEdges:
+    def test_full_window_acquire_grants_at_earliest_release(self):
+        res = OccupancyResource(4)
+        for i in range(4):
+            res.acquire(0, 100 + 10 * i)
+        # Pool exhausted: the next acquire waits for the earliest holder.
+        assert res.acquire(5, 500) == 100
+        assert res.acquire(5, 600) == 110
+        assert res.in_flight == 4
+
+    def test_sig_entries_sorted_with_multiplicity(self):
+        res = OccupancyResource(8)
+        res.acquire(0, 50)
+        res.acquire(0, 50)
+        res.acquire(0, 40)
+        assert res.sig_entries(now=10, grace=1024) == (30, 40, 40)
+
+    def test_shift_time_moves_releases(self):
+        res = OccupancyResource(2)
+        res.acquire(0, 30)
+        res.acquire(0, 40)
+        res.shift_time(1000)
+        assert res.acquire(0, 2000) == 1030
+
+
+class TestBusyResourceClamps:
+    def test_push_next_free_never_regresses(self):
+        server = BusyResource()
+        server.occupy(0, 50)
+        server.push_next_free(10)  # past the horizon: clamped, no effect
+        assert server.next_free == 50
+        server.push_next_free(80)
+        assert server.next_free == 80
+
+    def test_clamp_next_free_only_lowers(self):
+        server = BusyResource()
+        server.occupy(0, 100)
+        server.clamp_next_free(200)  # above: no effect
+        assert server.next_free == 100
+        server.clamp_next_free(30)  # the replay dead-floor clamp
+        assert server.next_free == 30
+        server.clamp_next_free(60)  # never raises
+        assert server.next_free == 30

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Cross-check run-compiled kernels against the uncompiled uop path.
+
+Runs the Q6 column scan on every architecture twice — once with run
+compilation enabled (the default) and once with ``REPRO_KERNEL=0`` — on
+both the replay path and the ``REPRO_EXACT=1`` slow path, and asserts
+cycles, uops, statistics and energy are bit-identical.  This is the CI
+smoke that keeps :mod:`repro.cpu.kernel` honest: the generated kernels
+transcribe :meth:`CoreExecution.process`, and any divergence between
+the two paths is a compiler bug, never a model change.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_kernel_identity.py [rows]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+ARCHS = [("x86", 64), ("hmc", 256), ("hive", 256), ("hipe", 256)]
+
+
+def fingerprint(result) -> dict:
+    return {
+        "cycles": result.cycles,
+        "uops": result.uops,
+        "verified": result.verified,
+        "stats": result.stats,
+        "energy": result.energy.to_dict(),
+    }
+
+
+def run_point(arch: str, op: int, rows: int, kernel: bool, exact: bool) -> dict:
+    os.environ["REPRO_KERNEL"] = "1" if kernel else "0"
+    from repro.codegen.base import ScanConfig
+    from repro.sim.runner import run_scan
+
+    result = run_scan(arch, ScanConfig("dsm", "column", op, 1), rows=rows,
+                      exact=exact)
+    return fingerprint(result)
+
+
+def main() -> int:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 32_768
+    os.environ["REPRO_CACHE"] = "0"
+    failures = 0
+    for arch, op in ARCHS:
+        for exact in (False, True):
+            compiled = run_point(arch, op, rows, kernel=True, exact=exact)
+            uncompiled = run_point(arch, op, rows, kernel=False, exact=exact)
+            label = f"{arch}-{op}B rows={rows} exact={exact}"
+            if compiled == uncompiled:
+                print(f"  OK   {label}: cycles={compiled['cycles']:,} "
+                      f"uops={compiled['uops']:,}")
+            else:
+                failures += 1
+                print(f"  FAIL {label}: kernel and uncompiled paths differ")
+                for key in compiled:
+                    if compiled[key] != uncompiled[key]:
+                        print(f"       {key}: {str(compiled[key])[:120]} != "
+                              f"{str(uncompiled[key])[:120]}")
+    if failures:
+        print(f"{failures} point(s) diverged")
+        return 1
+    print("kernel path is bit-identical to the uncompiled path on all points")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

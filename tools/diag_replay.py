@@ -128,7 +128,7 @@ class DiagExecutor(ReplayExecutor):
         periods = (run.count - (j + 2 * p)) // p
         total = self._region_deltas(run, periods, p)
         amap_skip = _AddressMap(run.regions, total)
-        if state.plan_tag_relabel(amap_skip, raw1) is None:
+        if state.plan_tag_relabel(amap_skip) is None:
             print("  tag relabel refused (ambiguous merge)")
         if state.plan_pool_relabel(amap_skip) is None:
             print("  pool relabel refused (vault-space collision)")

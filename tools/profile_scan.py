@@ -71,8 +71,51 @@ def main() -> int:
         stats = pstats.Stats(profiler, stream=stream)
         stats.sort_stats("tottime").print_stats(args.top)
         print()
+        print(component_breakdown(stats))
         print(stream.getvalue())
     return 0
+
+
+#: filename fragment -> component label, first match wins.  The
+#: run-compiled kernels execute as generated code under the
+#: ``<runkernel>`` pseudo-filename (repro.cpu.kernel), so attribution
+#: keys on *files*, not function names — renames and generated frames
+#: land in the right bucket.
+COMPONENTS = [
+    ("<runkernel>", "core (compiled kernels)"),
+    ("cpu/kernel.py", "core (kernel compiler)"),
+    ("cpu/", "core (uncompiled path)"),
+    ("common/resources.py", "timing resources"),
+    ("cache/", "caches"),
+    ("memory/", "memory (links/vaults/dram)"),
+    ("pim/", "pim engines"),
+    ("codegen/", "codegen"),
+    ("sim/replay.py", "replay layer"),
+    ("sim/", "sim harness"),
+    ("db/", "db/datagen"),
+    ("energy/", "energy"),
+]
+
+
+def component_breakdown(stats: pstats.Stats) -> str:
+    """Per-component self-time percentages of one profile run."""
+    totals: dict = {}
+    grand = 0.0
+    for (filename, __, ___), row in stats.stats.items():  # type: ignore[attr-defined]
+        tottime = row[2]
+        grand += tottime
+        for fragment, label in COMPONENTS:
+            if fragment in filename:
+                break
+        else:
+            label = "other (numpy/stdlib)"
+        totals[label] = totals.get(label, 0.0) + tottime
+    if grand <= 0:
+        return "(empty profile)"
+    lines = ["per-component self time:"]
+    for label, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {label:28s} {seconds:>7.3f}s  {100 * seconds / grand:5.1f}%")
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":
