@@ -61,7 +61,11 @@ points, as 3b/3c/3d do — is near-instant after the first run::
 
 Environment knobs: ``REPRO_JOBS`` (worker count; ``1`` = serial with
 identical results), ``REPRO_CACHE_DIR`` (cache location),
-``REPRO_CACHE=0`` (disable caching), ``REPRO_ROWS`` (sweep sizes).
+``REPRO_CACHE=0`` (disable caching), ``REPRO_ROWS`` (sweep sizes),
+``REPRO_SERVICE=1`` (route sweeps through the persistent
+:class:`~repro.service.SimulationService` — async jobs with streamed
+completed-first results, crash retry, and shared-memory dataset
+images instead of per-worker pickling; see ``repro.service``).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
@@ -124,8 +128,9 @@ from .sim.results import (
     speedup,
 )
 from .sim.runner import DEFAULT_ROWS, build_workload, run_scan
+from .service import JobState, SimulationService, Ticket
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ARCHITECTURES",
@@ -138,6 +143,7 @@ __all__ = [
     "ExperimentEngine",
     "ExperimentResult",
     "Filter",
+    "JobState",
     "LINEITEM_Q1_SCHEMA",
     "LINEITEM_Q6_SCHEMA",
     "LineitemData",
@@ -155,7 +161,9 @@ __all__ = [
     "Scan",
     "ScanConfig",
     "ScanWorkload",
+    "SimulationService",
     "TableData",
+    "Ticket",
     "TableSchema",
     "X86_OP_SIZES",
     "X86_UNROLLS",

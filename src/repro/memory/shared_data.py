@@ -1,0 +1,186 @@
+"""Shared-memory dataset images: map one generated table into many workers.
+
+The experiment engine's original worker plumbing shipped the whole
+dataset through the ``multiprocessing`` pickle channel — once per
+worker, and ~96 MB per copy at TPC-H SF1.  The simulation service
+instead *publishes* each distinct dataset (keyed by its
+:func:`~repro.sim.engine.data_digest`) as one read-only
+:mod:`multiprocessing.shared_memory` segment; workers receive only a
+tiny picklable :class:`DatasetHandle` per job and attach the segment
+once per process, so every column array is mapped — not copied — into
+every worker on the host.
+
+Function and timing stay split exactly as in
+:mod:`repro.memory.image`: the shared segment holds the same bytes the
+in-process :class:`~repro.db.datagen.TableData` held, so simulated
+results are bit-identical whichever way the data travels.
+
+Lifecycle: the publishing side (the service) owns the segment and
+unlinks it on :meth:`DatasetImage.close`; attachers hold a read-only
+numpy view per column and cache the attachment per digest (workers are
+short of one mapping per dataset per process, never one per point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..db.datagen import TableData, TableSchema
+
+#: column payloads start on cache-line boundaries inside the segment
+_COLUMN_ALIGN = 64
+
+
+def _align(offset: int) -> int:
+    return (offset + _COLUMN_ALIGN - 1) // _COLUMN_ALIGN * _COLUMN_ALIGN
+
+
+@dataclass(frozen=True)
+class DatasetHandle:
+    """Picklable descriptor of a published dataset (crosses to workers).
+
+    ``columns`` is the segment layout: ``(name, dtype, offset, count)``
+    per column, in schema order.  The handle is a few hundred bytes no
+    matter how large the table is — that is the point.
+    """
+
+    shm_name: str
+    digest: str
+    rows: int
+    columns: Tuple[Tuple[str, str, int, int], ...]
+    schema: Optional[dict] = None  # TableSchema.to_dict(), when declared
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes described by the layout."""
+        return sum(
+            count * np.dtype(dtype).itemsize
+            for _, dtype, _, count in self.columns
+        )
+
+
+class DatasetImage:
+    """One table published as a read-only shared-memory segment (owner side)."""
+
+    def __init__(self, data: TableData, digest: str) -> None:
+        layout = []
+        offset = 0
+        for name in data.column_names():
+            array = np.ascontiguousarray(data.columns[name])
+            offset = _align(offset)
+            layout.append((name, array.dtype.str, offset, int(array.size)))
+            offset += array.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for (name, dtype, start, count) in layout:
+            view = np.ndarray((count,), dtype=np.dtype(dtype),
+                              buffer=self._shm.buf, offset=start)
+            view[:] = data.columns[name]
+        self.handle = DatasetHandle(
+            shm_name=self._shm.name,
+            digest=digest,
+            rows=int(data.rows),
+            columns=tuple(layout),
+            schema=data.schema.to_dict() if data.schema is not None else None,
+        )
+        self._closed = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    def close(self, unlink: bool = True) -> None:
+        """Release (and by default unlink) the segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()
+
+
+# -- attach side (worker processes) -----------------------------------------
+
+#: digest -> (segment, reconstructed table); one mapping per dataset per
+#: process, exactly the "mapped once per host" contract the service makes
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, TableData]] = {}
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it with the resource tracker.
+
+    Only the publishing side owns a segment's lifetime.  On
+    Python < 3.13 attaching registers with the resource tracker anyway,
+    which is wrong in both start modes: a spawned worker's own tracker
+    would *unlink* the segment when the worker exits (destroying it for
+    everyone), and a forked worker shares the parent's tracker, where
+    register/unregister pairs cancel the parent's legitimate entry.
+    3.13+ has ``track=False`` for exactly this; earlier versions get
+    the registration suppressed during attach.
+    """
+    import sys
+
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def attach_dataset(handle: DatasetHandle) -> TableData:
+    """The published table behind ``handle``, as read-only column views.
+
+    Idempotent per digest within a process: the first call maps the
+    segment, every later call (any number of jobs against the same
+    dataset) returns the cached table without touching the kernel.
+    """
+    cached = _ATTACHED.get(handle.digest)
+    if cached is not None:
+        return cached[1]
+    shm = _attach_untracked(handle.shm_name)
+    columns: Dict[str, np.ndarray] = {}
+    for name, dtype, offset, count in handle.columns:
+        view = np.ndarray((count,), dtype=np.dtype(dtype),
+                          buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        columns[name] = view
+    schema = (
+        TableSchema.from_dict(handle.schema) if handle.schema is not None else None
+    )
+    data = TableData(rows=handle.rows, columns=columns, schema=schema)
+    _ATTACHED[handle.digest] = (shm, data)
+    return data
+
+
+def attached_count() -> int:
+    """How many distinct datasets this process has mapped (telemetry)."""
+    return len(_ATTACHED)
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (tests; workers just exit)."""
+    for shm, _ in _ATTACHED.values():
+        try:
+            shm.close()
+        except (OSError, BufferError):
+            # numpy views may still pin the buffer; the mapping dies
+            # with the process either way.
+            pass
+    _ATTACHED.clear()

@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: async jobs, streaming results, shared datasets.
+
+Public surface::
+
+    from repro.service import SimulationService
+
+    with SimulationService(jobs=4) as service:
+        tickets = [service.submit(arch, scan, rows=32_768)
+                   for arch, scan in points]
+        for record in service.stream(tickets):   # completion order
+            print(record.ticket.label, record.state, record.result.cycles)
+
+See :mod:`repro.service.service` for the engine and
+:mod:`repro.service.worker` for the worker-side protocol.
+"""
+
+from .service import (
+    JobRecord,
+    JobState,
+    SimulationService,
+    Ticket,
+    default_service,
+    service_routing_enabled,
+    shutdown_default_service,
+)
+from .worker import execute_point_payload, make_task_payload
+
+__all__ = [
+    "JobRecord",
+    "JobState",
+    "SimulationService",
+    "Ticket",
+    "default_service",
+    "execute_point_payload",
+    "make_task_payload",
+    "service_routing_enabled",
+    "shutdown_default_service",
+]

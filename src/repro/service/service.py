@@ -1,0 +1,696 @@
+"""Simulation-as-a-service: a persistent async job engine over ``run_scan``.
+
+The :class:`~repro.sim.engine.ExperimentEngine` is a batch harness: it
+blocks in ``pool.map`` until the slowest point finishes, re-ships the
+dataset to every worker, and one crashed worker aborts the whole sweep.
+:class:`SimulationService` is the serving-shaped replacement:
+
+* **submit** a (plan, arch, config, rows, seed) point and get a
+  :class:`Ticket` back immediately;
+* **stream** results in *completion* order — fast points arrive while
+  slow ones still simulate — with per-job progress, attempts and
+  cache provenance;
+* **cancel** pending or running jobs;
+* crashed workers (``kill -9``, segfault, OOM) are detected by the
+  supervisor and their job retried on a fresh worker, bounded by the
+  retry budget; deterministic Python exceptions fail fast with the
+  worker traceback and the point context attached;
+* each distinct dataset is published once per host as a read-only
+  :mod:`multiprocessing.shared_memory` image
+  (:mod:`repro.memory.shared_data`) keyed by its content digest —
+  workers map it instead of unpickling 6 M-row columns per point;
+* the on-disk :class:`~repro.sim.engine.ResultCache` is shared with
+  ``ExperimentEngine`` — same :func:`~repro.sim.engine.point_key`, so
+  service results and batch sweep results are bit-identical cache
+  peers (either side warm-hits what the other computed).
+
+Architecture: a supervisor thread owns worker lifecycle.  Each worker
+is a persistent process with a *private* task queue holding at most one
+job, so when a worker dies the supervisor knows exactly which job it
+held.  Workers answer on one shared result queue.  All public methods
+are thread-safe.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..codegen.base import ScanConfig
+from ..common.config import DEFAULT_SCALE
+from ..db.datagen import LineitemData
+from ..db.plan import QueryPlan
+from ..memory.shared_data import DatasetImage
+from ..sim.engine import (
+    DEFAULT_CACHE_DIR,
+    PointExecutionError,
+    ResultCache,
+    _cache_enabled,
+    _default_plan_digest,
+    _resolve_jobs,
+    code_digest,
+    data_digest,
+    machine_digest,
+    point_key,
+)
+from ..sim.results import ExperimentResult, RunResult
+from .worker import make_task_payload, worker_main
+
+
+class JobState(str, Enum):
+    """Lifecycle of one submitted point."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """The receipt :meth:`SimulationService.submit` returns."""
+
+    id: int
+    arch: str
+    scan: ScanConfig
+    rows: int
+    seed: int
+    scale: int
+    key: Optional[str]  # cache key (None when caching is off)
+
+    @property
+    def label(self) -> str:
+        name = f"{self.arch.upper()}-{self.scan.op_bytes}B"
+        if self.scan.unroll > 1:
+            name += f"@{self.scan.unroll}x"
+        return name
+
+
+@dataclass
+class JobRecord:
+    """Live status of one job (treat streamed/returned records read-only)."""
+
+    ticket: Ticket
+    state: JobState = JobState.PENDING
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    cached: bool = False  # satisfied straight from the result cache
+    worker_pid: Optional[int] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    payload: Any = field(default=None, repr=False)
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class _Worker:
+    """Parent-side view of one worker process (one job in flight max)."""
+
+    __slots__ = ("process", "task_queue", "job_id", "dead_since")
+
+    def __init__(self, process, task_queue) -> None:
+        self.process = process
+        self.task_queue = task_queue
+        self.job_id: Optional[int] = None
+        self.dead_since: Optional[float] = None
+
+
+#: grace between observing a worker's death and retrying its job, so a
+#: "done" message flushed just before the crash can still drain
+_DEAD_WORKER_GRACE = 0.25
+
+
+def _resolve_retries(retries: Optional[int]) -> int:
+    if retries is None:
+        env = os.environ.get("REPRO_SERVICE_RETRIES")
+        if env:
+            try:
+                retries = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_SERVICE_RETRIES must be an integer, got {env!r}"
+                ) from None
+        else:
+            retries = 1
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    return retries
+
+
+class SimulationService:
+    """A persistent async job engine for simulation points.
+
+    Parameters
+    ----------
+    jobs:
+        Worker slots; defaults to ``REPRO_JOBS`` or the CPU count
+        (the same resolver the batch engine uses).  Workers spawn
+        lazily, up to this many, as jobs demand them.
+    cache_dir / use_cache:
+        The shared on-disk result cache — identical keys and entries
+        to :class:`~repro.sim.engine.ExperimentEngine`.
+    retries:
+        How many times a job is re-dispatched after its worker *dies*
+        (crash/kill, not Python exceptions).  Defaults to
+        ``REPRO_SERVICE_RETRIES`` or 1.
+    timeout:
+        Per-attempt wall-clock budget in seconds; an over-budget
+        worker is killed and the job retried (within the same retry
+        budget).  ``None`` (default) disables the timeout.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str | os.PathLike] = None,
+        use_cache: Optional[bool] = None,
+        retries: Optional[int] = None,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.jobs = _resolve_jobs(jobs)
+        if _cache_enabled(use_cache):
+            directory = cache_dir or os.environ.get(
+                "REPRO_CACHE_DIR", DEFAULT_CACHE_DIR
+            )
+            self.cache: Optional[ResultCache] = ResultCache(directory)
+        else:
+            self.cache = None
+        self.retries = _resolve_retries(retries)
+        self.timeout = timeout
+        self._poll_interval = poll_interval
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._result_queue = self._ctx.Queue()
+        self._workers: List[_Worker] = []
+        self._records: Dict[int, JobRecord] = {}
+        self._pending: deque = deque()
+        self._completed_order: List[int] = []
+        self._images: Dict[str, DatasetImage] = {}
+        self._ids = itertools.count(1)
+        self._cv = threading.Condition(threading.RLock())
+        self._closed = False
+        self._stopped = False
+        # telemetry
+        self.cache_hits = 0
+        self.simulated_points = 0
+        self.retried_jobs = 0
+        self.datasets_published = 0
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-service-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # -- public API --------------------------------------------------------
+
+    def submit(
+        self,
+        arch: str,
+        scan: ScanConfig,
+        rows: int,
+        *,
+        seed: int = 1994,
+        scale: int = DEFAULT_SCALE,
+        data: Optional[LineitemData] = None,
+        plan: Optional[QueryPlan] = None,
+    ) -> Ticket:
+        """Enqueue one simulation point; returns its :class:`Ticket`.
+
+        A cache hit completes the job immediately (it still appears in
+        the completion stream, flagged ``cached``).  ``data`` defaults
+        to the deterministic generated table of the plan's schema —
+        pass it explicitly when submitting many points over one table
+        so generation and digesting happen once.
+        """
+        arch = arch.lower()
+        if data is None:
+            from ..sim.runner import _memoised_table
+            from ..db.query6 import q6_select_plan
+
+            schema = (plan if plan is not None else q6_select_plan()).table
+            data = _memoised_table(schema, rows, seed)
+        digest = data_digest(data)
+        plan_digest: Optional[str] = None
+        if plan is not None and plan.digest() != _default_plan_digest():
+            plan_digest = plan.digest()
+        key: Optional[str] = None
+        if self.cache is not None:
+            key = point_key(
+                arch, scan, rows, seed, scale,
+                dataset=digest, machine=machine_digest(arch, scale),
+                plan=plan_digest, code=code_digest(),
+            )
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            ticket = Ticket(
+                id=next(self._ids), arch=arch, scan=scan,
+                rows=int(rows), seed=int(seed), scale=int(scale), key=key,
+            )
+            record = JobRecord(ticket=ticket, submitted_at=time.monotonic())
+            self._records[ticket.id] = record
+            cached = self.cache.load(key) if self.cache is not None else None
+            if cached is not None:
+                self.cache_hits += 1
+                record.result = cached
+                record.cached = True
+                self._finish(record, JobState.DONE)
+                return ticket
+            handle = self._publish_dataset(digest, data)
+            record.payload = make_task_payload(
+                arch, scan.to_dict(), rows, seed, scale,
+                dataset_handle=handle,
+                plan_payload=plan.to_dict() if plan is not None else None,
+            )
+            self._pending.append(ticket.id)
+            self._cv.notify_all()
+        return ticket
+
+    def status(self, ticket: Ticket) -> JobRecord:
+        """The current :class:`JobRecord` of one ticket."""
+        with self._cv:
+            return self._records[ticket.id]
+
+    def progress(self, tickets: Optional[Iterable[Ticket]] = None) -> Dict[str, int]:
+        """State counts over ``tickets`` (default: every job ever seen)."""
+        with self._cv:
+            records = (
+                [self._records[t.id] for t in tickets]
+                if tickets is not None else list(self._records.values())
+            )
+        counts = {state.value: 0 for state in JobState}
+        for record in records:
+            counts[record.state.value] += 1
+        counts["total"] = len(records)
+        return counts
+
+    def cancel(self, ticket: Ticket) -> bool:
+        """Cancel one job; True when it was still pending or running.
+
+        A running job's worker is killed (and replaced on demand); the
+        cancelled job is never retried.
+        """
+        with self._cv:
+            record = self._records[ticket.id]
+            if record.state is JobState.PENDING:
+                try:
+                    self._pending.remove(ticket.id)
+                except ValueError:
+                    pass
+                self._finish(record, JobState.CANCELLED)
+                return True
+            if record.state is JobState.RUNNING:
+                for worker in self._workers:
+                    if worker.job_id == ticket.id:
+                        worker.job_id = None
+                        self._kill_worker(worker)
+                        break
+                self._finish(record, JobState.CANCELLED)
+                return True
+            return False
+
+    def stream(
+        self,
+        tickets: Iterable[Ticket],
+        timeout: Optional[float] = None,
+    ) -> Iterator[JobRecord]:
+        """Yield the jobs of ``tickets`` in *completion* order.
+
+        Completed-first semantics: a fast point is yielded the moment
+        it finishes, while slower points are still running — the
+        ``pool.map``-shaped "wait for the slowest" barrier is gone.
+        Cancelled and failed jobs are yielded too (inspect
+        ``record.state``); raising is the caller's policy.
+        """
+        wanted = {t.id for t in tickets}
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = 0
+        while wanted:
+            ready: List[JobRecord] = []
+            with self._cv:
+                while True:
+                    while cursor < len(self._completed_order):
+                        job_id = self._completed_order[cursor]
+                        cursor += 1
+                        if job_id in wanted:
+                            wanted.discard(job_id)
+                            ready.append(self._records[job_id])
+                    if ready or not wanted:
+                        break
+                    if self._stopped:
+                        raise RuntimeError(
+                            "service stopped with jobs still outstanding"
+                        )
+                    wait = self._poll_interval
+                    if deadline is not None:
+                        wait = min(wait, deadline - time.monotonic())
+                        if wait <= 0:
+                            raise TimeoutError(
+                                f"{len(wanted)} job(s) still outstanding"
+                            )
+                    self._cv.wait(wait)
+            for record in ready:
+                yield record
+
+    def wait(
+        self, tickets: Iterable[Ticket], timeout: Optional[float] = None
+    ) -> List[JobRecord]:
+        """Block until every ticket is terminal; records in ticket order."""
+        tickets = list(tickets)
+        for _ in self.stream(tickets, timeout=timeout):
+            pass
+        return [self.status(t) for t in tickets]
+
+    def execute_points(
+        self,
+        points: List[Tuple[str, ScanConfig]],
+        data: Optional[LineitemData],
+        rows: int,
+        seed: int,
+        scale: int,
+        plan: Optional[QueryPlan] = None,
+        timeout: Optional[float] = None,
+    ) -> List[RunResult]:
+        """Run ``points`` and return results in submission order.
+
+        This is the :meth:`ExperimentEngine._execute` protocol — the
+        batch engine routes here under ``REPRO_SERVICE=1`` — so a
+        failed point raises :class:`PointExecutionError` with the
+        point context, exactly like the pool path.
+        """
+        tickets = [
+            self.submit(arch, scan, rows, seed=seed, scale=scale,
+                        data=data, plan=plan)
+            for arch, scan in points
+        ]
+        by_id: Dict[int, RunResult] = {}
+        for record in self.stream(tickets, timeout=timeout):
+            ticket = record.ticket
+            if record.state is JobState.DONE:
+                self.simulated_points += 0 if record.cached else 1
+                by_id[ticket.id] = record.result
+                continue
+            detail = record.error or record.state.value
+            raise PointExecutionError(
+                f"sweep point (arch={ticket.arch}, "
+                f"op_bytes={ticket.scan.op_bytes}, "
+                f"layout={ticket.scan.layout}, rows={ticket.rows}) "
+                f"{record.state.value} after {record.attempts} attempt(s): "
+                f"{detail}",
+                ticket.arch, ticket.scan.op_bytes, ticket.rows,
+            )
+        return [by_id[t.id] for t in tickets]
+
+    def sweep(
+        self,
+        name: str,
+        points: List[Tuple[str, ScanConfig]],
+        rows: int,
+        data: Optional[LineitemData] = None,
+        seed: int = 1994,
+        scale: int = DEFAULT_SCALE,
+        plan: Optional[QueryPlan] = None,
+    ) -> ExperimentResult:
+        """A drop-in :meth:`ExperimentEngine.sweep` through the service.
+
+        Same dataset defaulting, same cache keys, same
+        ``AssertionError`` on functional verification failure — the
+        returned runs are bit-identical to the batch engine's.
+        """
+        if data is None:
+            from ..db.datagen import generate_lineitem, generate_table
+
+            if plan is not None:
+                data = generate_table(plan.table, rows, seed)
+            else:
+                data = generate_lineitem(rows, seed)
+        runs = self.execute_points(points, data, rows, seed, scale, plan)
+        result = ExperimentResult(name=name)
+        for (arch, scan), run in zip(points, runs):
+            if run.verified is False:
+                raise AssertionError(
+                    f"{arch} {scan} failed functional verification"
+                )
+            result.runs.append(run)
+        return result
+
+    def close(self, timeout: float = 30.0, force: bool = False) -> None:
+        """Drain (or with ``force`` abandon) jobs, stop workers, unlink images."""
+        with self._cv:
+            if self._stopped:
+                return
+            self._closed = True
+            if force:
+                for job_id in list(self._pending):
+                    self._finish(self._records[job_id], JobState.CANCELLED)
+                self._pending.clear()
+            self._cv.notify_all()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._cv:
+                idle = not self._pending and all(
+                    w.job_id is None for w in self._workers
+                )
+            if idle:
+                break
+            time.sleep(self._poll_interval)
+        with self._cv:
+            self._stopped = True
+            self._cv.notify_all()
+        self._supervisor.join(timeout=timeout)
+        for worker in self._workers:
+            try:
+                worker.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        self._workers.clear()
+        for image in self._images.values():
+            image.close()
+        self._images.clear()
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- supervisor --------------------------------------------------------
+
+    def _publish_dataset(self, digest: str, data: LineitemData):
+        """The shared-memory handle of ``data``, published at most once."""
+        image = self._images.get(digest)
+        if image is None:
+            image = DatasetImage(data, digest)
+            self._images[digest] = image
+            self.datasets_published += 1
+        return image.handle
+
+    def _finish(self, record: JobRecord, state: JobState) -> None:
+        """Move a record to a terminal state (lock held by caller)."""
+        record.state = state
+        record.finished_at = time.monotonic()
+        self._completed_order.append(record.ticket.id)
+        self._cv.notify_all()
+
+    def _spawn_worker(self) -> _Worker:
+        task_queue = self._ctx.SimpleQueue()
+        process = self._ctx.Process(
+            target=worker_main, args=(task_queue, self._result_queue),
+            daemon=True, name="repro-service-worker",
+        )
+        process.start()
+        worker = _Worker(process, task_queue)
+        self._workers.append(worker)
+        return worker
+
+    def _kill_worker(self, worker: _Worker) -> None:
+        try:
+            worker.process.kill()
+        except (OSError, ValueError, AttributeError):
+            try:
+                worker.process.terminate()
+            except (OSError, ValueError):
+                pass
+        if worker in self._workers:
+            self._workers.remove(worker)
+
+    def _supervise(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get(timeout=self._poll_interval)
+            except queue_module.Empty:
+                message = None
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                return
+            with self._cv:
+                if message is not None:
+                    self._handle_message(message)
+                    while True:
+                        try:
+                            self._handle_message(self._result_queue.get_nowait())
+                        except queue_module.Empty:
+                            break
+                self._reap_dead_workers()
+                self._check_timeouts()
+                self._dispatch()
+                if self._stopped:
+                    return
+
+    def _handle_message(self, message) -> None:
+        kind, job_id, payload = message
+        record = self._records.get(job_id)
+        for worker in self._workers:
+            if worker.job_id == job_id:
+                worker.job_id = None
+                break
+        if record is None or record.state.terminal:
+            return  # cancelled while running; result discarded
+        if kind == "done":
+            result = RunResult.from_dict(payload)
+            record.result = result
+            if self.cache is not None and record.ticket.key is not None \
+                    and result.verified is not False:
+                self.cache.store(record.ticket.key, result)
+            self._finish(record, JobState.DONE)
+        elif kind == "error":
+            record.error = payload
+            self._finish(record, JobState.FAILED)
+
+    def _retry_or_fail(self, record: JobRecord, reason: str) -> None:
+        if record.attempts <= self.retries:
+            self.retried_jobs += 1
+            record.state = JobState.PENDING
+            record.worker_pid = None
+            self._pending.appendleft(record.ticket.id)
+            self._cv.notify_all()
+        else:
+            record.error = (
+                f"{reason} (attempt {record.attempts} of "
+                f"{self.retries + 1}, retry budget exhausted)"
+            )
+            self._finish(record, JobState.FAILED)
+
+    def _reap_dead_workers(self) -> None:
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.process.is_alive():
+                continue
+            if worker.dead_since is None:
+                worker.dead_since = now
+            # Let an in-flight "done" message drain before declaring the
+            # job crashed: a worker can die between answering and being
+            # observed dead.
+            if worker.job_id is not None \
+                    and now - worker.dead_since < _DEAD_WORKER_GRACE:
+                continue
+            self._workers.remove(worker)
+            job_id, worker.job_id = worker.job_id, None
+            if job_id is None:
+                continue
+            record = self._records.get(job_id)
+            if record is None or record.state is not JobState.RUNNING:
+                continue
+            exitcode = worker.process.exitcode
+            self._retry_or_fail(
+                record, f"worker died (exitcode {exitcode}) while running point"
+            )
+
+    def _check_timeouts(self) -> None:
+        if self.timeout is None:
+            return
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.job_id is None:
+                continue
+            record = self._records.get(worker.job_id)
+            if record is None or record.started_at is None:
+                continue
+            if now - record.started_at <= self.timeout:
+                continue
+            worker.job_id = None
+            self._kill_worker(worker)
+            self._retry_or_fail(
+                record,
+                f"attempt exceeded the {self.timeout:.1f}s timeout",
+            )
+
+    def _dispatch(self) -> None:
+        while self._pending:
+            worker = next(
+                (w for w in self._workers
+                 if w.job_id is None and w.process.is_alive()),
+                None,
+            )
+            if worker is None:
+                if len(self._workers) >= self.jobs:
+                    return
+                worker = self._spawn_worker()
+            job_id = self._pending.popleft()
+            record = self._records[job_id]
+            if record.state is not JobState.PENDING:
+                continue  # cancelled while queued
+            record.attempts += 1
+            record.state = JobState.RUNNING
+            record.started_at = time.monotonic()
+            record.worker_pid = worker.process.pid
+            worker.job_id = job_id
+            worker.task_queue.put((job_id, record.payload))
+
+
+# -- the process-wide default service ---------------------------------------
+
+_DEFAULT_SERVICE: Optional[SimulationService] = None
+
+
+def default_service() -> SimulationService:
+    """The lazily created process-wide service (``REPRO_JOBS`` workers).
+
+    This is what ``REPRO_SERVICE=1`` sweeps route through; workers
+    persist across sweeps, which is the point — repeated figure
+    regenerations reuse warm workers and already-published datasets.
+    """
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is None:
+        _DEFAULT_SERVICE = SimulationService()
+        atexit.register(shutdown_default_service)
+    return _DEFAULT_SERVICE
+
+
+def shutdown_default_service() -> None:
+    """Tear the default service down (idempotent; registered atexit)."""
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is not None:
+        _DEFAULT_SERVICE.close(timeout=5.0, force=True)
+        _DEFAULT_SERVICE = None
+
+
+def service_routing_enabled() -> bool:
+    """Whether ``REPRO_SERVICE=1`` routes engine sweeps through the service."""
+    return os.environ.get("REPRO_SERVICE", "0").lower() in ("1", "true", "yes")

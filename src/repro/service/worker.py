@@ -1,0 +1,100 @@
+"""Worker-side protocol of the simulation service.
+
+One persistent process per worker slot runs :func:`worker_main`: a loop
+over a private task queue (the supervisor dispatches at most one job to
+a worker at a time, so crash attribution is exact), answering on the
+shared result queue.  The payload format is plain dicts/tuples — the
+same serialised shapes the :class:`~repro.sim.engine.ExperimentEngine`
+pool always shipped — except that datasets travel as
+:class:`~repro.memory.shared_data.DatasetHandle` descriptors and are
+attached (mapped, not copied) once per dataset per worker.
+
+Messages on the result queue::
+
+    ("done",  job_id, run_result_dict)   # RunResult.to_dict() payload
+    ("error", job_id, formatted_traceback_str)
+
+A worker that dies without answering (segfault, ``kill -9``, OOM) sends
+nothing; the supervisor detects the dead process and retries the job it
+held, bounded by the service's retry budget.  A Python exception inside
+:func:`~repro.sim.runner.run_scan` is deterministic and is *not*
+retried — it comes back as an ``error`` message and fails the job with
+the worker traceback attached.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Any, Dict
+
+
+def make_task_payload(
+    arch: str,
+    scan_payload: Dict[str, Any],
+    rows: int,
+    seed: int,
+    scale: int,
+    dataset_handle: Any = None,
+    plan_payload: Dict[str, Any] | None = None,
+) -> Dict[str, Any]:
+    """The picklable job payload — note: no column arrays, ever."""
+    return {
+        "arch": arch,
+        "scan": scan_payload,
+        "rows": int(rows),
+        "seed": int(seed),
+        "scale": int(scale),
+        "dataset": dataset_handle,
+        "plan": plan_payload,
+    }
+
+
+def execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one job payload; returns the serialised RunResult.
+
+    Shared by the service workers and (in-process) by tests: resolves
+    the dataset from shared memory, rebuilds the plan, and runs the
+    ordinary :func:`~repro.sim.runner.run_scan`.
+    """
+    from ..codegen.base import ScanConfig
+    from ..db.plan import QueryPlan
+    from ..memory.shared_data import attach_dataset
+    from ..sim.runner import run_scan
+
+    data = None
+    if payload.get("dataset") is not None:
+        data = attach_dataset(payload["dataset"])
+    plan = None
+    if payload.get("plan") is not None:
+        plan = QueryPlan.from_dict(payload["plan"])
+    result = run_scan(
+        payload["arch"],
+        ScanConfig.from_dict(payload["scan"]),
+        rows=payload["rows"],
+        seed=payload["seed"],
+        scale=payload["scale"],
+        data=data,
+        plan=plan,
+    )
+    return result.to_dict()
+
+
+def worker_main(task_queue, result_queue) -> None:
+    """Loop of one persistent service worker process."""
+    while True:
+        task = task_queue.get()
+        if task is None:  # shutdown sentinel
+            break
+        job_id, payload = task
+        try:
+            result = execute_point_payload(payload)
+        except BaseException:
+            result_queue.put(("error", job_id, traceback.format_exc()))
+        else:
+            result_queue.put(("done", job_id, result))
+
+
+def worker_pid() -> int:
+    """This worker's pid (symmetry helper for tests)."""
+    return os.getpid()

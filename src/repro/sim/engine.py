@@ -241,20 +241,53 @@ class ResultCache:
         return result
 
     def store(self, key: str, result: RunResult) -> None:
-        """Persist ``result`` under ``key`` (atomic replace)."""
+        """Persist ``result`` under ``key`` (atomic replace).
+
+        Degrades to no caching instead of raising: a read-only cache
+        directory (``OSError``) and a result carrying a field the JSON
+        encoder rejects (``TypeError``/``ValueError``) both leave the
+        sweep running with the point simply uncached.  The ``finally``
+        unlink reclaims the temp file on every failure path (after a
+        successful ``os.replace`` it is already gone, so the unlink is
+        a no-op).
+        """
         path = self.path_for(key)
-        entry = {"schema": CACHE_SCHEMA, "key": key, "result": result.to_dict()}
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
+            entry = {
+                "schema": CACHE_SCHEMA, "key": key, "result": result.to_dict(),
+            }
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle)
             os.replace(tmp, path)
-        except OSError:
-            # A read-only cache directory degrades to no caching.
+        except (OSError, TypeError, ValueError):
+            pass
+        finally:
             tmp.unlink(missing_ok=True)
 
+    def _sweep_stale_tmp(self, min_age_seconds: float = 0.0) -> None:
+        """Reclaim ``*.tmp.*`` leftovers of crashed/failed writers.
+
+        ``min_age_seconds`` protects a concurrent writer's live temp
+        file (writes finish in milliseconds; stale means orphaned).
+        """
+        import time
+
+        cutoff = time.time() - min_age_seconds
+        for path in self.directory.glob("*.tmp.*"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+            except OSError:
+                pass
+
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry; returns how many were removed.
+
+        Stale ``*.tmp.*`` writer leftovers are swept too (not counted
+        as entries).
+        """
+        self._sweep_stale_tmp()
         removed = 0
         for path in self.directory.glob("*.json"):
             try:
@@ -269,8 +302,12 @@ class ResultCache:
 
         Loads refresh an entry's mtime, so recently used points survive;
         returns how many entries were removed.  Races with concurrent
-        writers degrade gracefully (missing files are skipped).
+        writers degrade gracefully (missing files are skipped).  Stale
+        ``*.tmp.*`` writer leftovers are reclaimed as well — they are
+        unaccounted bytes that would otherwise live under the cache
+        directory forever.
         """
+        self._sweep_stale_tmp(min_age_seconds=60.0)
         entries = []
         total = 0
         for path in self.directory.glob("*.json"):
@@ -299,7 +336,58 @@ class ResultCache:
 #
 # The pool initializer stows the shared dataset (and the sweep's plan)
 # in module globals so the (potentially large) column arrays cross the
-# process boundary once per worker instead of once per point.
+# process boundary once per worker instead of once per point.  The
+# persistent :mod:`repro.service` engine replaces even that per-worker
+# copy with shared-memory dataset images; its workers speak the same
+# payload shapes (see :mod:`repro.service.worker`) and raise the same
+# :class:`PointExecutionError` on failure.
+
+
+class PointExecutionError(RuntimeError):
+    """A sweep point failed inside a worker, annotated with which point.
+
+    The original exception (or the worker's formatted traceback, for
+    cross-process failures) is chained as ``__cause__`` — the bare
+    pool traceback no longer swallows which (arch, scan, rows) died.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        arch: Optional[str] = None,
+        op_bytes: Optional[int] = None,
+        rows: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.arch = arch
+        self.op_bytes = op_bytes
+        self.rows = rows
+
+    def __reduce__(self):  # keep the context through pickling boundaries
+        return (type(self), (str(self), self.arch, self.op_bytes, self.rows))
+
+
+def _run_point(
+    arch: str,
+    scan: ScanConfig,
+    rows: int,
+    seed: int,
+    scale: int,
+    data: Optional[LineitemData],
+    plan: Optional[QueryPlan],
+) -> RunResult:
+    """One point with failures wrapped in :class:`PointExecutionError`."""
+    try:
+        return run_scan(arch, scan, rows=rows, seed=seed, scale=scale,
+                        data=data, plan=plan)
+    except Exception as exc:
+        raise PointExecutionError(
+            f"sweep point (arch={arch}, op_bytes={scan.op_bytes}, "
+            f"layout={scan.layout}, strategy={scan.strategy}, rows={rows}) "
+            f"failed: {exc!r}",
+            arch, scan.op_bytes, rows,
+        ) from exc
+
 
 _WORKER_DATA: Optional[LineitemData] = None
 _WORKER_PLAN: Optional[QueryPlan] = None
@@ -316,7 +404,7 @@ def _init_worker(data: LineitemData, plan_payload: Optional[Dict[str, Any]] = No
 def _run_point_task(task: Tuple[str, Dict[str, Any], int, int, int]) -> Dict[str, Any]:
     """Simulate one point in a worker; returns a serialised RunResult."""
     arch, scan_payload, rows, seed, scale = task
-    result = run_scan(
+    result = _run_point(
         arch,
         ScanConfig.from_dict(scan_payload),
         rows=rows,
@@ -391,6 +479,12 @@ class ExperimentEngine:
         Optional callable ``(arch, scan) -> None`` invoked in the parent
         process for every point that is actually simulated (i.e. missed
         the cache) — a test/telemetry seam.
+    service:
+        An explicit :class:`~repro.service.SimulationService` to
+        execute cache misses through (persistent workers, shared-memory
+        datasets, streaming + retry).  Defaults to ``REPRO_SERVICE=1``
+        semantics: when that flag is set, sweeps route through the
+        process-wide default service instead of a per-sweep pool.
     """
 
     def __init__(
@@ -400,8 +494,10 @@ class ExperimentEngine:
         use_cache: Optional[bool] = None,
         cache_max_mb: Optional[float] = None,
         run_hook: Optional[Callable[[str, ScanConfig], None]] = None,
+        service: Optional[Any] = None,
     ) -> None:
         self.jobs = _resolve_jobs(jobs)
+        self.service = service
         if _cache_enabled(use_cache):
             directory = cache_dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
             self.cache: Optional[ResultCache] = ResultCache(directory)
@@ -517,15 +613,24 @@ class ExperimentEngine:
         scale: int,
         plan: Optional[QueryPlan] = None,
     ) -> List[RunResult]:
-        """Simulate ``points`` (cache misses only), serially or pooled."""
+        """Simulate ``points`` (cache misses only): service, pool or serial."""
         if self.run_hook is not None:
             for arch, scan in points:
                 self.run_hook(arch, scan)
         self.simulated_points += len(points)
+        service = self.service
+        if service is None:
+            from ..service import default_service, service_routing_enabled
+
+            if service_routing_enabled():
+                service = default_service()
+        if service is not None:
+            return service.execute_points(
+                points, data, rows, seed, scale, plan=plan
+            )
         if self.jobs == 1 or len(points) == 1:
             return [
-                run_scan(arch, scan, rows=rows, seed=seed, scale=scale,
-                         data=data, plan=plan)
+                _run_point(arch, scan, rows, seed, scale, data, plan)
                 for arch, scan in points
             ]
         tasks = [

@@ -55,23 +55,28 @@ class Machine:
         result = self.core.run(trace)
         return self._finish(result)
 
-    def run_runs(self, runs, exact: bool = False):
+    def run_runs(self, runs, exact: Optional[bool] = None):
         """Execute a steady-state run stream (see :mod:`repro.sim.replay`).
 
-        ``exact=True`` (or ``REPRO_EXACT=1``) simulates every uop — the
-        escape hatch the replay path is verified against.  Results are
-        bit-identical either way; the replay path is just asymptotically
-        faster on converged scans.  Both paths run each body through the
-        run-compiled kernels of :mod:`repro.cpu.kernel` (disable with
-        ``REPRO_KERNEL=0``; kernel and uncompiled execution are likewise
-        bit-identical).
+        ``exact`` is tri-state: ``None`` (default) follows the
+        environment (``REPRO_EXACT=1``/``REPRO_REPLAY=0`` force the
+        slow path), ``True`` simulates every uop regardless, and an
+        explicit ``False`` forces the replay path even under
+        ``REPRO_EXACT=1`` — callers can override the environment in
+        *both* directions.  Results are bit-identical either way; the
+        replay path is just asymptotically faster on converged scans.
+        Both paths run each body through the run-compiled kernels of
+        :mod:`repro.cpu.kernel` (disable with ``REPRO_KERNEL=0``;
+        kernel and uncompiled execution are likewise bit-identical).
         """
         from ..cpu.kernel import consume_runs
         from .replay import ReplayExecutor, replay_enabled
 
+        if exact is None:
+            exact = not replay_enabled()
         partial_loads = (self.engine is not None
                          and self.engine.config.partial_predicated_loads)
-        if exact or not replay_enabled() or self.hierarchy.directory is not None \
+        if exact or self.hierarchy.directory is not None \
                 or partial_loads:
             # partial_predicated_loads makes a predicated load's DRAM
             # transfer size a per-chunk function of the data; the run

@@ -108,9 +108,11 @@ def run_scan(
     """Simulate one query plan on one architecture/configuration.
 
     ``plan`` defaults to the Q6 select scan (the paper's workload).
-    ``exact`` forces the uop-by-uop slow path (defaults to the
-    ``REPRO_EXACT`` environment flag); the steady-state replay path is
-    bit-identical and used otherwise.  ``config`` overrides the machine
+    ``exact`` is tri-state: ``None`` defers to the ``REPRO_EXACT``
+    environment flag, ``True`` forces the uop-by-uop slow path, and an
+    explicit ``False`` forces the bit-identical steady-state replay
+    path even when ``REPRO_EXACT=1`` is set — per-run overrides win
+    over the environment in both directions.  ``config`` overrides the machine
     (e.g. :func:`~repro.common.config.reduced_cube_config`); cached
     experiment sweeps always use the standard per-arch machines.
     """
@@ -124,7 +126,7 @@ def run_scan(
     machine = build_machine(arch, scale=scale, config=config)
     workload = build_workload(machine, data, scan.layout, plan=plan)
     runs = _CODEGENS[arch].generate_plan_runs(workload, scan)
-    core_result = machine.run_runs(runs, exact=bool(exact))
+    core_result = machine.run_runs(runs, exact=exact)
 
     verified: Optional[bool] = None
     if verify and scan.strategy == "column" and arch in ("hive", "hipe"):
@@ -215,8 +217,6 @@ def _verify_hmc_masks(machine: Machine, workload: ScanWorkload, scan: ScanConfig
         return True  # tuple-mode masks are exercised by unit tests
     rows = workload.rows
     rpc = scan.rows_per_op
-    import numpy as np  # local: keep module import light
-
     running = None
     chunks_per_pass = -(-rows // rpc)
     masks = backend.computed_masks

@@ -315,3 +315,64 @@ class TestCodeDigestCoverage:
                 f"{required} missing from the timing-model digest: cached "
                 "points from before a rewrite there could be served stale"
             )
+
+
+class TestStoreRobustness:
+    """store() degrades to "uncached" instead of raising or leaking temps."""
+
+    def test_unserialisable_result_leaves_no_trace(self, tmp_path):
+        import dataclasses
+
+        engine = make_engine(tmp_path, jobs=1)
+        result = engine.run_point(*POINTS[2], rows=ROWS)
+        poisoned = dataclasses.replace(result, stats={"bad": object()})
+        key = "f" * 64
+        engine.cache.store(key, poisoned)  # must not raise
+        assert engine.cache.load(key) is None
+        assert list(engine.cache.directory.glob("*.tmp.*")) == []
+
+    def test_clear_sweeps_stale_writer_temps(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        orphan = cache.directory / ("a" * 64 + ".tmp.12345")
+        orphan.write_text("half-written entry")
+        assert cache.clear() == 0  # temps are not entries
+        assert not orphan.exists()
+
+    def test_evict_reclaims_aged_temps_even_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        live = cache.directory / ("b" * 64 + ".tmp.1")
+        orphan = cache.directory / ("c" * 64 + ".tmp.2")
+        live.write_text("a concurrent writer's temp")
+        orphan.write_text("a crashed writer's temp")
+        aged = time.time() - 1_000
+        os.utime(orphan, (aged, aged))
+        assert cache.evict_to(10**9) == 0  # no entries to evict
+        assert live.exists()  # younger than the 60s stale threshold
+        assert not orphan.exists()
+
+
+class TestWorkerFailureContext:
+    """A failed point names itself: arch, op bytes, rows, chained cause."""
+
+    def test_serial_failure_carries_point_context(self):
+        from repro.sim.engine import PointExecutionError
+
+        engine = ExperimentEngine(jobs=1, use_cache=False)
+        with pytest.raises(PointExecutionError) as excinfo:
+            engine.sweep("bad", [("bogus", POINTS[0][1])], ROWS)
+        error = excinfo.value
+        assert error.arch == "bogus"
+        assert error.op_bytes == POINTS[0][1].op_bytes
+        assert error.rows == ROWS
+        assert "arch=bogus" in str(error)
+        assert isinstance(error.__cause__, ValueError)
+
+    def test_pool_failure_carries_point_context(self):
+        from repro.sim.engine import PointExecutionError
+
+        engine = ExperimentEngine(jobs=2, use_cache=False)
+        with pytest.raises(PointExecutionError) as excinfo:
+            engine.sweep("bad", [POINTS[2], ("bogus", POINTS[0][1])], ROWS)
+        assert excinfo.value.arch == "bogus"
+        assert excinfo.value.rows == ROWS
+        assert "op_bytes=64" in str(excinfo.value)

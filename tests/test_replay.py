@@ -459,3 +459,24 @@ def test_replay_and_exact_share_cache_key(tmp_path, monkeypatch):
     second = engine.run_point("hive", scan, rows=1024)
     assert engine.cache_hits == 1
     assert result_fingerprint(first) == result_fingerprint(second)
+
+
+# ---------------------------------------------------------------------------
+# the per-run exact tri-state: explicit arguments beat the environment
+# ---------------------------------------------------------------------------
+
+
+def test_exact_argument_overrides_env_both_directions(monkeypatch):
+    scan = ScanConfig("dsm", "column", 256, 1)
+    # REPRO_EXACT=1 forces the slow path by default...
+    monkeypatch.setenv("REPRO_EXACT", "1")
+    defaulted = run_scan("hive", scan, rows=1024)
+    assert defaulted.replay is None
+    # ...but an explicit exact=False wins and takes the replay path.
+    forced_replay = run_scan("hive", scan, rows=1024, exact=False)
+    assert forced_replay.replay is not None
+    monkeypatch.delenv("REPRO_EXACT")
+    # With replay on by default, an explicit exact=True still wins.
+    forced_exact = run_scan("hive", scan, rows=1024, exact=True)
+    assert forced_exact.replay is None
+    assert result_fingerprint(forced_replay) == result_fingerprint(forced_exact)

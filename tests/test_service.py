@@ -1,0 +1,294 @@
+"""Tests for the simulation service (repro.service).
+
+The contract under test is the ISSUE 6 acceptance list: service sweeps
+are bit-identical cache peers of ``ExperimentEngine.sweep`` (same keys,
+warm hits in both directions), results stream back completed-first,
+a killed worker is retried with identical results, and each distinct
+dataset crosses to workers as one shared-memory image, never as
+per-point pickled columns.
+"""
+
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.codegen.base import ScanConfig
+from repro.db.datagen import generate_lineitem
+from repro.memory.shared_data import (
+    DatasetImage,
+    attach_dataset,
+    attached_count,
+    detach_all,
+)
+from repro.service import JobState, SimulationService
+from repro.sim.engine import ExperimentEngine, PointExecutionError, data_digest
+
+ROWS = 256
+POINTS = [
+    ("x86", ScanConfig("dsm", "column", 64)),
+    ("hmc", ScanConfig("dsm", "column", 256)),
+    ("hive", ScanConfig("dsm", "column", 256, unroll=8)),
+    ("hipe", ScanConfig("dsm", "column", 256, unroll=8)),
+]
+
+#: a point slow enough (~1s cold) that the supervisor can reliably be
+#: observed with it RUNNING — used by the kill/cancel/timeout tests
+SLOW_POINT = ("x86", ScanConfig("dsm", "column", 64))
+SLOW_ROWS = 131_072
+
+
+def wait_for_running(service, ticket, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = service.status(ticket)
+        if record.state is JobState.RUNNING:
+            return record
+        if record.state.terminal:
+            raise AssertionError(f"job went {record.state} before RUNNING")
+        time.sleep(0.01)
+    raise AssertionError("job never reached RUNNING")
+
+
+class TestBitIdentity:
+    def test_sweep_matches_engine_bit_identically(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, use_cache=False)
+        batch = engine.sweep("batch", POINTS, ROWS)
+        with SimulationService(jobs=2, use_cache=False) as service:
+            served = service.sweep("served", POINTS, ROWS)
+        assert len(served.runs) == len(batch.runs)
+        for ours, theirs in zip(served.runs, batch.runs):
+            assert ours == theirs  # full RunResult equality, field by field
+
+    def test_cache_parity_engine_warms_service_hits(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path / "cache")
+        batch = engine.sweep("warm", POINTS[:2], ROWS)
+        with SimulationService(jobs=2, cache_dir=tmp_path / "cache") as service:
+            served = service.sweep("reuse", POINTS[:2], ROWS)
+            assert service.cache_hits == 2
+            assert service.simulated_points == 0
+        for ours, theirs in zip(served.runs, batch.runs):
+            assert ours == theirs
+
+    def test_cache_parity_service_warms_engine_hits(self, tmp_path):
+        with SimulationService(jobs=2, cache_dir=tmp_path / "cache") as service:
+            served = service.sweep("warm", POINTS[:2], ROWS)
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path / "cache")
+        batch = engine.sweep("reuse", POINTS[:2], ROWS)
+        assert engine.cache_hits == 2
+        assert engine.simulated_points == 0
+        for ours, theirs in zip(batch.runs, served.runs):
+            assert ours == theirs
+
+
+class TestStreaming:
+    def test_completed_points_stream_before_the_slowest_finishes(self):
+        with SimulationService(jobs=2, use_cache=False) as service:
+            slow = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            quick = [
+                service.submit("hive", ScanConfig("dsm", "column", 256), ROWS)
+                for _ in range(3)
+            ]
+            first = next(iter(service.stream([slow] + quick)))
+            # A quick point arrived while the slow one was still going:
+            # the pool.map "wait for the slowest" barrier is gone.
+            assert first.ticket.id in {t.id for t in quick}
+            assert not service.status(slow).state.terminal
+            records = service.wait([slow] + quick, timeout=120)
+        assert [r.state for r in records] == [JobState.DONE] * 4
+
+    def test_stream_includes_cache_hits_and_flags_them(self, tmp_path):
+        with SimulationService(jobs=2, cache_dir=tmp_path / "c") as service:
+            cold = service.wait([service.submit(*POINTS[0], ROWS)])[0]
+            warm = service.wait([service.submit(*POINTS[0], ROWS)])[0]
+        assert cold.cached is False
+        assert warm.cached is True
+        assert warm.result == cold.result
+
+    def test_stream_timeout_raises(self):
+        with SimulationService(jobs=1, use_cache=False) as service:
+            slow = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            with pytest.raises(TimeoutError):
+                for _ in service.stream([slow], timeout=0.01):
+                    pass
+            service.cancel(slow)
+
+
+class TestRetry:
+    def test_killed_worker_is_retried_with_identical_result(self, tmp_path):
+        reference = ExperimentEngine(jobs=1, use_cache=False).sweep(
+            "ref", [SLOW_POINT], SLOW_ROWS
+        ).runs[0]
+        with SimulationService(jobs=2, use_cache=False) as service:
+            ticket = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            record = wait_for_running(service, ticket)
+            os.kill(record.worker_pid, signal.SIGKILL)
+            done = service.wait([ticket], timeout=180)[0]
+            assert done.state is JobState.DONE
+            assert done.attempts == 2
+            assert service.retried_jobs == 1
+            assert done.result == reference  # retry is bit-identical
+
+    def test_retry_budget_exhausted_fails_the_job(self):
+        with SimulationService(jobs=1, use_cache=False, retries=0) as service:
+            ticket = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            record = wait_for_running(service, ticket)
+            os.kill(record.worker_pid, signal.SIGKILL)
+            done = service.wait([ticket], timeout=60)[0]
+            assert done.state is JobState.FAILED
+            assert "worker died" in done.error
+            assert done.attempts == 1
+
+    def test_timeout_kills_and_reports(self):
+        with SimulationService(jobs=1, use_cache=False, retries=0,
+                               timeout=0.05) as service:
+            ticket = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            done = service.wait([ticket], timeout=60)[0]
+            assert done.state is JobState.FAILED
+            assert "timeout" in done.error
+
+    def test_deterministic_error_fails_fast_with_point_context(self):
+        with SimulationService(jobs=1, use_cache=False) as service:
+            ticket = service.submit("bogus", ScanConfig("dsm", "column", 256),
+                                    ROWS)
+            record = service.wait([ticket], timeout=60)[0]
+            assert record.state is JobState.FAILED
+            assert record.attempts == 1  # exceptions are not retried
+            assert "unknown architecture" in record.error
+            with pytest.raises(PointExecutionError) as excinfo:
+                service.sweep("bad", [("bogus", POINTS[0][1])], ROWS)
+            assert excinfo.value.arch == "bogus"
+            assert excinfo.value.rows == ROWS
+            assert "arch=bogus" in str(excinfo.value)
+
+
+class TestCancel:
+    def test_cancel_pending_and_running(self):
+        with SimulationService(jobs=1, use_cache=False) as service:
+            running = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            queued = service.submit("hive", ScanConfig("dsm", "column", 256),
+                                    ROWS)
+            wait_for_running(service, running)
+            assert service.cancel(queued) is True  # still pending
+            assert service.cancel(running) is True  # worker killed
+            records = service.wait([running, queued], timeout=60)
+            assert [r.state for r in records] == [JobState.CANCELLED] * 2
+            # a terminal job cannot be cancelled again
+            assert service.cancel(queued) is False
+
+    def test_service_keeps_serving_after_cancel(self):
+        with SimulationService(jobs=1, use_cache=False) as service:
+            victim = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            service.cancel(victim)
+            after = service.wait(
+                [service.submit("hive", ScanConfig("dsm", "column", 256), ROWS)],
+                timeout=60,
+            )[0]
+            assert after.state is JobState.DONE
+
+
+class TestSharedDatasets:
+    def test_one_image_per_distinct_dataset_and_no_column_pickling(self):
+        with SimulationService(jobs=2, use_cache=False) as service:
+            service.sweep("all", POINTS, ROWS)
+            assert service.datasets_published == 1
+            # the per-job payload carries a descriptor, not the columns:
+            # pickling it must cost bytes, not megabytes
+            record = service.status(
+                service.submit("hive", ScanConfig("dsm", "column", 256), ROWS)
+            )
+            payload = pickle.dumps(record.payload)
+            assert len(payload) < 4096
+            handle = record.payload["dataset"]
+            assert handle.nbytes == ROWS * 4 * 4  # four int32 Q6 columns
+            service.wait([record.ticket], timeout=60)
+            assert service.datasets_published == 1  # still the same image
+
+    def test_distinct_datasets_get_distinct_images(self):
+        with SimulationService(jobs=1, use_cache=False) as service:
+            service.wait([
+                service.submit("hive", ScanConfig("dsm", "column", 256), 128),
+                service.submit("hive", ScanConfig("dsm", "column", 256), 192),
+            ], timeout=60)
+            assert service.datasets_published == 2
+
+    def test_attach_roundtrips_and_memoises(self):
+        data = generate_lineitem(128, seed=7)
+        digest = data_digest(data)
+        image = DatasetImage(data, digest)
+        try:
+            before = attached_count()
+            attached = attach_dataset(image.handle)
+            again = attach_dataset(image.handle)
+            assert again is attached  # mapped once per process
+            assert attached_count() == before + 1
+            assert attached.rows == data.rows
+            assert attached.column_names() == data.column_names()
+            for name in data.columns:
+                assert np.array_equal(attached[name], data[name])
+                assert not attached[name].flags.writeable
+            assert data_digest(attached) == digest
+            del attached, again
+        finally:
+            detach_all()
+            image.close()
+
+
+class TestEngineRouting:
+    def test_engine_uses_injected_service(self, tmp_path):
+        with SimulationService(jobs=2, use_cache=False) as service:
+            engine = ExperimentEngine(jobs=1, use_cache=False, service=service)
+            reference = ExperimentEngine(jobs=1, use_cache=False)
+            routed = engine.sweep("via-service", POINTS[:2], ROWS)
+            direct = reference.sweep("direct", POINTS[:2], ROWS)
+            assert service.simulated_points == 2
+            for ours, theirs in zip(routed.runs, direct.runs):
+                assert ours == theirs
+
+    def test_repro_service_env_routes_through_default_service(self, monkeypatch):
+        import repro.service as service_module
+
+        monkeypatch.setenv("REPRO_SERVICE", "1")
+        monkeypatch.setenv("REPRO_CACHE", "0")  # keep the repo cache out
+        service_module.shutdown_default_service()
+        try:
+            engine = ExperimentEngine(jobs=1, use_cache=False)
+            engine.sweep("routed", POINTS[2:3], ROWS)
+            service = service_module.default_service()
+            assert service.simulated_points >= 1
+        finally:
+            service_module.shutdown_default_service()
+
+    def test_env_off_means_no_service(self, monkeypatch):
+        from repro.service import service_routing_enabled
+
+        monkeypatch.delenv("REPRO_SERVICE", raising=False)
+        assert service_routing_enabled() is False
+        monkeypatch.setenv("REPRO_SERVICE", "0")
+        assert service_routing_enabled() is False
+        monkeypatch.setenv("REPRO_SERVICE", "1")
+        assert service_routing_enabled() is True
+
+
+class TestLifecycle:
+    def test_submit_after_close_rejected(self):
+        service = SimulationService(jobs=1, use_cache=False)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit("hive", ScanConfig("dsm", "column", 256), ROWS)
+
+    def test_close_is_idempotent_and_unlinks_images(self):
+        service = SimulationService(jobs=1, use_cache=False)
+        ticket = service.submit("hive", ScanConfig("dsm", "column", 256), ROWS)
+        service.wait([ticket], timeout=60)
+        names = [image._shm.name for image in service._images.values()]
+        service.close()
+        service.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                from multiprocessing import shared_memory
+
+                shared_memory.SharedMemory(name=name)

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Submit a simulation sweep to the service and stream its results.
+
+The CLI front end of :mod:`repro.service`: builds an (arch x config)
+grid, submits every point to a :class:`~repro.service.SimulationService`
+(persistent workers, shared-memory dataset, on-disk result cache shared
+with ``ExperimentEngine``), then streams results back in *completion*
+order with live progress — fast points print while slow ones still
+simulate.  Ctrl-C cancels everything outstanding and reports the
+partial sweep.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_cli.py --rows 32768
+    PYTHONPATH=src python tools/service_cli.py --archs hive,hipe --op 256 \
+        --unroll 8 --rows 262144 --jobs 4
+    PYTHONPATH=src python tools/service_cli.py --rows 8192 --cancel-after 2
+    PYTHONPATH=src python tools/service_cli.py --status-only --rows 8192
+
+``--cancel-after N`` cancels every still-outstanding job after N
+completions (exercising the cancellation path); ``--status-only``
+submits, prints one status snapshot per second until done, and never
+streams — the ticket/status/cancel surface without the iterator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def build_points(args):
+    from repro.codegen.base import ScanConfig
+
+    points = []
+    for arch in args.archs.split(","):
+        arch = arch.strip().lower()
+        if not arch:
+            continue
+        op = args.op or (64 if arch == "x86" else 256)
+        points.append((arch, ScanConfig(args.layout, args.strategy, op,
+                                        args.unroll)))
+    if not points:
+        raise SystemExit("no architectures given")
+    return points
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--archs", default="x86,hmc,hive,hipe",
+                        help="comma-separated architectures (default: all four)")
+    parser.add_argument("--rows", type=int, default=32_768)
+    parser.add_argument("--op", type=int, default=None,
+                        help="operation bytes (default: 64 on x86, 256 on PIM)")
+    parser.add_argument("--unroll", type=int, default=1)
+    parser.add_argument("--layout", default="dsm", choices=["nsm", "dsm"])
+    parser.add_argument("--strategy", default="column", choices=["tuple", "column"])
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker slots (default: REPRO_JOBS or CPU count)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-attempt timeout in seconds")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="retry budget for crashed workers (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cancel-after", type=int, default=None, metavar="N",
+                        help="cancel outstanding jobs after N completions")
+    parser.add_argument("--status-only", action="store_true",
+                        help="poll status snapshots instead of streaming")
+    args = parser.parse_args()
+
+    from repro.service import JobState, SimulationService
+    from repro.sim.results import format_table
+
+    points = build_points(args)
+    service = SimulationService(
+        jobs=args.jobs, use_cache=False if args.no_cache else None,
+        retries=args.retries, timeout=args.timeout,
+    )
+    start = time.perf_counter()
+    exit_code = 0
+    completed = []
+    try:
+        tickets = [
+            service.submit(arch, scan, args.rows, seed=args.seed)
+            for arch, scan in points
+        ]
+        total = len(tickets)
+        for ticket in tickets:
+            print(f"submitted #{ticket.id} {ticket.label} rows={ticket.rows}"
+                  f"{'' if ticket.key is None else f' key={ticket.key[:12]}'}")
+
+        if args.status_only:
+            while True:
+                progress = service.progress(tickets)
+                outstanding = progress["pending"] + progress["running"]
+                print(f"status: {progress}")
+                if not outstanding:
+                    break
+                time.sleep(1.0)
+            records = [service.status(t) for t in tickets]
+        else:
+            records = []
+            for record in service.stream(tickets):
+                records.append(record)
+                elapsed = time.perf_counter() - start
+                n = len(records)
+                how = ("cache" if record.cached else
+                       f"simulated x{record.attempts}")
+                detail = ""
+                if record.state is JobState.DONE:
+                    detail = (f"cycles={record.result.cycles:,} "
+                              f"verified={record.result.verified}")
+                elif record.error:
+                    detail = record.error.strip().splitlines()[-1]
+                print(f"[{n}/{total}] {elapsed:7.2f}s {record.ticket.label:<14} "
+                      f"{record.state.value:<9} ({how}) {detail}")
+                if args.cancel_after is not None and n >= args.cancel_after:
+                    for other in tickets:
+                        service.cancel(other)
+
+        completed = [r for r in records if r.state is JobState.DONE]
+        failed = [r for r in records if r.state is JobState.FAILED]
+        if failed:
+            exit_code = 1
+            for record in failed:
+                print(f"FAILED {record.ticket.label}: {record.error}",
+                      file=sys.stderr)
+    except KeyboardInterrupt:
+        print("\ninterrupted: cancelling outstanding jobs", file=sys.stderr)
+        exit_code = 130
+    finally:
+        service.close(force=True)
+
+    if completed:
+        print()
+        print(format_table([r.result for r in completed],
+                           f"service sweep ({args.rows:,} rows)"))
+    wall = time.perf_counter() - start
+    print(f"\n{len(completed)} done, retried {service.retried_jobs}, "
+          f"cache hits {service.cache_hits}, "
+          f"datasets published {service.datasets_published}, "
+          f"wall {wall:.2f}s")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
