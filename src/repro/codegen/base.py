@@ -111,6 +111,11 @@ class ScanWorkload:
     nsm: Optional[NsmTable] = None
     dsm: Optional[DsmTable] = None
     plan: Optional[QueryPlan] = None
+    #: the machine runs the partial-predicated-loads extension: a
+    #: predicated load's DRAM transfer is sized by the chunk's matched
+    #: lane count, so run-shape keys must carry those counts (not just
+    #: dead flags) for replay to see the full timing shape
+    partial_lanes: bool = False
     computed_aggregates: Dict[Tuple[int, ...], Dict[str, int]] = field(
         default_factory=dict, repr=False
     )
@@ -202,7 +207,7 @@ class TraceRun:
     """
 
     __slots__ = ("key", "count", "make", "regs_per_iter", "regions", "bulk",
-                 "fixed_regs", "reg_base")
+                 "fixed_regs", "reg_base", "family")
 
     def __init__(
         self,
@@ -214,6 +219,7 @@ class TraceRun:
         bulk: Optional[Callable[..., None]] = None,
         fixed_regs: Tuple[int, ...] = (),
         reg_base: Optional[int] = None,
+        family: Optional[Tuple] = None,
     ) -> None:
         self.key = key
         self.count = count
@@ -223,6 +229,9 @@ class TraceRun:
         self.bulk = bulk
         self.fixed_regs = fixed_regs
         self.reg_base = reg_base
+        #: flag-free pass identity shared by every run of one generated
+        #: pass; the replay layer's fragment memo tables are scoped by it
+        self.family = family
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TraceRun(key={self.key!r}, count={self.count})"
@@ -243,6 +252,7 @@ def group_runs(
     bulk_of: Optional[Callable[[int, Tuple], Optional[Callable]]] = None,
     fixed_regs: Tuple[int, ...] = (),
     key_ids: Optional[np.ndarray] = None,
+    family: Optional[Tuple] = None,
 ) -> Iterator[TraceRun]:
     """Group consecutive same-shaped iterations into :class:`TraceRun`\\ s.
 
@@ -262,6 +272,11 @@ def group_runs(
     boundaries then come from one vectorised comparison and
     ``iteration_key`` is evaluated once per *run* instead of once per
     iteration (the dominant codegen cost of a fragmented pass).
+
+    ``family`` is the pass's flag-free identity (arch tag, pass index,
+    op bytes, unroll — everything the run key holds *except* the data-
+    dependent flag word); fragment-stitched replay scopes its memo
+    tables and its give-up bookkeeping by it.
     """
     if key_ids is not None and n_iters > 1:
         ids = np.asarray(key_ids)
@@ -290,6 +305,7 @@ def group_runs(
                 bulk=None if bulk_of is None else bulk_of(i0, key),
                 fixed_regs=fixed_regs,
                 reg_base=base_counter,
+                family=family,
             )
             regs.seek(base_counter + count * nregs)
         return
@@ -319,6 +335,7 @@ def group_runs(
             bulk=None if bulk_of is None else bulk_of(i0, key),
             fixed_regs=fixed_regs,
             reg_base=base_counter,
+            family=family,
         )
         regs.seek(base_counter + count * nregs)
         i += count
@@ -429,6 +446,24 @@ def chunk_dead_flags(prev_running, rpc: int, n_chunks: int):
     else:
         buf = prev_running
     return ~buf.reshape(n_chunks, rpc).any(axis=1)
+
+
+def chunk_matched_counts(running, rpc: int, n_chunks: int):
+    """Per-chunk matched-lane counts, vectorised.
+
+    Under the partial-predicated-loads extension a predicated access's
+    DRAM transfer is sized by how many of the chunk's lanes the running
+    mask keeps, so the counts are part of the iteration's timing shape
+    (``chunk_dead_flags`` is exactly ``counts == 0``).
+    """
+    rows = running.shape[0]
+    padded = rpc * n_chunks
+    if padded != rows:
+        buf = np.zeros(padded, dtype=bool)
+        buf[:rows] = running
+    else:
+        buf = running
+    return buf.reshape(n_chunks, rpc).sum(axis=1)
 
 
 def compare_uop_count(predicate: Predicate) -> int:

@@ -48,6 +48,7 @@ from .base import (
     TraceRun,
     chunk_bounds,
     chunk_dead_flags,
+    chunk_matched_counts,
     flatten_runs,
     group_runs,
     lower_plan,
@@ -118,6 +119,17 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
         chunk_dead_flags(workload.running_mask(level), rpc, n_chunks)
         for level in range(levels - 1)
     ]
+    # Partial-predicated-loads extension: each predicated access's DRAM
+    # transfer is sized by the chunk's matched-lane count, so the counts
+    # join the iteration shape — replay then refuses or engages per
+    # fragment like any other data-shaped pass instead of the whole
+    # config bypassing the replay layer.
+    lane_counts = None
+    if workload.partial_lanes:
+        lane_counts = [
+            chunk_matched_counts(workload.running_mask(level), rpc, n_chunks)
+            for level in range(levels)
+        ]
 
     def block_chunks(b: int):
         first = b * block_width
@@ -127,14 +139,25 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
     def iteration_key(i: int):
         first_b = i * blocks_per_iter
         limit_b = min(first_b + blocks_per_iter, n_blocks)
-        shape = tuple(
-            tuple(
-                (stop - start,
-                 tuple(bool(level_flags[c]) for level_flags in squashes))
-                for c, start, stop in block_chunks(b)
+        if lane_counts is None:
+            shape = tuple(
+                tuple(
+                    (stop - start,
+                     tuple(bool(level_flags[c]) for level_flags in squashes))
+                    for c, start, stop in block_chunks(b)
+                )
+                for b in range(first_b, limit_b)
             )
-            for b in range(first_b, limit_b)
-        )
+        else:
+            shape = tuple(
+                tuple(
+                    (stop - start,
+                     tuple(bool(level_flags[c]) for level_flags in squashes),
+                     tuple(int(counts[c]) for counts in lane_counts))
+                    for c, start, stop in block_chunks(b)
+                )
+                for b in range(first_b, limit_b)
+            )
         return (shape, limit_b == n_blocks)
 
     def make_iteration(i):
@@ -245,6 +268,7 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
         regions_of=regions_of,
         bulk_of=bulk_of,
         fixed_regs=(induction,),
+        family=("hipecol", config.op_bytes, unroll),
     )
 
 

@@ -397,6 +397,7 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
             regions_of=regions_of,
             bulk_of=(lambda i0, key, _bits=running: make_bulk(i0, key[0], _bits)),
             fixed_regs=(induction,),
+            family=("hivecol", p, config.op_bytes, unroll),
         )
 
 

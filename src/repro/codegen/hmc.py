@@ -264,6 +264,7 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
                      make_bulk(i0, _dead, _bits)),
             fixed_regs=(induction,),
             key_ids=key_ids,
+            family=("hmccol", p, config.op_bytes, unroll),
         )
 
 

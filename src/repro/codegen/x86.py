@@ -245,6 +245,7 @@ def column_runs(workload: ScanWorkload, config: ScanConfig) -> Iterator[TraceRun
             regions_of=regions_of,
             fixed_regs=(induction,),
             key_ids=key_ids,
+            family=("x86col", p, config.op_bytes, unroll),
         )
 
 

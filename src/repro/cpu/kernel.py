@@ -29,9 +29,18 @@ uop, make the constant small:
   materialising a single iteration — which makes a pass fragmented
   into one-iteration runs by data-dependent skip flags as cheap as an
   unbroken stream;
-* anything the compiler cannot prove affine (fractional region phases,
-  shape drift between consecutive iterations, unknown uop classes)
-  falls back to the uncompiled path for the entire run.
+* shape-varying literals (pcs, address deltas, sizes, unit latencies)
+  are interned as bound parameters rather than baked into the source,
+  so same-structure shapes share one compiled code object — the
+  ``compile`` cost is paid once per body *structure*, not once per
+  run key (see ``code_cache_stats``);
+* fractional-stride bodies (a region advancing ``p/q`` bytes per
+  iteration, e.g. the x86 16-byte scan's half-byte-per-op mask bitmap)
+  compile as *super-iterations*: ``q`` consecutive iterations become
+  one generated-loop step whose address deltas are integral;
+* anything else the compiler cannot prove affine (shape drift between
+  consecutive iterations, unknown uop classes) falls back to the
+  uncompiled path for the entire run.
 
 Compilation is validated, not assumed: the three captured iterations
 are simulated through the ordinary :meth:`process` path (so capture is
@@ -43,6 +52,7 @@ paths are bit-identical by construction, and CI cross-checks them.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import List, Optional
 
@@ -87,12 +97,45 @@ CAPTURE_ITERATIONS = 3
 #: costs more than they will ever repay.
 MIN_COMPILE_BENEFIT = 24
 
+#: fractional-stride runs (a region advancing p/q bytes per iteration,
+#: e.g. the x86 16-byte scan whose mask bitmap grows half a byte per
+#: op) compile as *super-iterations* of q consecutive iterations — the
+#: per-super address deltas are integral, so the affine model applies
+#: unchanged.  q is the lcm of the region-stride denominators; capture
+#: burns ``CAPTURE_ITERATIONS * q`` iterations, so hopelessly long
+#: periods stay uncompiled.
+SUPER_MAX_PERIOD = 8
 
-#: compiled code objects keyed by generated source: identical shapes
-#: across machines/executions (experiment sweeps re-simulating the same
-#: workload) skip the expensive ``compile`` step and only re-``exec``
-#: against their own bound resources
+
+#: compiled code objects keyed by generated source: shapes whose bodies
+#: have the same *structure* — identical uop sequence, branch
+#: directions and register roles, regardless of pcs, address deltas,
+#: sizes or unit latencies (those are interned as ``_k*`` parameters,
+#: see ``_emit``) — share one code object, and experiment sweeps
+#: re-simulating the same workload skip the expensive ``compile`` step
+#: and only re-``exec`` against their own bound resources
 _CODE_CACHE: dict = {}
+
+#: code-object economics: ``compiled`` counts distinct generated
+#: sources that paid ``compile()``; ``shared`` counts shapes that found
+#: their source already cached (the literal parameterisation payoff)
+_CODE_STATS = {"compiled": 0, "shared": 0}
+
+#: profiler attribution: each distinct code object compiles under a
+#: numbered pseudo-filename (``<runkernel#N>``) and this registry maps
+#: that filename to every run key exec'd against it — shared code
+#: objects would otherwise merge all shapes into one opaque profile row
+_CODE_KEYS: dict = {}
+
+
+def code_cache_stats() -> dict:
+    """Snapshot of the shared-code-object counters (for tools/tests)."""
+    return dict(_CODE_STATS)
+
+
+def kernel_code_keys() -> dict:
+    """``{pseudo-filename: [run keys]}`` for profile attribution."""
+    return {filename: list(keys) for filename, keys in _CODE_KEYS.items()}
 
 
 def kernels_enabled() -> bool:
@@ -121,6 +164,14 @@ def _encode_reg(ids, j0: int, rpi: int, reg_start: int, window: int,
     return None
 
 
+def _stride_period(run) -> int:
+    """lcm of the run's region-stride denominators (1 = plain affine)."""
+    q = 1
+    for region in (run.regions or ()):
+        q = math.lcm(q, region.stride.denominator)
+    return q
+
+
 def _same_pim(a, b) -> bool:
     """Structural equality of two PIM payloads, addresses excluded."""
     return (
@@ -143,21 +194,27 @@ class RunShape:
     tuples — so every run instance of the shape shares one function.
     ``steps``/``strides``/``reg_base``/``region_map`` retain the
     structural record used to anchor new instances.
+
+    ``q`` is the super-iteration period: a fractional-stride shape
+    packs ``q`` consecutive run iterations into one generated-loop
+    step (``j0``, ``rpi`` and the address deltas are then all in super
+    units — ``rpi`` stores ``regs_per_iter * q``).
     """
 
     __slots__ = ("steps", "j0", "rpi", "reg_start", "reg_window",
-                 "fn", "n_steps",
+                 "fn", "n_steps", "q",
                  "region_map", "strides", "reg_base", "synth_ok")
 
     def __init__(self, steps: List[tuple], j0: int, rpi: int,
-                 reg_start: int, reg_window: int) -> None:
+                 reg_start: int, reg_window: int, q: int = 1) -> None:
         self.steps = steps
-        self.j0 = j0  # iteration the address bases were captured at
+        self.j0 = j0  # (super-)iteration the address bases were captured at
         self.rpi = rpi
         self.reg_start = reg_start
         self.reg_window = reg_window
         self.fn = None
         self.n_steps = len(steps)
+        self.q = q
         self.region_map: Optional[List[tuple]] = None
         self.strides: tuple = ()
         self.reg_base: Optional[int] = None
@@ -186,9 +243,13 @@ class RunInstance:
 # ---------------------------------------------------------------------------
 
 
-def compile_shape(execution, run, samples, j0: int) -> Optional[RunShape]:
-    """Build a :class:`RunShape` from three consecutive iterations.
+def compile_shape(execution, run, samples, j0: int,
+                  q: int = 1) -> Optional[RunShape]:
+    """Build a :class:`RunShape` from three consecutive (super-)iterations.
 
+    With ``q > 1`` each sample is the concatenation of ``q`` run
+    iterations starting at an aligned boundary, and ``j0`` counts in
+    super units; the affine validation below is otherwise identical.
     Returns None whenever any per-uop field fails the affine model —
     the caller then keeps the uncompiled path for this run.
     """
@@ -201,7 +262,7 @@ def compile_shape(execution, run, samples, j0: int) -> Optional[RunShape]:
 
     reg_start = RegAllocator.DEFAULT_START
     window = RegAllocator.DEFAULT_WINDOW
-    rpi = run.regs_per_iter
+    rpi = run.regs_per_iter * q
     fixed = frozenset(run.fixed_regs)
     units_table = execution.units._table
     steps: List[tuple] = []
@@ -259,11 +320,15 @@ def compile_shape(execution, run, samples, j0: int) -> Optional[RunShape]:
             aux = entry  # (pool, latency, occupancy)
         steps.append((op, ua.pc, ua.address, delta, ua.size,
                       tuple(srcs), dst, bool(ua.taken), aux))
-    shape = RunShape(steps, j0, rpi, reg_start, window)
+    shape = RunShape(steps, j0, rpi, reg_start, window, q)
     # An emitter bug must fail loudly here: a silent fallback would keep
     # results bit-identical while quietly losing the compiled path.
     _emit(shape, execution)
     _anchor_shape(shape, run)
+    if len(_CODE_KEYS) < 512:
+        keys = _CODE_KEYS.setdefault(shape.fn.__code__.co_filename, [])
+        if run.key not in keys:
+            keys.append(run.key)
     return shape
 
 
@@ -272,18 +337,19 @@ def compile_shape(execution, run, samples, j0: int) -> Optional[RunShape]:
 # ---------------------------------------------------------------------------
 
 
-def _anchor_address(address: int, delta: int, regions) -> Optional[tuple]:
+def _anchor_address(address: int, delta: int, regions,
+                    q: int = 1) -> Optional[tuple]:
     """(region index, offset from the region's start) for one address.
 
     ``address`` is the step's address at the run's first iteration.  A
-    step advancing by ``delta`` must anchor inside a region whose
-    per-iteration stride is exactly ``delta``; a static step
-    (``delta == 0``) outside every region anchors as ``(-1, address)``.
-    Returns None when no consistent anchor exists.
+    step advancing by ``delta`` per super-iteration must anchor inside
+    a region whose stride over ``q`` iterations is exactly ``delta``;
+    a static step (``delta == 0``) outside every region anchors as
+    ``(-1, address)``.  Returns None when no consistent anchor exists.
     """
     for index, region in enumerate(regions):
         if region.lo <= address < region.hi:
-            if region.stride == delta:
+            if region.stride * q == delta:
                 return index, address - region.lo
             return None
     if delta == 0:
@@ -304,12 +370,13 @@ def _anchor_shape(shape: RunShape, run) -> None:
     region_map: List[tuple] = []
     for step in shape.steps:
         op, _pc, a0, delta, _size, _srcs, _dst, _taken, aux = step
-        anchor = _anchor_address(a0 - j0 * delta, delta, run.regions)
+        anchor = _anchor_address(a0 - j0 * delta, delta, run.regions,
+                                 shape.q)
         if anchor is None:
             return
         if op == OP_PIM:
             pim_anchor = _anchor_address(aux[1] - j0 * aux[2], aux[2],
-                                         run.regions)
+                                         run.regions, shape.q)
             if pim_anchor is None:
                 return
         else:
@@ -470,6 +537,23 @@ def _emit(shape: RunShape, execution) -> None:
         binds["_pw"] = execution._pim_window
         binds["_sub"] = execution.pim_backend.submit_inst
     pools: dict = {}
+    lits: dict = {}
+
+    def K(value: int) -> str:
+        """Intern a shape-varying literal as a bound ``_k*`` parameter.
+
+        Keeping pcs, address deltas, sizes, masks and unit latencies
+        out of the source makes same-structure shapes emit
+        byte-identical code: ``compile`` runs once per *structure* and
+        every sibling shape re-``exec``s the cached code object
+        against its own literal bindings (``_CODE_CACHE``).
+        """
+        name = lits.get(value)
+        if name is None:
+            name = f"_k{len(lits)}"
+            lits[value] = name
+            binds[name] = value
+        return name
 
     def pool_names(pool) -> tuple:
         if id(pool) not in pools:
@@ -486,11 +570,15 @@ def _emit(shape: RunShape, execution) -> None:
                 offsets.add(encoded)
         if step[6] is not None and step[6] >= 0:
             offsets.add(step[6])
+    # Rotating-register locals are named positionally (R0, R1, ...) with
+    # the actual window offsets interned: the names encode only *which*
+    # register role a step touches, keeping the source structural.
+    reg_names = {off: f"R{i}" for i, off in enumerate(sorted(offsets))}
 
     def reg_expr(encoded: int) -> str:
         if encoded < 0:
-            return str(-encoded - 1)
-        return f"R{encoded}"
+            return K(-encoded - 1)  # loop-invariant id: shape-varying
+        return reg_names[encoded]
 
     L: List[str] = []
     body_mode = [False]
@@ -501,8 +589,7 @@ def _emit(shape: RunShape, execution) -> None:
         else:
             L.append(line)
 
-    emit("def _kernel(ex, djlo, djhi, sh0, AB, PB, {binds}):".format(
-        binds=", ".join(f"{name}={name}" for name in binds)))
+    emit("def _kernel(ex, djlo, djhi, sh0, AB, PB):")  # signature patched last
     emit("    ff = ex._fetch_floor")
     emit("    bw = ex._branch_resolve_watermark")
     emit("    lp = ex._last_pim_issue")
@@ -529,19 +616,19 @@ def _emit(shape: RunShape, execution) -> None:
     emit("    for dj in range(djlo, djhi):")
     body_mode[0] = True
     if offsets:
-        emit(f"    sh = (sh0 + dj * {shape.rpi}) % {window}")
+        emit(f"    sh = (sh0 + dj * {K(shape.rpi)}) % {window}")
     for off in sorted(offsets):
-        emit(f"    R{off} = {start} + (({off} + sh) % {window})")
+        emit(f"    {reg_names[off]} = {start} + (({K(off)} + sh) % {window})")
     body_mode[0] = False
 
     def addr_expr(k: int, delta: int) -> str:
-        return f"AB[{k}]" + (f" + dj * {delta}" if delta else "")
+        return f"AB[{k}]" + (f" + dj * {K(delta)}" if delta else "")
 
     def emit_acquire(lst: str, entries: int, at: str, release: str,
                      out: Optional[str]) -> None:
         """Inline OccupancyResource.acquire on the pre-bound heap."""
         emit(f"    while {lst} and {lst}[0] <= {at}: _hpo({lst})")
-        emit(f"    if len({lst}) < {entries}: g = {at}")
+        emit(f"    if len({lst}) < {K(entries)}: g = {at}")
         emit(f"    else: g = _hpo({lst})")
         emit(f"    _hpu({lst}, {release} if {release} > g else g)")
         if out is not None:
@@ -556,7 +643,7 @@ def _emit(shape: RunShape, execution) -> None:
         epilogue does it).
         """
         res = slotted[p]
-        mask = res._mask
+        mask = K(res._mask)
         emit(f"    w = {in_expr}")
         emit(f"    if w < {p}h: w = {p}h")
         emit(f"    if w > {p}h + {mask}:")
@@ -566,13 +653,13 @@ def _emit(shape: RunShape, execution) -> None:
              f"{p}r = _{p}._rot; {p}k = _{p}._peak")
         emit("    else:")
         emit(f"        i = (w + {p}r) & {mask}")
-        emit(f"        while {p}c[i] >= {res.slots_per_cycle}:")
+        emit(f"        while {p}c[i] >= {K(res.slots_per_cycle)}:")
         emit("            w += 1")
         emit(f"            i = (w + {p}r) & {mask}")
         emit(f"        {p}c[i] += 1")
         emit(f"        if w > {p}k: {p}k = w")
-        emit(f"        if w - {p}h > {2 * res._window}:")
-        emit(f"            _{p}._advance(w - {res._window})")
+        emit(f"        if w - {p}h > {K(2 * res._window)}:")
+        emit(f"            _{p}._advance(w - {K(res._window)})")
         emit(f"            {p}h = _{p}._horizon")
         if out != "w":
             emit(f"    {out} = w")
@@ -580,12 +667,12 @@ def _emit(shape: RunShape, execution) -> None:
     def emit_occupy(names: tuple, at: str, occupancy: int) -> None:
         pool, units, n = names
         emit(f"    c = {pool}.cursor")
-        emit(f"    u = {units}[c % {n}]")
+        emit(f"    u = {units}[c % {K(n)}]")
         emit(f"    {pool}.cursor = c + 1")
         emit("    st = u._next_free")
         emit(f"    if {at} > st: st = {at}")
-        emit(f"    u._next_free = st + {occupancy}")
-        emit(f"    u.busy_cycles += {occupancy}")
+        emit(f"    u._next_free = st + {K(occupancy)}")
+        emit(f"    u.busy_cycles += {K(occupancy)}")
 
     body_mode[0] = True
     pim_ordinal = 0
@@ -596,13 +683,13 @@ def _emit(shape: RunShape, execution) -> None:
         if op == OP_BRANCH:
             emit_reserve("bs", "f", "bf")
             emit("    if bf > f: f = bf")
-        emit(f"    d = f + {fe}")
-        emit(f"    rs = ix % {rob_len}")
-        emit(f"    if ix >= {rob_len}:")
+        emit(f"    d = f + {K(fe)}")
+        emit(f"    rs = ix % {K(rob_len)}")
+        emit(f"    if ix >= {K(rob_len)}:")
         emit("        h = rob[rs]")
         emit("        if h > d:")
         emit("            d = h")
-        emit(f"            fl = d - {fe}")
+        emit(f"            fl = d - {K(fe)}")
         emit("            if fl > ff: ff = fl")
         # ---- register dependences ----
         emit("    rdy = d")
@@ -615,7 +702,7 @@ def _emit(shape: RunShape, execution) -> None:
             names = pool_names(pool)
             emit_reserve("qs", "rdy", "iss")
             emit_occupy(names, "iss", occupancy)
-            emit(f"    cp = st + {latency}")
+            emit(f"    cp = st + {K(latency)}")
             emit("    nal += 1")
         elif op == OP_LOAD:
             pool, latency, occupancy = aux
@@ -625,23 +712,23 @@ def _emit(shape: RunShape, execution) -> None:
             emit_occupy(names, "iss", occupancy)
             emit(f"    a = {addr_expr(k, delta)}")
             emit("    fw = sfg(a)")
-            emit(f"    if fw is not None and fw[0] >= {size}:")
+            emit(f"    if fw is not None and fw[0] >= {K(size)}:")
             emit("        t = fw[1]")
             emit("        cp = (st if st > t else t) + 1")
             emit("        nfw += 1")
             if inline_l1:
                 span = size if size > 1 else 1
                 emit("    else:")
-                emit(f"        ln = a - a % {line_bytes}")
-                emit(f"        if (a + {span - 1}) - ln < {line_bytes}:")
-                emit(f"            cp = _l1a(st, ln, _AL, {pc})")
+                emit(f"        ln = a - a % {K(line_bytes)}")
+                emit(f"        if (a + {K(span - 1)}) - ln < {K(line_bytes)}:")
+                emit(f"            cp = _l1a(st, ln, _AL, {K(pc)})")
                 emit("            if cp < st: cp = st")
                 emit("            nhl += 1")
                 emit("        else:")
-                emit(f"            cp = _hl(st, a, {size}, {pc})")
+                emit(f"            cp = _hl(st, a, {K(size)}, {K(pc)})")
             else:
                 emit("    else:")
-                emit(f"        cp = _hl(st, a, {size}, {pc})")
+                emit(f"        cp = _hl(st, a, {K(size)}, {K(pc)})")
             emit_acquire("mrl", core.mob_read_entries, "st", "cp", None)
             emit("    nld += 1")
         elif op == OP_STORE:
@@ -656,37 +743,37 @@ def _emit(shape: RunShape, execution) -> None:
             names = pool_names(pool)
             emit_reserve("qs", "rdy", "iss")
             emit_occupy(names, "iss", occupancy)
-            emit(f"    cp = st + {latency}")
+            emit(f"    cp = st + {K(latency)}")
             emit("    if cp > bw: bw = cp")
             # Inlined TwoLevelGAs.update with the direction a constant:
             # the PHT/BTB containers are baked in, the global history
             # lives in a loop local, counters batch like the others.
             pht_mask = predictor._pht_mask
             hist_mask = predictor._history_mask
-            emit(f"    pi = (({pc << 2}) ^ hist) & {pht_mask}")
+            emit(f"    pi = ({K(pc << 2)} ^ hist) & {K(pht_mask)}")
             emit("    ctr = _pht[pi]")
             if taken:
                 emit("    ok = ctr >= 2")
-                emit("    if {pc} in _btb:".format(pc=pc))
-                emit(f"        _btb.move_to_end({pc})")
+                emit(f"    if {K(pc)} in _btb:")
+                emit(f"        _btb.move_to_end({K(pc)})")
                 emit("    else:")
                 emit("        ok = False")
                 emit("        nbm += 1")
-                emit(f"        _btb[{pc}] = {pc}")
-                emit(f"        while len(_btb) > {predictor.config.btb_entries}: "
+                emit(f"        _btb[{K(pc)}] = {K(pc)}")
+                emit(f"        while len(_btb) > {K(predictor.config.btb_entries)}: "
                      "_btb.popitem(last=False)")
                 emit("    if ctr < 3: _pht[pi] = ctr + 1")
-                emit(f"    hist = ((hist << 1) | 1) & {hist_mask}")
+                emit(f"    hist = ((hist << 1) | 1) & {K(hist_mask)}")
             else:
                 emit("    ok = ctr < 2")
                 emit("    if ctr > 0: _pht[pi] = ctr - 1")
-                emit(f"    hist = (hist << 1) & {hist_mask}")
+                emit(f"    hist = (hist << 1) & {K(hist_mask)}")
             emit("    npr += 1")
             emit("    if ok:")
             emit("        nco += 1")
             emit("    else:")
             emit("        nmi += 1")
-            emit(f"        rd = cp + {core.mispredict_penalty}")
+            emit(f"        rd = cp + {K(core.mispredict_penalty)}")
             emit("        if rd > ff: ff = rd")
             emit("        nrd += 1")
             if taken:
@@ -706,12 +793,12 @@ def _emit(shape: RunShape, execution) -> None:
             emit_reserve("qs", "e", "e")
             pw_entries = execution._pim_window.num_entries
             emit("    while pwl and pwl[0] <= e: _hpo(pwl)")
-            emit(f"    if len(pwl) >= {pw_entries}:")
+            emit(f"    if len(pwl) >= {K(pw_entries)}:")
             emit("        wf = pwl[0]")
             emit("        if wf > e: e = wf")
             emit_occupy(names, "e", occupancy)
             emit(f"    {name}.address = PB[{pim_ordinal}]"
-                 + (f" + dj * {pdelta}" if pdelta else ""))
+                 + (f" + dj * {K(pdelta)}" if pdelta else ""))
             emit(f"    cp, rl = _sub({name}, st)")
             emit_acquire("pwl", pw_entries, "st", "rl", None)
             emit("    lp = st")
@@ -729,18 +816,18 @@ def _emit(shape: RunShape, execution) -> None:
             emit(f"    a = {addr_expr(k, delta)}")
             if inline_l1:
                 span = size if size > 1 else 1
-                emit(f"    ln = a - a % {line_bytes}")
-                emit(f"    if (a + {span - 1}) - ln < {line_bytes}:")
-                emit(f"        ac = _l1a(cm, ln, _AS, {pc})")
+                emit(f"    ln = a - a % {K(line_bytes)}")
+                emit(f"    if (a + {K(span - 1)}) - ln < {K(line_bytes)}:")
+                emit(f"        ac = _l1a(cm, ln, _AS, {K(pc)})")
                 emit("        if ac < cm: ac = cm")
                 emit("        nhs += 1")
                 emit("    else:")
-                emit(f"        ac = _hs(cm, a, {size}, {pc})")
+                emit(f"        ac = _hs(cm, a, {K(size)}, {K(pc)})")
             else:
-                emit(f"    ac = _hs(cm, a, {size}, {pc})")
+                emit(f"    ac = _hs(cm, a, {K(size)}, {K(pc)})")
             emit_acquire("mwl", core.mob_write_entries, "iss", "ac", None)
-            emit(f"    sf[a] = ({size}, cp)")
-            emit(f"    if len(sf) > {core.mob_write_entries}: "
+            emit(f"    sf[a] = ({K(size)}, cp)")
+            emit(f"    if len(sf) > {K(core.mob_write_entries)}: "
                  "sf.pop(next(iter(sf)))")
         if dst is not None:
             emit(f"    rr[{reg_expr(dst)}] = cp")
@@ -770,14 +857,22 @@ def _emit(shape: RunShape, execution) -> None:
     emit("    if nrd: ex._n_redirects += nrd")
     emit("    if nfw: ex._n_forwards += nfw")
 
+    # Every bound object and interned literal becomes a default
+    # argument (fast locals in the generated body); the signature is
+    # patched last so binds added during body emission are included.
+    L[0] = ("def _kernel(ex, djlo, djhi, sh0, AB, PB, "
+            + ", ".join(f"{name}={name}" for name in binds) + "):")
     namespace = dict(binds)
     source = "\n".join(L)
     code = _CODE_CACHE.get(source)
     if code is None:
-        code = compile(source, "<runkernel>", "exec")
+        code = compile(source, f"<runkernel#{_CODE_STATS['compiled']}>", "exec")
+        _CODE_STATS["compiled"] += 1
         if len(_CODE_CACHE) > 256:  # runaway-shape backstop
             _CODE_CACHE.clear()
         _CODE_CACHE[source] = code
+    else:
+        _CODE_STATS["shared"] += 1
     exec(code, namespace)  # noqa: S102 - source is built from internal ints
     shape.fn = namespace["_kernel"]
 
@@ -798,7 +893,7 @@ class KernelRunner:
     """
 
     __slots__ = ("execution", "run", "instance", "_shape", "_capturing",
-                 "_samples", "_expect_j")
+                 "_samples", "_expect_j", "_q")
 
     def __init__(self, execution, run) -> None:
         self.execution = execution
@@ -806,20 +901,34 @@ class KernelRunner:
         self.instance: Optional[RunInstance] = None
         self._shape: Optional[RunShape] = None
         self._capturing = False
+        self._q = 1
         if kernels_enabled() and run.key is not None:
+            q = _stride_period(run)
+            self._q = q
             shape = execution.kernel_shapes.get(run.key)
             self._shape = shape
             if shape is not None:
-                self.instance = synthesize_instance(shape, run)
-                self._capturing = self.instance is None
-            else:
+                if shape.q == 1:
+                    self.instance = synthesize_instance(shape, run)
+                    self._capturing = self.instance is None
+                else:
+                    # A fractional region's sub-byte phase is invisible
+                    # in its declared (lo, hi, stride): two runs with
+                    # identical regions can interleave byte addresses
+                    # differently.  Region synthesis is therefore
+                    # unsound for q > 1 — re-anchor from one observed
+                    # super-sample instead (the capture path below).
+                    self._capturing = True
+            elif q <= SUPER_MAX_PERIOD:
                 # Compile only when the shape will repay the code
                 # generation — enough iterations left in this run, or
-                # enough short runs of this key seen before.
+                # enough short runs of this key seen before.  Capture
+                # burns CAPTURE_ITERATIONS * q iterations.
                 pending = execution.kernel_pending
                 seen = pending.get(run.key, 0) + run.count
-                if (run.count >= MIN_KERNEL_ITERATIONS
-                        and seen - CAPTURE_ITERATIONS >= MIN_COMPILE_BENEFIT):
+                if (run.count >= MIN_KERNEL_ITERATIONS * q
+                        and seen - CAPTURE_ITERATIONS * q
+                        >= MIN_COMPILE_BENEFIT):
                     self._capturing = True
                 else:
                     pending[run.key] = seen
@@ -840,12 +949,38 @@ class KernelRunner:
             total += self.iteration(j)
             j += 1
             instance = self.instance
-        if j < jhi:
-            shape = instance.shape
+        if j >= jhi:
+            return total
+        shape = instance.shape
+        q = shape.q
+        if q == 1:
             base = instance.j0
             shape.fn(self.execution, j - base, jhi - base, instance.sh0,
                      instance.abases, instance.pbases)
-            total += (jhi - j) * shape.n_steps
+            return total + (jhi - j) * shape.n_steps
+        # Super-iteration stepping: the generated body covers q
+        # consecutive iterations, so a misaligned head and the
+        # sub-super tail run uncompiled around one generated call.
+        execution = self.execution
+        process = execution.process
+        base = instance.j0 * q
+        while j < jhi and (j - base) % q:
+            for uop in self.run.make(j):
+                process(uop)
+                total += 1
+            j += 1
+        n_super = (jhi - j) // q
+        if n_super > 0:
+            djlo = (j - base) // q
+            shape.fn(execution, djlo, djlo + n_super, instance.sh0,
+                     instance.abases, instance.pbases)
+            j += n_super * q
+            total += n_super * shape.n_steps
+        while j < jhi:
+            for uop in self.run.make(j):
+                process(uop)
+                total += 1
+            j += 1
         return total
 
     def iteration(self, j: int) -> int:
@@ -853,10 +988,21 @@ class KernelRunner:
         instance = self.instance
         if instance is not None:
             shape = instance.shape
-            dj = j - instance.j0
-            shape.fn(self.execution, dj, dj + 1, instance.sh0,
-                     instance.abases, instance.pbases)
-            return shape.n_steps
+            if shape.q == 1:
+                dj = j - instance.j0
+                shape.fn(self.execution, dj, dj + 1, instance.sh0,
+                         instance.abases, instance.pbases)
+                return shape.n_steps
+            # Fractional-stride shapes step q iterations per generated
+            # call; single-iteration requests take the uncompiled body
+            # (bulk spans go through :meth:`iterations`).
+            execution = self.execution
+            process = execution.process
+            uops = 0
+            for uop in self.run.make(j):
+                process(uop)
+                uops += 1
+            return uops
         execution = self.execution
         process = execution.process
         if not self._capturing:
@@ -871,7 +1017,27 @@ class KernelRunner:
             process(uop)
         if self._shape is not None:
             # The shape exists but could not be synthesised from the
-            # run's declared anchors: one iteration re-anchors it.
+            # run's declared anchors: one (super-)iteration re-anchors
+            # it with the *observed* addresses, which also recovers the
+            # sub-byte phase a fractional region cannot declare.
+            if self._q > 1:
+                if self._expect_j is not None and j != self._expect_j:
+                    self._samples = []
+                if self._samples or j % self._q == 0:
+                    self._samples.append(sample)
+                self._expect_j = j + 1
+                if len(self._samples) < self._q:
+                    return len(sample)
+                merged = [uop for it in self._samples for uop in it]
+                self._samples = []
+                # The observed bases carry whatever phase this run has;
+                # the per-super deltas are phase-independent, so one
+                # shape serves every phase.  A structural mismatch
+                # leaves the run uncompiled (shape kept for others).
+                self.instance = rebase_instance(
+                    self._shape, self.run, merged, (j + 1 - self._q) // self._q)
+                self._capturing = False
+                return len(sample)
             self.instance = rebase_instance(self._shape, self.run, sample, j)
             if self.instance is not None:
                 self._capturing = False
@@ -891,10 +1057,23 @@ class KernelRunner:
                 return len(sample)
         if self._expect_j is not None and j != self._expect_j:
             self._samples = []  # capture needs consecutive iterations
-        self._samples.append(sample)
+        q = self._q
+        if self._samples or j % q == 0:
+            # super-samples must start at an aligned boundary (no-op
+            # condition for q == 1: every iteration is aligned)
+            self._samples.append(sample)
         self._expect_j = j + 1
-        if len(self._samples) == CAPTURE_ITERATIONS:
-            shape = compile_shape(execution, self.run, self._samples, j - 2)
+        if len(self._samples) == CAPTURE_ITERATIONS * q:
+            if q == 1:
+                samples = self._samples
+            else:
+                samples = [
+                    [uop for it in self._samples[s * q:(s + 1) * q]
+                     for uop in it]
+                    for s in range(CAPTURE_ITERATIONS)
+                ]
+            shape = compile_shape(execution, self.run, samples,
+                                  (j + 1) // q - CAPTURE_ITERATIONS, q)
             self._samples = []
             self._capturing = False
             if shape is not None:

@@ -74,7 +74,23 @@ class HiveEngine:
         self._block_watermark = 0  # completion of everything in the block
         self.last_completion = 0  # engine drain time (run end accounting)
         self.max_op_bytes = max(config.op_sizes)
+        # Deferred counters (a StatGroup dict update per instruction is
+        # measurable on million-uop traces); folded in by _flush_counts.
         self._n_instructions = 0
+        self._n_locks = 0
+        self._n_unlocks = 0
+        self._n_loads = 0
+        self._n_squashed_loads = 0
+        self._n_partial_loads = 0
+        self._n_stores = 0
+        self._n_squashed_stores = 0
+        self._n_pack = 0
+        self._n_unpack = 0
+        self._n_alu = 0
+        self._n_alu_lanes = 0
+        self._n_bytes_loaded = 0
+        self._n_bytes_stored = 0
+        self._n_bytes_skipped = 0
         self.stats.register_flush(self._flush_counts)
         # Dense handler table indexed by PimOp.index (built once; enum
         # hashing per instruction is measurable on million-uop traces).
@@ -94,9 +110,27 @@ class HiveEngine:
             self._handlers[op.index] = handler
 
     def _flush_counts(self) -> None:
-        if self._n_instructions:
-            self.stats.bump("instructions", self._n_instructions)
-            self._n_instructions = 0
+        for attr, counter in (
+            ("_n_instructions", "instructions"),
+            ("_n_locks", "locks"),
+            ("_n_unlocks", "unlocks"),
+            ("_n_loads", "loads"),
+            ("_n_squashed_loads", "squashed_loads"),
+            ("_n_partial_loads", "partial_loads"),
+            ("_n_stores", "stores"),
+            ("_n_squashed_stores", "squashed_stores"),
+            ("_n_pack", "pack_ops"),
+            ("_n_unpack", "unpack_ops"),
+            ("_n_alu", "alu_ops"),
+            ("_n_alu_lanes", "alu_lanes"),
+            ("_n_bytes_loaded", "dram_bytes_loaded"),
+            ("_n_bytes_stored", "dram_bytes_stored"),
+            ("_n_bytes_skipped", "dram_bytes_skipped"),
+        ):
+            value = getattr(self, attr)
+            if value:
+                self.stats.bump(counter, value)
+                setattr(self, attr, 0)
 
     # -- latency helpers ----------------------------------------------------
 
@@ -133,8 +167,10 @@ class HiveEngine:
         gate = max(start, predicate.ready) + self.PRED_CHECK_LATENCY
         lanes = inst.size // inst.lane_bytes if inst.size else predicate.lane_match.size
         flags = predicate.lane_match[:lanes]
+        # The mask is consumed before any register write can clobber the
+        # predicate's flags, so no defensive copy is needed.
         wanted = flags if inst.pred_expect else ~flags
-        return gate, wanted.copy()
+        return gate, wanted
 
     # -- the sequencer -------------------------------------------------------
 
@@ -169,7 +205,7 @@ class HiveEngine:
         granted = max(dispatch, self._lock_free)
         completion = self._advance(granted)
         self._block_watermark = completion
-        self.stats.bump("locks")
+        self._n_locks += 1
         return completion
 
     def _do_unlock(self, inst: PimInstruction, dispatch: int) -> int:
@@ -182,7 +218,7 @@ class HiveEngine:
         drained = self._advance(dispatch)
         completion = max(drained, self._block_watermark)
         self._lock_free = drained
-        self.stats.bump("unlocks")
+        self._n_unlocks += 1
         return completion
 
     def _do_load(self, inst: PimInstruction, dispatch: int) -> int:
@@ -202,8 +238,8 @@ class HiveEngine:
             footprint = inst.size
         if wanted is not None and not wanted.any():
             # Fully squashed: no DRAM access at all.
-            self.stats.bump("squashed_loads")
-            self.stats.bump("dram_bytes_skipped", footprint)
+            self._n_squashed_loads += 1
+            self._n_bytes_skipped += footprint
             done = start + self.SQUASH_LATENCY
             self.registers.write(
                 inst.dst_reg, np.zeros(footprint, dtype=np.uint8), inst.lane_bytes, done
@@ -214,8 +250,8 @@ class HiveEngine:
             # Extension: gather only the matching lanes' bytes.
             matched = int(wanted.sum())
             effective = max(8, matched * inst.lane_bytes)
-            self.stats.bump("partial_loads")
-            self.stats.bump("dram_bytes_skipped", footprint - effective)
+            self._n_partial_loads += 1
+            self._n_bytes_skipped += footprint - effective
         else:
             effective = footprint
         done = self.hmc.vault_access(start, inst.address, effective, is_write=False)
@@ -229,8 +265,8 @@ class HiveEngine:
             if wanted is not None:
                 values[~wanted] = 0  # unloaded lanes carry no data
         self.registers.write(inst.dst_reg, values, inst.lane_bytes, done)
-        self.stats.bump("loads")
-        self.stats.bump("dram_bytes_loaded", effective)
+        self._n_loads += 1
+        self._n_bytes_loaded += effective
         return done
 
     def _do_store(self, inst: PimInstruction, dispatch: int) -> int:
@@ -250,8 +286,8 @@ class HiveEngine:
         self._check_size(nbytes)
 
         if wanted is not None and not wanted.any():
-            self.stats.bump("squashed_stores")
-            self.stats.bump("dram_bytes_skipped", nbytes)
+            self._n_squashed_stores += 1
+            self._n_bytes_skipped += nbytes
             return start + self.SQUASH_LATENCY
         if wanted is not None and inst.op == PimOp.PIM_STORE:
             # Predicated store: only the matched lanes' values land.
@@ -262,7 +298,7 @@ class HiveEngine:
             if self.config.partial_predicated_loads:
                 matched = int(wanted.sum())
                 effective = max(8, matched * inst.lane_bytes)
-                self.stats.bump("dram_bytes_skipped", nbytes - effective)
+                self._n_bytes_skipped += nbytes - effective
             else:
                 effective = nbytes
         else:
@@ -273,8 +309,8 @@ class HiveEngine:
         if self._invalidate_range is not None:
             # In-memory stores bypass the processor caches.
             self._invalidate_range(inst.address, nbytes)
-        self.stats.bump("stores")
-        self.stats.bump("dram_bytes_stored", effective)
+        self._n_stores += 1
+        self._n_bytes_stored += effective
         # Stores are posted: the source register frees once the data is
         # handed to the vault queue, so the block does not wait for the
         # DRAM write to land — but the run's drain time does.
@@ -311,9 +347,9 @@ class HiveEngine:
             byte_end = (bit_offset + lanes + 7) // 8 * 8
             bits[bit_offset + lanes : byte_end] = False
             accumulator.value[:] = np.packbits(bits, bitorder="little")
-        accumulator.lane_match[:] = accumulator.lanes(4) != 0
+        np.not_equal(accumulator.value.view(np.int32), 0, out=accumulator.lane_match)
         accumulator.ready = max(accumulator.ready, done)
-        self.stats.bump("pack_ops")
+        self._n_pack += 1
         self.registers._n_writes += 1
         return done
 
@@ -329,7 +365,7 @@ class HiveEngine:
             _LANE_DTYPES[inst.lane_bytes]
         )
         self.registers.write(inst.dst_reg, values, inst.lane_bytes, done)
-        self.stats.bump("unpack_ops")
+        self._n_unpack += 1
         return done
 
     def _do_alu(self, inst: PimInstruction, dispatch: int) -> int:
@@ -359,9 +395,11 @@ class HiveEngine:
         if wanted is not None:
             result = result.copy()
             result[~wanted[: result.size]] = 0  # predicated-off lanes produce 0
-        self.registers.write(inst.dst_reg, result.astype(lane_dtype), inst.lane_bytes, done)
-        self.stats.bump("alu_ops")
-        self.stats.bump("alu_lanes", result.size)
+        self.registers.write(
+            inst.dst_reg, result.astype(lane_dtype, copy=False), inst.lane_bytes, done
+        )
+        self._n_alu += 1
+        self._n_alu_lanes += result.size
         return done
 
 
@@ -383,6 +421,13 @@ class HiveBackend(PimBackend):
             # instructions the core may stream into the cube.
             max_outstanding = engine.config.instruction_buffer_entries
         self.max_outstanding = max_outstanding
+        self._n_sent = 0
+        self.stats.register_flush(self._flush_counts)
+
+    def _flush_counts(self) -> None:
+        if self._n_sent:
+            self.stats.bump("instructions_sent", self._n_sent)
+            self._n_sent = 0
 
     def submit_inst(self, inst: PimInstruction, cycle: int) -> tuple:
         """One instruction packet out; completion depends on returns_value.
@@ -397,7 +442,7 @@ class HiveBackend(PimBackend):
         request = self.hmc.links.send_request(cycle, payload_bytes=0)
         completion = self.engine.execute(inst, request.arrival)
         release = self.engine._seq_time  # the sequencer consumed the entry
-        self.stats.bump("instructions_sent")
+        self._n_sent += 1
         if inst.returns_value:
             lanes = max(1, inst.size // inst.lane_bytes) if inst.size else 1
             payload = max(2, ceil_div(lanes, 8))

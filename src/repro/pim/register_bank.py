@@ -21,6 +21,8 @@ import numpy as np
 from ..common.config import PimLogicConfig
 from ..common.stats import StatGroup
 
+_LANE_DTYPES = {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}
+
 
 class PimRegister:
     """One vector register: value, per-lane match flags, interlock time."""
@@ -38,8 +40,7 @@ class PimRegister:
 
     def lanes(self, lane_bytes: int) -> np.ndarray:
         """The value viewed as signed integer lanes of ``lane_bytes``."""
-        dtype = {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}[lane_bytes]
-        return self.value.view(dtype)
+        return self.value.view(_LANE_DTYPES[lane_bytes])
 
     def set_lanes(self, data: np.ndarray, lane_bytes: int) -> None:
         """Overwrite value lanes and refresh the per-lane match flags."""
@@ -49,8 +50,7 @@ class PimRegister:
         self.value[: raw.size] = raw
         if raw.size < self.nbytes:
             self.value[raw.size :] = 0
-        flags = self.lanes(4) != 0
-        self.lane_match[:] = flags
+        np.not_equal(self.value.view(np.int32), 0, out=self.lane_match)
 
 
 class PimRegisterBank:

@@ -74,15 +74,11 @@ class Machine:
 
         if exact is None:
             exact = not replay_enabled()
-        partial_loads = (self.engine is not None
-                         and self.engine.config.partial_predicated_loads)
-        if exact or self.hierarchy.directory is not None \
-                or partial_loads:
-            # partial_predicated_loads makes a predicated load's DRAM
-            # transfer size a per-chunk function of the data; the run
-            # shape (squash flags) does not capture matched-lane counts,
-            # so the replay layer cannot prove periodicity for that
-            # extension — keep it on the exact path outright.
+        if exact or self.hierarchy.directory is not None:
+            # (partial_predicated_loads used to force this path too; the
+            # run-shape key now carries per-chunk matched-lane counts,
+            # so replay sees the full timing shape and refuses or
+            # engages per fragment like any other data-shaped pass.)
             execution = self.core.execution()
             consume_runs(execution, runs)
             return self._finish(execution.result())

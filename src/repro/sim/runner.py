@@ -87,9 +87,11 @@ def build_workload(
     nsm = NsmTable(machine.image, data) if layout == "nsm" else None
     dsm = DsmTable(machine.image, data) if layout == "dsm" else None
     buffers = allocate_scan_buffers(machine.image, data.rows)
+    partial = (machine.engine is not None
+               and machine.engine.config.partial_predicated_loads)
     return ScanWorkload(
         data=data, predicates=tuple(predicates), buffers=buffers,
-        nsm=nsm, dsm=dsm, plan=plan,
+        nsm=nsm, dsm=dsm, plan=plan, partial_lanes=partial,
     )
 
 

@@ -108,3 +108,42 @@ def test_synthesised_runs_skip_capture():
                 break
     assert reused is not None, "no run could be synthesised from its shape"
     assert reused.instance.j0 == 0
+
+
+def test_fractional_stride_shapes_compile_as_super_iterations():
+    """x86's 16 B scan advances its mask bitmap half a byte per op: the
+    region stride is fractional, so the shape compiles as q=2 super-
+    iterations — and must stay bit-identical to the uncompiled path."""
+    scan = ScanConfig("dsm", "column", 16, 1)
+    compiled = run_scan("x86", scan, rows=ROWS, exact=True)
+    execution, __ = _drive("x86", 16)
+    supers = [s for s in execution.kernel_shapes.values() if s.q > 1]
+    assert supers, "no fractional-stride shape compiled with q > 1"
+    assert all(s.q == 2 for s in supers)
+    import os
+    os.environ["REPRO_KERNEL"] = "0"
+    try:
+        uncompiled = run_scan("x86", scan, rows=ROWS, exact=True)
+    finally:
+        del os.environ["REPRO_KERNEL"]
+    assert _fingerprint(compiled) == _fingerprint(uncompiled)
+
+
+def test_same_structure_shapes_share_code_objects():
+    """Shape-varying literals are interned as parameters, so shapes with
+    the same body structure re-exec one compiled code object instead of
+    paying ``compile`` each (the sweep-scaling fix)."""
+    from repro.cpu.kernel import code_cache_stats
+
+    execution, __ = _drive("x86", 16)
+    n_shapes = len(execution.kernel_shapes)
+    assert n_shapes > 0
+    # A fresh machine re-simulating the same workload emits the same
+    # sources: every shape must find its code object already cached.
+    before = code_cache_stats()
+    _drive("x86", 16)
+    after = code_cache_stats()
+    assert after["compiled"] == before["compiled"], (
+        "re-simulating an identical workload paid compile() again"
+    )
+    assert after["shared"] - before["shared"] >= n_shapes

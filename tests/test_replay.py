@@ -408,7 +408,12 @@ def test_replay_guards_hipe_q6_squashes():
     refuse (the squash pattern never repeats) and stay bit-identical."""
     stats = _engagement_point("hipe", 256, 131_072)
     assert stats.runs_converged == 0  # aperiodic predicate stream
-    assert stats.runs_seen > 1  # the squash flags split the runs
+    # The squash flags split the passes into sub-512-iteration keyed
+    # runs, which the fragment engine tracks (and, on random Q6 data,
+    # honestly refuses to stitch: entry signatures never recur).
+    assert stats.fragments_seen > 1
+    assert stats.fragments_stitched == 0
+    assert stats.fragment_divergence == 0
 
 
 def test_hipe_run_keys_carry_squash_flags():
@@ -480,3 +485,138 @@ def test_exact_argument_overrides_env_both_directions(monkeypatch):
     forced_exact = run_scan("hive", scan, rows=1024, exact=True)
     assert forced_exact.replay is None
     assert result_fingerprint(forced_replay) == result_fingerprint(forced_exact)
+
+
+# ---------------------------------------------------------------------------
+# fragment-stitched replay: memoised fragment transfer functions
+# ---------------------------------------------------------------------------
+#
+# Data-fragmented passes (HIPE's squash flags split every pass into
+# short keyed runs) can never converge periodically; the fragment
+# engine instead memoises each fragment's observed transfer function
+# keyed by (flag word, count, entry signature) and fast-forwards only
+# recurring, verified boundary states.  The contract is the same as
+# periodic replay: bit-identical or honest refusal.
+
+
+def _cyclic_table(plan, period, reps, seed=1994):
+    """Tile a ``period``-row table so flag words and boundary states recur."""
+    import numpy as np
+
+    from repro.db.datagen import TableData
+
+    base = generate_table(plan.table, period, seed)
+    columns = {name: np.tile(col, reps) for name, col in base.columns.items()}
+    return TableData(rows=period * reps, columns=columns, schema=base.schema)
+
+
+def _fragment_point(arch, op, plan, rows, data=None):
+    from repro.common.config import reduced_cube_config
+
+    scan = ScanConfig("dsm", "column", op, 1)
+    config = reduced_cube_config(arch)
+    replayed = run_scan(arch, scan, rows=rows, data=data, plan=plan,
+                        config=config, exact=False)
+    exact = run_scan(arch, scan, rows=rows, data=data, plan=plan,
+                     config=config, exact=True)
+    assert result_fingerprint(replayed) == result_fingerprint(exact)
+    return replayed.replay
+
+
+@pytest.mark.parametrize("arch,op", [("x86", 64), ("hmc", 256),
+                                     ("hive", 256), ("hipe", 256)])
+@pytest.mark.parametrize("plan_name", ["q6", "sel"])
+def test_fragment_bit_identity_reduced_cube(arch, op, plan_name):
+    """Whatever the fragment engine does on each arch — stitch (HIPE),
+    learn without trusting, or give up — results stay bit-identical."""
+    from repro.db.workloads import selectivity_scan_plan
+
+    plan = q6_select_plan() if plan_name == "q6" else selectivity_scan_plan(0.2)
+    stats = _fragment_point(arch, op, plan, rows=32_768)
+    assert stats.fragment_divergence == 0
+
+
+def test_fragment_stitching_engages_hipe_cyclic():
+    """On cyclic data HIPE's squash-fragmented Q6 pass fast-forwards:
+    flag words and entry signatures recur, edges earn trust, and most
+    fragments stitch — bit-identically (the engagement demonstration)."""
+    plan = q6_select_plan()
+    data = _cyclic_table(plan, period=32_768, reps=16)
+    stats = _fragment_point("hipe", 256, plan, rows=data.rows, data=data)
+    assert stats.fragments_seen > 500
+    assert stats.fragments_stitched > 100
+    assert stats.fragment_commits >= 1
+    assert stats.skipped_iterations > 1_000
+    assert stats.fragments_poisoned == 0
+    assert stats.fragment_divergence == 0
+
+
+def test_fragment_first_seen_states_refuse():
+    """Two periods are not enough to trust any edge (FRAGMENT_TRUST_OBS
+    consistent observations required), so nothing may stitch: first-seen
+    or once-seen transfer functions are never applied."""
+    plan = q6_select_plan()
+    data = _cyclic_table(plan, period=32_768, reps=2)
+    stats = _fragment_point("hipe", 256, plan, rows=data.rows, data=data)
+    assert stats.fragments_seen > 100
+    assert stats.fragments_stitched == 0
+    assert stats.fragment_divergence == 0
+
+
+def test_fragment_thue_morse_aperiodic_guard():
+    """An aperiodic (Thue-Morse) chunk-squash pattern: descriptors recur
+    but never periodically.  Stitching individual recurring transfer
+    functions is still sound — the pinned contract is bit-identity with
+    zero divergence, not refusal."""
+    import numpy as np
+
+    from repro.db.datagen import Q6_SHIPDATE_HI, Q6_SHIPDATE_LO
+
+    plan = q6_select_plan()
+    rows, chunk = 65_536, 64
+    data = generate_table(plan.table, rows, 1994)
+    n_chunks = rows // chunk
+    # tm[c] = parity of popcount(c): the canonical aperiodic 0/1 sequence
+    tm = np.array([bin(c).count("1") & 1 for c in range(n_chunks)], dtype=bool)
+    shipdate = np.where(np.repeat(tm, chunk),
+                        Q6_SHIPDATE_HI + 30,  # whole chunk fails -> squash
+                        Q6_SHIPDATE_LO)       # whole chunk passes
+    data.columns["l_shipdate"] = shipdate.astype(
+        data.columns["l_shipdate"].dtype)
+    stats = _fragment_point("hipe", 256, plan, rows=rows, data=data)
+    assert stats.fragment_divergence == 0
+    assert stats.runs_converged == 0  # nothing about this trace is periodic
+
+
+def test_fragments_env_escape_hatch(monkeypatch):
+    """REPRO_FRAGMENTS=0 disables stitching (runs simulate honestly)."""
+    from repro.sim.replay import fragments_enabled
+
+    assert fragments_enabled()
+    monkeypatch.setenv("REPRO_FRAGMENTS", "0")
+    assert not fragments_enabled()
+    plan = q6_select_plan()
+    data = _cyclic_table(plan, period=8_192, reps=4)
+    stats = _fragment_point("hipe", 256, plan, rows=data.rows, data=data)
+    assert stats.fragments_stitched == 0
+
+
+def test_fragment_partial_loads_bit_identity():
+    """partial_predicated_loads no longer bypasses replay: the run key
+    carries per-chunk matched-lane counts, so the replay path sees the
+    full timing shape and stays bit-identical."""
+    from dataclasses import replace
+
+    from repro.common.config import hipe_logic_config, reduced_cube_config
+
+    plan = q6_select_plan()
+    config = replace(reduced_cube_config("hipe"),
+                     pim=replace(hipe_logic_config(),
+                                 partial_predicated_loads=True))
+    scan = ScanConfig("dsm", "column", 256, 1)
+    replayed = run_scan("hipe", scan, rows=32_768, plan=plan,
+                        config=config, exact=False)
+    exact = run_scan("hipe", scan, rows=32_768, plan=plan,
+                     config=config, exact=True)
+    assert replayed.replay is not None  # the replay path actually ran
+    assert result_fingerprint(replayed) == result_fingerprint(exact)

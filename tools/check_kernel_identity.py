@@ -22,7 +22,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-ARCHS = [("x86", 64), ("hmc", 256), ("hive", 256), ("hipe", 256)]
+ARCHS = [("x86", 64), ("x86", 16), ("hmc", 256), ("hive", 256), ("hipe", 256)]
 
 
 def fingerprint(result) -> dict:
@@ -66,6 +66,18 @@ def main() -> int:
                               f"{str(uncompiled[key])[:120]}")
     if failures:
         print(f"{failures} point(s) diverged")
+        return 1
+    # Code-object economics: shape-varying literals are interned, so a
+    # multi-arch sweep must find at least one same-structure shape (or a
+    # re-simulated workload) sharing a cached code object.
+    from repro.cpu.kernel import code_cache_stats
+
+    cache = code_cache_stats()
+    print(f"code objects: {cache['compiled']} compiled, "
+          f"{cache['shared']} shared")
+    if cache["compiled"] > 0 and cache["shared"] == 0:
+        print("FAIL: no code-object sharing across the sweep — literal "
+              "interning has regressed to one compile per shape")
         return 1
     print("kernel path is bit-identical to the uncompiled path on all points")
     return 0

@@ -72,6 +72,8 @@ def main() -> int:
         stats.sort_stats("tottime").print_stats(args.top)
         print()
         print(component_breakdown(stats))
+        print()
+        print(kernel_breakdown(stats))
         print(stream.getvalue())
     return 0
 
@@ -82,7 +84,7 @@ def main() -> int:
 #: keys on *files*, not function names — renames and generated frames
 #: land in the right bucket.
 COMPONENTS = [
-    ("<runkernel>", "core (compiled kernels)"),
+    ("<runkernel", "core (compiled kernels)"),
     ("cpu/kernel.py", "core (kernel compiler)"),
     ("cpu/", "core (uncompiled path)"),
     ("common/resources.py", "timing resources"),
@@ -115,6 +117,40 @@ def component_breakdown(stats: pstats.Stats) -> str:
     lines = ["per-component self time:"]
     for label, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
         lines.append(f"  {label:28s} {seconds:>7.3f}s  {100 * seconds / grand:5.1f}%")
+    return "\n".join(lines)
+
+
+def kernel_breakdown(stats: pstats.Stats) -> str:
+    """Per-code-object kernel frames, attributed back to run keys.
+
+    Same-structure shapes share one code object (``repro.cpu.kernel``
+    interns shape-varying literals), so a ``<runkernel#N>`` profile row
+    can stand for several run shapes; the kernel module's registry says
+    which ones.
+    """
+    from repro.cpu.kernel import code_cache_stats, kernel_code_keys
+
+    key_map = kernel_code_keys()
+    merged: dict = {}  # the module-level exec frame merges into _kernel's
+    for (filename, __, ___), row in stats.stats.items():  # type: ignore[attr-defined]
+        if filename.startswith("<runkernel"):
+            calls, seconds = merged.get(filename, (0, 0.0))
+            merged[filename] = (calls + row[0], seconds + row[2])
+    rows = [(seconds, calls, filename)
+            for filename, (calls, seconds) in merged.items()]
+    if not rows:
+        return "kernel frames: (none — uncompiled path or REPRO_KERNEL=0)"
+    cache = code_cache_stats()
+    lines = [f"kernel frames by shape key (code objects: "
+             f"{cache['compiled']} compiled, {cache['shared']} shared):"]
+    for tottime, ncalls, filename in sorted(rows, reverse=True):
+        keys = key_map.get(filename, [])
+        lines.append(f"  {filename:16s} {tottime:>7.3f}s  {ncalls:>9,} calls"
+                     f"  {len(keys)} shape(s)")
+        for key in keys[:4]:
+            lines.append(f"    {repr(key)[:100]}")
+        if len(keys) > 4:
+            lines.append(f"    ... {len(keys) - 4} more shapes")
     return "\n".join(lines)
 
 
