@@ -128,13 +128,28 @@ class StatGroup:
         return f"StatGroup({self.name!r}, {len(self._counters)} counters)"
 
 
-def ratio(numerator: str, denominator: str) -> Callable[[StatGroup], float]:
-    """Build a derived-metric function ``numerator / denominator`` (0-safe)."""
+class ratio:
+    """A derived-metric callable ``numerator / denominator`` (0-safe).
 
-    def compute(group: StatGroup) -> float:
-        denom = group.get(denominator)
+    A class rather than a closure so that registered derived metrics —
+    and hence any stats tree hanging off a machine — stay picklable;
+    pass-boundary checkpoints snapshot whole machines mid-run.
+    """
+
+    __slots__ = ("numerator", "denominator")
+
+    def __init__(self, numerator: str, denominator: str) -> None:
+        self.numerator = numerator
+        self.denominator = denominator
+
+    def __call__(self, group: StatGroup) -> float:
+        denom = group.get(self.denominator)
         if denom == 0:
             return 0.0
-        return group.get(numerator) / denom
+        return group.get(self.numerator) / denom
 
-    return compute
+    def __getstate__(self):
+        return (self.numerator, self.denominator)
+
+    def __setstate__(self, state) -> None:
+        self.numerator, self.denominator = state

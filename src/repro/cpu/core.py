@@ -287,6 +287,17 @@ class CoreExecution:
         self.index = index + 1
         return commit
 
+    def __getstate__(self):
+        # Pass-boundary checkpoints pickle the execution mid-run.  The
+        # run-compiled kernel caches hold exec-generated functions that
+        # cannot cross a pickle; they are pure performance memos
+        # (recompiled on demand, bit-identical by contract), so a
+        # restored execution simply starts with cold kernel caches.
+        state = self.__dict__.copy()
+        state["kernel_shapes"] = {}
+        state["kernel_pending"] = {}
+        return state
+
     def result(self) -> CoreResult:
         """Finalise counters and wrap up."""
         self.stats.set("uops", self.index)

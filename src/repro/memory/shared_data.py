@@ -19,13 +19,26 @@ Lifecycle: the publishing side (the service) owns the segment and
 unlinks it on :meth:`DatasetImage.close`; attachers hold a read-only
 numpy view per column and cache the attachment per digest (workers are
 short of one mapping per dataset per process, never one per point).
+
+Crash hygiene: segments are named ``repro_<digest>_<pid>_<seq>`` so a
+stale one is attributable to its (dead) publisher, every publisher
+registers an atexit + SIGTERM/SIGINT unlink hook (a shared-memory
+segment outlives its process — ``/dev/shm`` fills up one crashed sweep
+at a time otherwise), and :func:`sweep_stale_segments` reclaims
+segments whose publishing process no longer exists (the service calls
+it at startup).  Only ``SIGKILL``/hard machine death can leak a
+segment, and the next service start sweeps it.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import signal
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,9 +47,107 @@ from ..db.datagen import TableData, TableSchema
 #: column payloads start on cache-line boundaries inside the segment
 _COLUMN_ALIGN = 64
 
+#: prefix of every segment this module publishes (the sweepable namespace)
+SEGMENT_PREFIX = "repro_"
+
 
 def _align(offset: int) -> int:
     return (offset + _COLUMN_ALIGN - 1) // _COLUMN_ALIGN * _COLUMN_ALIGN
+
+
+# -- publisher-side crash hygiene --------------------------------------------
+
+_PUBLISHED: List["DatasetImage"] = []
+_CLEANUP_INSTALLED = False
+_PREVIOUS_HANDLERS: Dict[int, object] = {}
+
+
+def _cleanup_published() -> None:
+    """Unlink every live segment this process published (idempotent)."""
+    for image in list(_PUBLISHED):
+        image.close()
+
+
+def _signal_cleanup(signum, frame):  # pragma: no cover - signal path
+    _cleanup_published()
+    previous = _PREVIOUS_HANDLERS.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+    else:
+        # Restore the default disposition and re-raise so the process
+        # still dies with the correct signal status.
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+def _install_cleanup() -> None:
+    """Arm atexit + SIGTERM/SIGINT unlink on the first publish."""
+    global _CLEANUP_INSTALLED
+    if _CLEANUP_INSTALLED:
+        return
+    _CLEANUP_INSTALLED = True
+    atexit.register(_cleanup_published)
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal handlers can only be installed from the main thread
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous = signal.getsignal(signum)
+            if previous is _signal_cleanup:
+                continue
+            _PREVIOUS_HANDLERS[signum] = previous
+            signal.signal(signum, _signal_cleanup)
+        except (OSError, ValueError):  # pragma: no cover - exotic hosts
+            pass
+
+
+def _segment_name(digest: str, seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{digest[:12]}_{os.getpid()}_{seq}"
+
+
+def sweep_stale_segments(shm_dir: str = "/dev/shm") -> int:
+    """Unlink ``repro_*`` segments whose publishing process is dead.
+
+    The segment name embeds the publisher pid, so staleness is a plain
+    liveness probe — segments of live processes (including this one)
+    are never touched.  Returns how many segments were reclaimed.
+    Platforms without a POSIX shm filesystem sweep nothing (the
+    listing degrades to empty).
+    """
+    reclaimed = 0
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    for name in names:
+        if not name.startswith(SEGMENT_PREFIX):
+            continue
+        parts = name.split("_")
+        if len(parts) < 4:
+            continue
+        try:
+            pid = int(parts[2])
+        except ValueError:
+            continue
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # publisher is alive; segment is legitimate
+        except ProcessLookupError:
+            pass
+        except PermissionError:
+            continue  # alive under another uid
+        try:
+            segment = _attach_untracked(name)
+        except (OSError, ValueError):
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+            reclaimed += 1
+        except (OSError, FileNotFoundError):
+            pass
+    return reclaimed
 
 
 @dataclass(frozen=True)
@@ -74,7 +185,23 @@ class DatasetImage:
             offset = _align(offset)
             layout.append((name, array.dtype.str, offset, int(array.size)))
             offset += array.nbytes
-        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        # Deterministically named so a leaked segment is attributable to
+        # its publisher pid (see sweep_stale_segments); the seq suffix
+        # disambiguates republishes of one digest within a process.
+        self._shm = None
+        for seq in range(1000):
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    create=True, name=_segment_name(digest, seq),
+                    size=max(offset, 1),
+                )
+                break
+            except FileExistsError:
+                continue
+        if self._shm is None:  # pragma: no cover - 1000 live republishes
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(offset, 1)
+            )
         for (name, dtype, start, count) in layout:
             view = np.ndarray((count,), dtype=np.dtype(dtype),
                               buffer=self._shm.buf, offset=start)
@@ -87,6 +214,8 @@ class DatasetImage:
             schema=data.schema.to_dict() if data.schema is not None else None,
         )
         self._closed = False
+        _install_cleanup()
+        _PUBLISHED.append(self)
 
     @property
     def nbytes(self) -> int:
@@ -97,6 +226,10 @@ class DatasetImage:
         if self._closed:
             return
         self._closed = True
+        try:
+            _PUBLISHED.remove(self)
+        except ValueError:
+            pass
         try:
             self._shm.close()
         except (OSError, BufferError):
@@ -155,6 +288,21 @@ def attach_dataset(handle: DatasetHandle) -> TableData:
     if cached is not None:
         return cached[1]
     shm = _attach_untracked(handle.shm_name)
+    # A segment smaller than its declared layout means truncated or
+    # foreign bytes (a crashed publisher, a name collision after a
+    # sweep): fail loudly and deterministically rather than let numpy
+    # map short views and feed partial columns into a simulation.
+    required = max(
+        (offset + count * np.dtype(dtype).itemsize
+         for _, dtype, offset, count in handle.columns),
+        default=0,
+    )
+    if shm.size < required:
+        shm.close()
+        raise ValueError(
+            f"shared-memory dataset {handle.shm_name!r} is truncated: "
+            f"segment holds {shm.size} bytes, layout needs {required}"
+        )
     columns: Dict[str, np.ndarray] = {}
     for name, dtype, offset, count in handle.columns:
         view = np.ndarray((count,), dtype=np.dtype(dtype),

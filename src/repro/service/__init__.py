@@ -10,6 +10,12 @@ Public surface::
         for record in service.stream(tickets):   # completion order
             print(record.ticket.label, record.state, record.result.cycles)
 
+Crash safety (see :mod:`repro.sim.checkpoint` and
+:mod:`repro.testing.faults`): workers checkpoint at every pass boundary
+and heartbeat while simulating, so the supervisor retries dead or
+silent workers from the last completed pass — bit-identical to an
+uninterrupted run — instead of restarting points from zero.
+
 See :mod:`repro.service.service` for the engine and
 :mod:`repro.service.worker` for the worker-side protocol.
 """

@@ -49,7 +49,12 @@ from ..codegen.base import ScanConfig
 from ..common.config import DEFAULT_SCALE
 from ..db.datagen import LineitemData
 from ..db.plan import QueryPlan
-from ..memory.shared_data import DatasetImage
+from ..memory.shared_data import DatasetImage, sweep_stale_segments
+from ..sim.checkpoint import (
+    DEFAULT_CHECKPOINT_SUBDIR,
+    CheckpointStore,
+    checkpoints_enabled,
+)
 from ..sim.engine import (
     DEFAULT_CACHE_DIR,
     PointExecutionError,
@@ -90,7 +95,7 @@ class Ticket:
     rows: int
     seed: int
     scale: int
-    key: Optional[str]  # cache key (None when caching is off)
+    key: Optional[str]  # the point key (cache + checkpoint identity)
 
     @property
     def label(self) -> str:
@@ -115,6 +120,15 @@ class JobRecord:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     payload: Any = field(default=None, repr=False)
+    #: monotonic time of the last worker heartbeat of the current attempt
+    last_heartbeat: Optional[float] = None
+    #: the last heartbeat's progress payload ({"runs": ..., "pass": ...})
+    progress: Optional[Dict[str, Any]] = None
+    #: the pass the successful attempt resumed from (None = ran from zero)
+    resumed_from_pass: Optional[int] = None
+    #: post-mortem of every *failed* attempt: kind (crash/stalled/
+    #: exception), reason, duration, exitcode where known
+    attempt_log: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -174,9 +188,20 @@ class SimulationService:
         (crash/kill, not Python exceptions).  Defaults to
         ``REPRO_SERVICE_RETRIES`` or 1.
     timeout:
-        Per-attempt wall-clock budget in seconds; an over-budget
-        worker is killed and the job retried (within the same retry
-        budget).  ``None`` (default) disables the timeout.
+        Progress timeout in seconds: a worker is killed (and its job
+        retried, within the retry budget) only when it has sent no
+        heartbeat for this long.  Workers heartbeat at job start,
+        per consumed run and at every pass boundary, so a
+        legitimately slow SF10 point keeps its watchdog fed while a
+        hung one is caught within one timeout.  ``None`` (default)
+        disables the watchdog.
+    checkpoint_dir / checkpoints:
+        Pass-boundary crash checkpointing (on by default, or
+        ``REPRO_CHECKPOINTS=0``): workers snapshot the machine at
+        every pass boundary into the sidecar directory (default
+        ``<cache dir>/checkpoints/`` or ``REPRO_CHECKPOINT_DIR``),
+        and a retried job resumes from its predecessor's last
+        completed pass, bit-identical to an uninterrupted run.
     """
 
     def __init__(
@@ -187,18 +212,33 @@ class SimulationService:
         retries: Optional[int] = None,
         timeout: Optional[float] = None,
         poll_interval: float = 0.05,
+        checkpoint_dir: Optional[str | os.PathLike] = None,
+        checkpoints: Optional[bool] = None,
     ) -> None:
         self.jobs = _resolve_jobs(jobs)
+        cache_directory = cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR", DEFAULT_CACHE_DIR
+        )
         if _cache_enabled(use_cache):
-            directory = cache_dir or os.environ.get(
-                "REPRO_CACHE_DIR", DEFAULT_CACHE_DIR
-            )
-            self.cache: Optional[ResultCache] = ResultCache(directory)
+            self.cache: Optional[ResultCache] = ResultCache(cache_directory)
         else:
             self.cache = None
+        if checkpoints_enabled(checkpoints):
+            directory = checkpoint_dir or os.environ.get(
+                "REPRO_CHECKPOINT_DIR",
+                os.path.join(cache_directory, DEFAULT_CHECKPOINT_SUBDIR),
+            )
+            self.checkpoints: Optional[CheckpointStore] = CheckpointStore(
+                directory
+            )
+        else:
+            self.checkpoints = None
         self.retries = _resolve_retries(retries)
         self.timeout = timeout
         self._poll_interval = poll_interval
+        # Reclaim shared-memory segments a crashed predecessor left
+        # behind before publishing any of our own.
+        self.stale_segments_swept = sweep_stale_segments()
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -217,6 +257,7 @@ class SimulationService:
         self.cache_hits = 0
         self.simulated_points = 0
         self.retried_jobs = 0
+        self.resumed_jobs = 0
         self.datasets_published = 0
         self._supervisor = threading.Thread(
             target=self._supervise, name="repro-service-supervisor", daemon=True
@@ -255,13 +296,18 @@ class SimulationService:
         plan_digest: Optional[str] = None
         if plan is not None and plan.digest() != _default_plan_digest():
             plan_digest = plan.digest()
-        key: Optional[str] = None
-        if self.cache is not None:
+        # The point key doubles as the checkpoint identity, so it is
+        # computed even when result caching is off.  An undigestable
+        # point (e.g. unknown architecture) gets no key and is left to
+        # fail in the worker with the full context attached.
+        try:
             key = point_key(
                 arch, scan, rows, seed, scale,
                 dataset=digest, machine=machine_digest(arch, scale),
                 plan=plan_digest, code=code_digest(),
             )
+        except ValueError:
+            key = None
         with self._cv:
             if self._closed:
                 raise RuntimeError("service is closed")
@@ -271,7 +317,10 @@ class SimulationService:
             )
             record = JobRecord(ticket=ticket, submitted_at=time.monotonic())
             self._records[ticket.id] = record
-            cached = self.cache.load(key) if self.cache is not None else None
+            cached = (
+                self.cache.load(key)
+                if self.cache is not None and key is not None else None
+            )
             if cached is not None:
                 self.cache_hits += 1
                 record.result = cached
@@ -279,10 +328,16 @@ class SimulationService:
                 self._finish(record, JobState.DONE)
                 return ticket
             handle = self._publish_dataset(digest, data)
+            checkpoint = None
+            if self.checkpoints is not None and key is not None:
+                checkpoint = {
+                    "dir": str(self.checkpoints.directory), "key": key,
+                }
             record.payload = make_task_payload(
                 arch, scan.to_dict(), rows, seed, scale,
                 dataset_handle=handle,
                 plan_payload=plan.to_dict() if plan is not None else None,
+                checkpoint=checkpoint,
             )
             self._pending.append(ticket.id)
             self._cv.notify_all()
@@ -420,6 +475,7 @@ class SimulationService:
                 f"{record.state.value} after {record.attempts} attempt(s): "
                 f"{detail}",
                 ticket.arch, ticket.scan.op_bytes, ticket.rows,
+                attempts=record.attempt_log,
             )
         return [by_id[t.id] for t in tickets]
 
@@ -566,6 +622,12 @@ class SimulationService:
     def _handle_message(self, message) -> None:
         kind, job_id, payload = message
         record = self._records.get(job_id)
+        if kind == "heartbeat":
+            # Progress only: the worker keeps the job; feed the watchdog.
+            if record is not None and record.state is JobState.RUNNING:
+                record.last_heartbeat = time.monotonic()
+                record.progress = payload
+            return
         for worker in self._workers:
             if worker.job_id == job_id:
                 worker.job_id = None
@@ -573,15 +635,30 @@ class SimulationService:
         if record is None or record.state.terminal:
             return  # cancelled while running; result discarded
         if kind == "done":
-            result = RunResult.from_dict(payload)
+            result = RunResult.from_dict(payload["result"])
             record.result = result
+            record.resumed_from_pass = payload.get("resumed_from_pass")
+            if record.resumed_from_pass is not None:
+                self.resumed_jobs += 1
             if self.cache is not None and record.ticket.key is not None \
                     and result.verified is not False:
                 self.cache.store(record.ticket.key, result)
             self._finish(record, JobState.DONE)
         elif kind == "error":
             record.error = payload
+            record.attempt_log.append({
+                "attempt": record.attempts, "kind": "exception",
+                "reason": "worker raised (see error for the traceback)",
+                "duration": self._attempt_duration(record),
+                "exitcode": None,
+            })
             self._finish(record, JobState.FAILED)
+
+    @staticmethod
+    def _attempt_duration(record: JobRecord) -> Optional[float]:
+        if record.started_at is None:
+            return None
+        return round(time.monotonic() - record.started_at, 3)
 
     def _retry_or_fail(self, record: JobRecord, reason: str) -> None:
         if record.attempts <= self.retries:
@@ -591,9 +668,15 @@ class SimulationService:
             self._pending.appendleft(record.ticket.id)
             self._cv.notify_all()
         else:
+            history = "; ".join(
+                f"attempt {entry['attempt']}: {entry['kind']} "
+                f"({entry['reason']})"
+                for entry in record.attempt_log
+            )
             record.error = (
                 f"{reason} (attempt {record.attempts} of "
                 f"{self.retries + 1}, retry budget exhausted)"
+                + (f" [history: {history}]" if history else "")
             )
             self._finish(record, JobState.FAILED)
 
@@ -618,6 +701,12 @@ class SimulationService:
             if record is None or record.state is not JobState.RUNNING:
                 continue
             exitcode = worker.process.exitcode
+            record.attempt_log.append({
+                "attempt": record.attempts, "kind": "crash",
+                "reason": f"worker died (exitcode {exitcode})",
+                "duration": self._attempt_duration(record),
+                "exitcode": exitcode,
+            })
             self._retry_or_fail(
                 record, f"worker died (exitcode {exitcode}) while running point"
             )
@@ -632,13 +721,28 @@ class SimulationService:
             record = self._records.get(worker.job_id)
             if record is None or record.started_at is None:
                 continue
-            if now - record.started_at <= self.timeout:
+            # Progress-aware: the clock restarts at every heartbeat, so
+            # only *silence* — a hung or wedged worker — trips it, never
+            # a legitimately slow point that keeps reporting passes.
+            reference = record.started_at
+            if record.last_heartbeat is not None:
+                reference = max(reference, record.last_heartbeat)
+            if now - reference <= self.timeout:
                 continue
             worker.job_id = None
             self._kill_worker(worker)
+            record.attempt_log.append({
+                "attempt": record.attempts, "kind": "stalled",
+                "reason": (
+                    f"no heartbeat for {self.timeout:.1f}s "
+                    f"(last progress: {record.progress})"
+                ),
+                "duration": self._attempt_duration(record),
+                "exitcode": None,
+            })
             self._retry_or_fail(
                 record,
-                f"attempt exceeded the {self.timeout:.1f}s timeout",
+                f"attempt exceeded the {self.timeout:.1f}s heartbeat timeout",
             )
 
     def _dispatch(self) -> None:
@@ -659,7 +763,11 @@ class SimulationService:
             record.attempts += 1
             record.state = JobState.RUNNING
             record.started_at = time.monotonic()
+            record.last_heartbeat = None
+            record.progress = None
             record.worker_pid = worker.process.pid
+            if isinstance(record.payload, dict):
+                record.payload["attempt"] = record.attempts
             worker.job_id = job_id
             worker.task_queue.put((job_id, record.payload))
 

@@ -11,8 +11,23 @@ attached (mapped, not copied) once per dataset per worker.
 
 Messages on the result queue::
 
-    ("done",  job_id, run_result_dict)   # RunResult.to_dict() payload
-    ("error", job_id, formatted_traceback_str)
+    ("done",      job_id, {"result": run_result_dict,
+                           "resumed_from_pass": int | None})
+    ("error",     job_id, formatted_traceback_str)
+    ("heartbeat", job_id, {"runs": int, "pass": int})
+
+Heartbeats flow while a point simulates — at job start, throttled per
+consumed run, and at every pass boundary — and are what the
+supervisor's progress-aware watchdog listens to: a worker is only
+killed for heartbeat *silence*, never for being legitimately slow.
+
+Crash recovery is checkpoint-aware: the payload may carry a
+``checkpoint`` descriptor (sidecar directory + point key), in which
+case the worker snapshots the machine at every pass boundary via
+:class:`~repro.sim.checkpoint.RunMonitor` and a retried job resumes
+from its predecessor's last completed pass — bit-identical to an
+uninterrupted run — instead of restarting from zero.  On success the
+worker's monitor discards the snapshot before the result is sent.
 
 A worker that dies without answering (segfault, ``kill -9``, OOM) sends
 nothing; the supervisor detects the dead process and retries the job it
@@ -20,13 +35,21 @@ held, bounded by the service's retry budget.  A Python exception inside
 :func:`~repro.sim.runner.run_scan` is deterministic and is *not*
 retried — it comes back as an ``error`` message and fails the job with
 the worker traceback attached.
+
+Fault injection (chaos tests only; inert without ``REPRO_FAULTS``):
+``start`` fires when a job is picked up, ``pass`` at each pass boundary
+*after* its checkpoint is written, and ``result`` just before the done
+message — a ``drop`` there models a lost queue write, which the
+watchdog then recovers via heartbeat silence.
 """
 
 from __future__ import annotations
 
 import os
 import traceback
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
+
+from ..testing import faults
 
 
 def make_task_payload(
@@ -37,8 +60,14 @@ def make_task_payload(
     scale: int,
     dataset_handle: Any = None,
     plan_payload: Dict[str, Any] | None = None,
+    checkpoint: Dict[str, Any] | None = None,
 ) -> Dict[str, Any]:
-    """The picklable job payload — note: no column arrays, ever."""
+    """The picklable job payload — note: no column arrays, ever.
+
+    ``checkpoint`` is ``{"dir": <sidecar directory>, "key": <point
+    key>}`` when pass-boundary checkpointing is on; the supervisor adds
+    the attempt number at dispatch time.
+    """
     return {
         "arch": arch,
         "scan": scan_payload,
@@ -47,15 +76,47 @@ def make_task_payload(
         "scale": int(scale),
         "dataset": dataset_handle,
         "plan": plan_payload,
+        "checkpoint": checkpoint,
+        "attempt": 1,
     }
 
 
-def execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+def _build_monitor(
+    payload: Dict[str, Any],
+    heartbeat: Optional[Callable[[Dict[str, Any]], None]] = None,
+):
+    """The payload's RunMonitor: checkpoints, heartbeats, fault hooks."""
+    from ..sim.checkpoint import CheckpointStore, RunMonitor
+
+    checkpoint = payload.get("checkpoint")
+    store = key = None
+    if checkpoint is not None and checkpoint.get("dir"):
+        store = CheckpointStore(checkpoint["dir"])
+        key = checkpoint.get("key")
+    attempt = payload.get("attempt", 1)
+    arch = payload.get("arch")
+
+    def pass_hook(pass_ordinal: int) -> None:
+        faults.fire("pass", **{
+            "pass": pass_ordinal, "attempt": attempt, "arch": arch,
+        })
+
+    return RunMonitor(
+        store=store, key=key, heartbeat=heartbeat, pass_hook=pass_hook,
+        meta={"arch": arch, "rows": payload.get("rows"),
+              "op_bytes": payload.get("scan", {}).get("op_bytes")},
+    )
+
+
+def execute_point_payload(
+    payload: Dict[str, Any], monitor: Any = None
+) -> Dict[str, Any]:
     """Simulate one job payload; returns the serialised RunResult.
 
     Shared by the service workers and (in-process) by tests: resolves
     the dataset from shared memory, rebuilds the plan, and runs the
-    ordinary :func:`~repro.sim.runner.run_scan`.
+    ordinary :func:`~repro.sim.runner.run_scan` — with the caller's
+    ``monitor`` interposed when crash checkpointing is on.
     """
     from ..codegen.base import ScanConfig
     from ..db.plan import QueryPlan
@@ -76,6 +137,7 @@ def execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         scale=payload["scale"],
         data=data,
         plan=plan,
+        monitor=monitor,
     )
     return result.to_dict()
 
@@ -87,12 +149,30 @@ def worker_main(task_queue, result_queue) -> None:
         if task is None:  # shutdown sentinel
             break
         job_id, payload = task
+        attempt = payload.get("attempt", 1) if isinstance(payload, dict) else 1
+        arch = payload.get("arch") if isinstance(payload, dict) else None
+        faults.fire("start", attempt=attempt, arch=arch)
+
+        def heartbeat(info: Dict[str, Any], _job=job_id) -> None:
+            try:
+                result_queue.put(("heartbeat", _job, info))
+            except (OSError, ValueError):  # pragma: no cover - teardown
+                pass
+
+        monitor = None
         try:
-            result = execute_point_payload(payload)
+            monitor = _build_monitor(payload, heartbeat=heartbeat)
+            heartbeat({"runs": 0, "pass": 0})  # job picked up
+            result = execute_point_payload(payload, monitor=monitor)
         except BaseException:
             result_queue.put(("error", job_id, traceback.format_exc()))
         else:
-            result_queue.put(("done", job_id, result))
+            if faults.fire("result", attempt=attempt, arch=arch):
+                continue  # chaos: the done message is "lost in transit"
+            result_queue.put(("done", job_id, {
+                "result": result,
+                "resumed_from_pass": monitor.resumed_from_pass,
+            }))
 
 
 def worker_pid() -> int:

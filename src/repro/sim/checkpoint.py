@@ -1,0 +1,411 @@
+"""Per-pass checkpointing: crash-safe resumption of simulation points.
+
+A simulation point is a pure function of its inputs, but at SF1 a single
+point already costs 12-57 s and the SF10/SF100 series makes points
+minutes long — so the service's kill-and-retry recovery (PR 6) turns
+every worker OOM, SIGKILL or watchdog kill into unbounded rework.  This
+module bounds the rework to one *pass*:
+
+* :class:`RunMonitor` observes the :class:`~repro.codegen.base.TraceRun`
+  stream of one point as it is consumed.  Every change of ``run.family``
+  is a pass boundary (the codegens stamp each generated pass with a
+  distinct family tuple); at each boundary the monitor pickles the whole
+  machine + execution pair — timing state, memory image, partial
+  statistics, everything a :class:`~repro.sim.results.RunResult` is
+  later derived from — into a :class:`CheckpointStore` sidecar keyed by
+  the point's cache key.
+* On retry, a fresh worker rebuilds the workload (the codegen side is a
+  deterministic function of the data), restores the snapshot, skips the
+  already-consumed runs of the regenerated stream without simulating
+  them, and resumes.  The resumed result is bit-identical to an
+  uninterrupted run: the snapshot *is* the uninterrupted run's state at
+  that boundary, and everything downstream is deterministic.
+* The monitor doubles as the worker's progress source: a throttled
+  heartbeat fires per consumed run, which is what the service's
+  progress-aware watchdog listens to (see :mod:`repro.service.service`).
+
+Checkpoint files carry a JSON header plus a SHA-256-checksummed pickle
+payload; a truncated or corrupted file is quarantined to
+``*.quarantine`` and reported as "no checkpoint" — resumption degrades
+to a from-scratch retry, never to wrong state.  Single-pass streams
+(tuple strategy's one opaque run, HIPE's fused column scan) simply never
+hit a boundary and keep the PR 6 restart-from-zero behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+#: bump when the checkpoint layout changes; old files quarantine-free miss
+CHECKPOINT_SCHEMA = 1
+
+#: subdirectory of the result cache holding checkpoint sidecars
+DEFAULT_CHECKPOINT_SUBDIR = "checkpoints"
+
+#: checkpoints older than this are presumed orphaned (their point either
+#: finished — the worker deletes on success — or its code/config moved on
+#: and the key will never be asked for again)
+DEFAULT_CHECKPOINT_TTL = 7 * 24 * 3600.0
+
+_HEADER_LIMIT = 1 << 16  # sanity bound when scanning for the header line
+
+
+def checkpoints_enabled(explicit: Optional[bool] = None) -> bool:
+    """``REPRO_CHECKPOINTS`` gate (on by default, like the result cache)."""
+    if explicit is not None:
+        return explicit
+    return os.environ.get("REPRO_CHECKPOINTS", "1").lower() not in (
+        "0", "false", "no"
+    )
+
+
+@dataclass
+class Checkpoint:
+    """One restored pass-boundary snapshot."""
+
+    machine: Any
+    execution: Any
+    pass_ordinal: int
+    runs_consumed: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class CheckpointStore:
+    """Pass-boundary snapshots under a sidecar directory, one per point.
+
+    File format: one JSON header line (schema, key, pass/run progress,
+    payload checksum, caller metadata) followed by the raw pickle of the
+    ``(machine, execution)`` pair.  Writes are atomic (temp file +
+    ``os.replace``); reads verify the checksum and quarantine anything
+    that does not add up.  Like :class:`~repro.sim.engine.ResultCache`,
+    a read-only directory degrades to "no checkpointing", never to a
+    failed simulation.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.quarantined = 0
+        self.last_error: Optional[str] = None
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.ckpt"
+
+    # -- write side ---------------------------------------------------------
+
+    def save(
+        self,
+        key: str,
+        machine: Any,
+        execution: Any,
+        pass_ordinal: int,
+        runs_consumed: int,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Persist one snapshot; True when it reached the disk.
+
+        Degrades to "not checkpointed" instead of raising: a full disk
+        or an unpicklable state object must never kill the simulation it
+        was meant to protect (``last_error`` records what went wrong).
+        """
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            payload = pickle.dumps(
+                (machine, execution), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            header = {
+                "schema": CHECKPOINT_SCHEMA,
+                "key": key,
+                "pass": int(pass_ordinal),
+                "runs": int(runs_consumed),
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "nbytes": len(payload),
+                "saved_at": time.time(),
+                "meta": meta or {},
+            }
+            with open(tmp, "wb") as handle:
+                handle.write(json.dumps(header).encode("utf-8"))
+                handle.write(b"\n")
+                handle.write(payload)
+            os.replace(tmp, path)
+            return True
+        except (OSError, TypeError, ValueError, pickle.PicklingError) as exc:
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            return False
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- read side ----------------------------------------------------------
+
+    def _read_header(self, path: Path, handle) -> Optional[Dict[str, Any]]:
+        line = handle.readline(_HEADER_LIMIT)
+        if not line.endswith(b"\n"):
+            return None
+        header = json.loads(line)
+        if not isinstance(header, dict):
+            return None
+        return header
+
+    def load(self, key: str) -> Optional[Checkpoint]:
+        """The resumable snapshot for ``key``, or None.
+
+        Missing file and stale schema are plain misses; a corrupt or
+        truncated file (unparsable header, checksum mismatch, unpickle
+        failure) is quarantined to ``<name>.quarantine`` so the broken
+        bytes never masquerade as machine state — the retry then starts
+        from scratch, which is slow but always right.
+        """
+        path = self.path_for(key)
+        try:
+            handle = open(path, "rb")
+        except OSError:
+            return None
+        try:
+            with handle:
+                try:
+                    header = self._read_header(path, handle)
+                except (ValueError, UnicodeDecodeError):
+                    header = None
+                if header is None:
+                    self._quarantine(path, "unparsable header")
+                    return None
+                if header.get("schema") != CHECKPOINT_SCHEMA:
+                    return None  # honest version skew, not corruption
+                payload = handle.read()
+                if (len(payload) != header.get("nbytes")
+                        or hashlib.sha256(payload).hexdigest()
+                        != header.get("sha256")):
+                    self._quarantine(path, "checksum mismatch")
+                    return None
+                try:
+                    machine, execution = pickle.loads(payload)
+                except Exception:
+                    self._quarantine(path, "unpicklable payload")
+                    return None
+                return Checkpoint(
+                    machine=machine,
+                    execution=execution,
+                    pass_ordinal=int(header.get("pass", 0)),
+                    runs_consumed=int(header.get("runs", 0)),
+                    meta=dict(header.get("meta") or {}),
+                )
+        except OSError:
+            return None
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.quarantined += 1
+        self.last_error = f"quarantined {path.name}: {reason}"
+        try:
+            os.replace(path, path.with_name(path.name + ".quarantine"))
+        except OSError:
+            pass
+
+    # -- maintenance --------------------------------------------------------
+
+    def discard(self, key: str) -> None:
+        """Drop the snapshot of a completed point (idempotent)."""
+        try:
+            self.path_for(key).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Headers of every resumable snapshot (``--show-checkpoints``)."""
+        out: List[Dict[str, Any]] = []
+        for path in sorted(self.directory.glob("*.ckpt")):
+            try:
+                with open(path, "rb") as handle:
+                    header = self._read_header(path, handle)
+            except (OSError, ValueError, UnicodeDecodeError):
+                continue
+            if header is None or header.get("schema") != CHECKPOINT_SCHEMA:
+                continue
+            header["file"] = str(path)
+            header["size"] = path.stat().st_size if path.exists() else 0
+            out.append(header)
+        return out
+
+    def purge(self, max_age_seconds: float = DEFAULT_CHECKPOINT_TTL) -> int:
+        """Drop snapshots (and quarantines) older than ``max_age_seconds``."""
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for pattern in ("*.ckpt", "*.quarantine", "*.tmp.*"):
+            for path in self.directory.glob(pattern):
+                try:
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        return removed
+
+
+#: distinguishes "no previous run yet" from a genuine ``family=None`` run
+_NO_FAMILY = object()
+
+
+class RunMonitor:
+    """Observes one point's run stream: heartbeats, snapshots, resume.
+
+    Wire one into :func:`~repro.sim.runner.run_scan` (``monitor=``); the
+    machine routes the run stream through :meth:`attach`, which
+
+    * emits a throttled ``heartbeat`` callback per consumed run (the
+      worker forwards these to the supervisor's watchdog),
+    * detects pass boundaries (``run.family`` transitions), settles any
+      deferred replay work, snapshots ``(machine, execution)`` into the
+      store, and then invokes ``pass_hook`` (the fault-injection seam —
+      firing *after* the snapshot is what makes "kill at pass N" resume
+      from pass N),
+    * on resume, silently skips the ``runs_consumed`` runs the snapshot
+      already covers (their functional effects live in the restored
+      memory image).
+
+    With no store the monitor is heartbeats-only; with no heartbeat it
+    is checkpoints-only; both default to inert.
+    """
+
+    def __init__(
+        self,
+        store: Optional[CheckpointStore] = None,
+        key: Optional[str] = None,
+        heartbeat: Optional[Callable[[Dict[str, Any]], None]] = None,
+        pass_hook: Optional[Callable[[int], None]] = None,
+        heartbeat_interval: float = 0.5,
+        snapshot_min_interval: Optional[float] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.store = store
+        self.key = key
+        self.heartbeat = heartbeat
+        self.pass_hook = pass_hook
+        self.heartbeat_interval = heartbeat_interval
+        # Snapshot throttle: pickling a large machine costs real time
+        # (~1.2 s / 80 MB at 1M rows), so ops can bound the overhead by
+        # spacing snapshots — rework after a crash is then bounded by
+        # the interval instead of one pass.  Default 0 = every boundary.
+        if snapshot_min_interval is None:
+            try:
+                snapshot_min_interval = float(
+                    os.environ.get("REPRO_CHECKPOINT_INTERVAL", "0") or 0
+                )
+            except ValueError:
+                snapshot_min_interval = 0.0
+        self.snapshot_min_interval = snapshot_min_interval
+        self._last_snapshot = time.monotonic()
+        self.meta = dict(meta or {})
+        # resume bookkeeping (filled by load_resume)
+        self.skip_runs = 0
+        self.resumed_from_pass: Optional[int] = None
+        self.resume_execution: Optional[Any] = None
+        # progress bookkeeping
+        self.pass_ordinal = 0
+        self.runs_consumed = 0
+        self.snapshots_taken = 0
+        self._machine: Optional[Any] = None
+        self._execution: Optional[Any] = None
+        self._settle: Optional[Callable[[], None]] = None
+        self._last_beat = 0.0
+
+    # -- resume -------------------------------------------------------------
+
+    def load_resume(self) -> Optional[Any]:
+        """Restore this point's snapshot; returns the machine or None."""
+        if self.store is None or not self.key:
+            return None
+        checkpoint = self.store.load(self.key)
+        if checkpoint is None:
+            return None
+        self.skip_runs = checkpoint.runs_consumed
+        self.resumed_from_pass = checkpoint.pass_ordinal
+        self.resume_execution = checkpoint.execution
+        return checkpoint.machine
+
+    def take_resume_execution(self) -> Optional[Any]:
+        """Hand the restored execution over (once) to ``run_runs``."""
+        execution, self.resume_execution = self.resume_execution, None
+        return execution
+
+    # -- stream observation -------------------------------------------------
+
+    def attach(
+        self,
+        machine: Any,
+        execution: Any,
+        runs,
+        settle: Optional[Callable[[], None]] = None,
+    ):
+        """Wrap ``runs``; the machine consumes the wrapper instead."""
+        self._machine = machine
+        self._execution = execution
+        self._settle = settle
+        return self._observe(runs)
+
+    def _observe(self, runs):
+        consumed = 0
+        skip = self.skip_runs
+        prev_family = _NO_FAMILY
+        for run in runs:
+            if prev_family is not _NO_FAMILY and run.family != prev_family:
+                self.pass_ordinal += 1
+                if consumed > skip:
+                    self._boundary(consumed)
+            prev_family = run.family
+            if consumed < skip:
+                # A skipped run's *timing* lives in the snapshot, but its
+                # codegen side effects do not: PC sites are numbered by
+                # first use inside ``make`` (and first-use order is a
+                # pure function of run shape, so one iteration covers
+                # it).  Draining ``make(0)`` re-plays exactly those
+                # allocations; without it the resumed passes would see
+                # shifted PCs and a subtly different branch predictor.
+                body = run.make(0)
+                if body is not None:
+                    deque(body, maxlen=0)
+                consumed += 1
+                continue
+            yield run
+            consumed += 1
+            self.runs_consumed = consumed
+            self._beat(consumed, force=False)
+
+    def _boundary(self, consumed: int) -> None:
+        due = (time.monotonic() - self._last_snapshot
+               >= self.snapshot_min_interval)
+        if self.store is not None and self.key and due:
+            if self._settle is not None:
+                self._settle()
+            if self.store.save(
+                self.key, self._machine, self._execution,
+                self.pass_ordinal, consumed, meta=self.meta,
+            ):
+                self.snapshots_taken += 1
+                self._last_snapshot = time.monotonic()
+        self._beat(consumed, force=True)
+        if self.pass_hook is not None:
+            self.pass_hook(self.pass_ordinal)
+
+    def _beat(self, consumed: int, force: bool) -> None:
+        if self.heartbeat is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_beat < self.heartbeat_interval:
+            return
+        self._last_beat = now
+        self.heartbeat({"runs": consumed, "pass": self.pass_ordinal})
+
+    # -- completion ---------------------------------------------------------
+
+    def finish(self) -> None:
+        """The point completed: its snapshot is no longer needed."""
+        if self.store is not None and self.key:
+            self.store.discard(self.key)

@@ -49,7 +49,8 @@ from .results import ExperimentResult, RunResult
 from .runner import run_scan
 
 #: bump when the cache entry layout (not the simulated timing) changes
-CACHE_SCHEMA = 1
+#: (2: content checksum — older entries miss honestly and re-simulate)
+CACHE_SCHEMA = 2
 
 #: default on-disk cache location, relative to the working directory
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -213,26 +214,68 @@ def point_key(
     return hashlib.sha256(blob.encode()).hexdigest()[:40]
 
 
+def _result_checksum(result_payload: Dict[str, Any]) -> str:
+    """Content hash of a serialised result (canonical JSON)."""
+    blob = json.dumps(result_payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
-    """One-file-per-point JSON store under a cache directory."""
+    """One-file-per-point JSON store under a cache directory.
+
+    Entries are integrity-checked: each carries the schema version and a
+    SHA-256 of its canonical result payload.  A corrupted or truncated
+    entry — garbage bytes, a half-written file, a bit-flipped counter —
+    is quarantined to ``<key>.json.quarantine`` and reported as a miss,
+    so the worst possible outcome of cache damage is a re-simulation,
+    never a wrong number feeding a figure.  Entries whose JSON parses
+    but whose schema version differs are honest version skew, not
+    corruption: they miss without quarantining.
+    """
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.quarantined = 0
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        self.quarantined += 1
+        try:
+            os.replace(path, path.with_name(path.name + ".quarantine"))
+        except OSError:
+            pass
+
     def load(self, key: str) -> Optional[RunResult]:
-        """The cached result for ``key``, or None (corruption = miss)."""
+        """The cached result for ``key``, or None (corruption = miss).
+
+        Unreadable files miss quietly; unparsable, checksum-failing or
+        undeserialisable entries are quarantined first (see class docs).
+        """
         path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry.get("schema") != CACHE_SCHEMA:
-                return None
-            result = RunResult.from_dict(entry["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+            if not isinstance(entry, dict):
+                raise ValueError("cache entry is not an object")
+        except (ValueError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if entry.get("schema") != CACHE_SCHEMA:
+            return None
+        try:
+            payload = entry["result"]
+            if entry.get("checksum") != _result_checksum(payload):
+                raise ValueError("checksum mismatch")
+            result = RunResult.from_dict(payload)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             return None
         try:
             os.utime(path)  # refresh recency for LRU eviction
@@ -254,8 +297,10 @@ class ResultCache:
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
+            payload = result.to_dict()
             entry = {
-                "schema": CACHE_SCHEMA, "key": key, "result": result.to_dict(),
+                "schema": CACHE_SCHEMA, "key": key,
+                "checksum": _result_checksum(payload), "result": payload,
             }
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle)
@@ -284,10 +329,15 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every cache entry; returns how many were removed.
 
-        Stale ``*.tmp.*`` writer leftovers are swept too (not counted
-        as entries).
+        Stale ``*.tmp.*`` writer leftovers and quarantined entries are
+        swept too (not counted as entries).
         """
         self._sweep_stale_tmp()
+        for path in self.directory.glob("*.quarantine"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
         removed = 0
         for path in self.directory.glob("*.json"):
             try:
@@ -349,6 +399,14 @@ class PointExecutionError(RuntimeError):
     The original exception (or the worker's formatted traceback, for
     cross-process failures) is chained as ``__cause__`` — the bare
     pool traceback no longer swallows which (arch, scan, rows) died.
+
+    ``attempts`` carries the service's per-attempt post-mortem when the
+    retry budget is exhausted: one dict per attempt with the failure
+    ``kind`` (``"crash"``/``"stalled"``/``"exception"``), a human
+    ``reason``, the attempt ``duration`` in seconds, and — for crashes —
+    the worker's ``exitcode``/signal.  A point that died once to a
+    SIGKILL and once to a hang is then distinguishable from one that
+    raised twice, which is exactly what the chaos post-mortems need.
     """
 
     def __init__(
@@ -357,14 +415,18 @@ class PointExecutionError(RuntimeError):
         arch: Optional[str] = None,
         op_bytes: Optional[int] = None,
         rows: Optional[int] = None,
+        attempts: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         super().__init__(message)
         self.arch = arch
         self.op_bytes = op_bytes
         self.rows = rows
+        self.attempts = list(attempts or [])
 
     def __reduce__(self):  # keep the context through pickling boundaries
-        return (type(self), (str(self), self.arch, self.op_bytes, self.rows))
+        return (type(self),
+                (str(self), self.arch, self.op_bytes, self.rows,
+                 self.attempts))
 
 
 def _run_point(

@@ -55,7 +55,7 @@ class Machine:
         result = self.core.run(trace)
         return self._finish(result)
 
-    def run_runs(self, runs, exact: Optional[bool] = None):
+    def run_runs(self, runs, exact: Optional[bool] = None, monitor=None):
         """Execute a steady-state run stream (see :mod:`repro.sim.replay`).
 
         ``exact`` is tri-state: ``None`` (default) follows the
@@ -68,6 +68,11 @@ class Machine:
         Both paths run each body through the run-compiled kernels of
         :mod:`repro.cpu.kernel` (disable with ``REPRO_KERNEL=0``;
         kernel and uncompiled execution are likewise bit-identical).
+
+        ``monitor`` (a :class:`~repro.sim.checkpoint.RunMonitor`)
+        interposes on the stream for heartbeats and pass-boundary
+        checkpoints; when it carries a restored execution, the run
+        resumes from that snapshot instead of starting fresh.
         """
         from ..cpu.kernel import consume_runs
         from .replay import ReplayExecutor, replay_enabled
@@ -79,14 +84,26 @@ class Machine:
             # run-shape key now carries per-chunk matched-lane counts,
             # so replay sees the full timing shape and refuses or
             # engages per fragment like any other data-shaped pass.)
-            execution = self.core.execution()
+            execution = self._execution_for(monitor)
+            if monitor is not None:
+                runs = monitor.attach(self, execution, runs)
             consume_runs(execution, runs)
             return self._finish(execution.result())
-        execution = self.core.execution()
+        execution = self._execution_for(monitor)
         executor = ReplayExecutor(self, execution)
+        if monitor is not None:
+            runs = monitor.attach(self, execution, runs,
+                                  settle=executor.settle)
         executor.consume(runs)
         self.replay_stats = executor.stats
         return self._finish(execution.result())
+
+    def _execution_for(self, monitor):
+        if monitor is not None:
+            execution = monitor.take_resume_execution()
+            if execution is not None:
+                return execution
+        return self.core.execution()
 
     def _finish(self, result):
         if self.engine is not None and self.engine.last_completion > result.cycles:

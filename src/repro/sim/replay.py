@@ -1285,6 +1285,20 @@ class ReplayExecutor:
 
     # -- the driver ---------------------------------------------------------
 
+    def settle(self) -> None:
+        """Materialise all deferred work into machine/execution state.
+
+        Fragment stitching holds a walk (and a half-observed boundary
+        edge) in flight between runs; a pass-boundary snapshot must not
+        capture that limbo.  Flushing the walk back to honest simulation
+        is exactly what ``consume`` does when the chain breaks, so the
+        result stays bit-identical — and since fragment chains never
+        cross families anyway, settling at a family transition costs no
+        stitching opportunity.
+        """
+        self._flush_walk()
+        self._pending_edge = None
+
     def consume(self, runs) -> None:
         """Simulate/extrapolate the full run stream."""
         for run in runs:

@@ -106,6 +106,7 @@ def run_scan(
     plan: Optional[QueryPlan] = None,
     exact: Optional[bool] = None,
     config=None,
+    monitor=None,
 ) -> RunResult:
     """Simulate one query plan on one architecture/configuration.
 
@@ -117,6 +118,16 @@ def run_scan(
     over the environment in both directions.  ``config`` overrides the machine
     (e.g. :func:`~repro.common.config.reduced_cube_config`); cached
     experiment sweeps always use the standard per-arch machines.
+
+    ``monitor`` (a :class:`~repro.sim.checkpoint.RunMonitor`) adds
+    heartbeats and per-pass crash checkpoints; when it finds a snapshot
+    for its key, simulation resumes from that pass boundary.  The fresh
+    machine still serves codegen — the run stream is a deterministic
+    function of the *data*, and memory-image addresses are a
+    deterministic function of the allocation sequence — but the runs
+    the snapshot already covers are skipped and the restored machine
+    carries all functional and timing state, so the resumed result is
+    bit-identical to an uninterrupted run.
     """
     arch = arch.lower()
     if arch not in _CODEGENS:
@@ -128,7 +139,11 @@ def run_scan(
     machine = build_machine(arch, scale=scale, config=config)
     workload = build_workload(machine, data, scan.layout, plan=plan)
     runs = _CODEGENS[arch].generate_plan_runs(workload, scan)
-    core_result = machine.run_runs(runs, exact=exact)
+    if monitor is not None:
+        restored = monitor.load_resume()
+        if restored is not None:
+            machine = restored
+    core_result = machine.run_runs(runs, exact=exact, monitor=monitor)
 
     verified: Optional[bool] = None
     if verify and scan.strategy == "column" and arch in ("hive", "hipe"):
@@ -157,6 +172,8 @@ def run_scan(
         machine.stats.child("core"),
         machine.stats.child(arch) if machine.engine is not None else None,
     )
+    if monitor is not None:
+        monitor.finish()
     return RunResult(
         arch=arch,
         scan=scan,

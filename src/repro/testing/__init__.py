@@ -1,0 +1,26 @@
+"""Test-only instrumentation for the simulation stack.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness: production code exposes named injection points, and the
+``REPRO_FAULTS`` environment variable arms them.  Nothing here runs
+unless explicitly armed; the module costs one environment lookup per
+injection point when idle.
+"""
+
+from .faults import (
+    FaultClause,
+    FaultPlan,
+    active_plan,
+    corrupt_file,
+    fire,
+    reset_plan,
+)
+
+__all__ = [
+    "FaultClause",
+    "FaultPlan",
+    "active_plan",
+    "corrupt_file",
+    "fire",
+    "reset_plan",
+]

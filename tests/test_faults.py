@@ -1,0 +1,447 @@
+"""Chaos suite: crash-safe sweeps under deterministic fault injection.
+
+The contract under test is the ISSUE 8 acceptance list: a worker
+SIGKILLed mid-run resumes from its last completed pass and produces a
+bit-identical result; a hung worker is caught by heartbeat silence (not
+wall-clock) and retried; a dropped result message is recovered by the
+watchdog; corrupted cache and checkpoint files are quarantined and
+degrade to a miss — re-simulation, never a wrong number; truncated
+shared-memory datasets fail loudly; stale segments of dead publishers
+are swept.  Every fault here is injected deterministically via
+``REPRO_FAULTS`` (:mod:`repro.testing.faults`) or
+:func:`~repro.testing.faults.corrupt_file` — no timing races, no
+flakiness by construction.
+"""
+
+import json
+import os
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.codegen.base import ScanConfig
+from repro.db.datagen import generate_lineitem
+from repro.memory.shared_data import (
+    SEGMENT_PREFIX,
+    DatasetHandle,
+    DatasetImage,
+    attach_dataset,
+    detach_all,
+    sweep_stale_segments,
+)
+from repro.service import JobState, SimulationService
+from repro.sim.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    RunMonitor,
+    checkpoints_enabled,
+)
+from repro.sim.engine import ExperimentEngine, PointExecutionError, ResultCache
+from repro.sim.runner import run_scan
+from repro.testing import faults
+
+ROWS = 2048
+POINTS = [
+    ("x86", ScanConfig("dsm", "column", 64)),
+    ("hmc", ScanConfig("dsm", "column", 256)),
+    ("hive", ScanConfig("dsm", "column", 256, unroll=8)),
+    ("hipe", ScanConfig("dsm", "column", 256, unroll=8)),
+]
+
+SERVICE_ROWS = 4096
+SERVICE_POINT = ("x86", ScanConfig("dsm", "column", 64))
+
+
+class _Interrupt(RuntimeError):
+    """Stands in for SIGKILL in the in-process resume tests."""
+
+
+# -- the fault-injection harness itself --------------------------------------
+
+
+class TestFaultSpec:
+    def test_parse_clauses_and_conditions(self):
+        plan = faults.FaultPlan.parse(
+            "kill@pass,pass=1,attempt=1; drop@result,attempt=2"
+        )
+        assert len(plan.clauses) == 2
+        assert plan.check("pass", **{"pass": 1, "attempt": 1}) == "kill"
+        assert plan.check("pass", **{"pass": 2, "attempt": 1}) is None
+        assert plan.check("result", attempt=2) == "drop"
+        assert plan.check("result", attempt=1) is None
+        assert plan.check("start", attempt=1) is None
+
+    def test_clause_without_condition_fires_every_attempt(self):
+        plan = faults.FaultPlan.parse("drop@result")
+        for attempt in (1, 2, 5):
+            assert plan.check("result", attempt=attempt) == "drop"
+
+    def test_missing_context_key_means_no_match(self):
+        plan = faults.FaultPlan.parse("kill@pass,pass=1")
+        assert plan.check("pass") is None  # no pass supplied -> no fire
+
+    def test_drop_fires_and_logs(self):
+        plan = faults.FaultPlan.parse("drop@result,attempt=1")
+        assert plan.fire("result", attempt=1) is True
+        assert plan.fire("result", attempt=2) is False
+        assert plan.fired == [("result", "drop", {"attempt": 1})]
+
+    @pytest.mark.parametrize("bad", [
+        "kill",              # no site
+        "explode@pass",      # unknown action
+        "kill@",             # empty site
+        "kill@pass,notakv",  # malformed condition
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(faults.FaultSpecError):
+            faults.FaultPlan.parse(bad)
+
+    def test_env_transport_reparses_on_change(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "drop@result")
+        faults.reset_plan()
+        assert faults.active_plan().check("result") == "drop"
+        monkeypatch.setenv(faults.ENV_VAR, "drop@start")
+        assert faults.active_plan().check("result") is None
+        assert faults.active_plan().check("start") == "drop"
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.active_plan().clauses == []
+
+    def test_checkpoints_enabled_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINTS", raising=False)
+        assert checkpoints_enabled() is True
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "0")
+        assert checkpoints_enabled() is False
+        assert checkpoints_enabled(True) is True  # explicit beats env
+
+
+# -- in-process checkpoint resume (no service, no processes) -----------------
+
+
+def _interrupt_at_pass(store, key, arch, scan, at_pass=1):
+    """Run a point but raise after the checkpoint of ``at_pass``."""
+
+    def bomb(pass_ordinal):
+        if pass_ordinal >= at_pass:
+            raise _Interrupt(f"injected at pass {pass_ordinal}")
+
+    monitor = RunMonitor(store=store, key=key, pass_hook=bomb)
+    with pytest.raises(_Interrupt):
+        run_scan(arch, scan, rows=ROWS, seed=1994, monitor=monitor)
+    return monitor
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("arch,scan", POINTS[:3],
+                             ids=[p[0] for p in POINTS[:3]])
+    def test_resume_is_bit_identical(self, tmp_path, arch, scan):
+        reference = run_scan(arch, scan, rows=ROWS, seed=1994).to_dict()
+        store = CheckpointStore(tmp_path)
+        key = f"point-{arch}"
+        interrupted = _interrupt_at_pass(store, key, arch, scan)
+        assert interrupted.snapshots_taken >= 1
+        assert store.path_for(key).exists()
+
+        resumed = RunMonitor(store=store, key=key)
+        result = run_scan(arch, scan, rows=ROWS, seed=1994, monitor=resumed)
+        assert resumed.resumed_from_pass == 1
+        assert result.to_dict() == reference  # bit-identical resume
+        assert not store.path_for(key).exists()  # discarded on success
+
+    def test_single_family_stream_never_checkpoints(self, tmp_path):
+        # HIPE fuses the whole scan into one pass family: no boundary,
+        # no snapshot — such points keep the restart-from-zero recovery.
+        arch, scan = POINTS[3]
+        store = CheckpointStore(tmp_path)
+        monitor = RunMonitor(store=store, key="hipe-point")
+        reference = run_scan(arch, scan, rows=ROWS, seed=1994).to_dict()
+        result = run_scan(arch, scan, rows=ROWS, seed=1994, monitor=monitor)
+        assert monitor.snapshots_taken == 0
+        assert monitor.resumed_from_pass is None
+        assert result.to_dict() == reference  # monitor is transparent
+
+    def test_snapshot_throttle_spaces_checkpoints(self, tmp_path):
+        # With a huge min interval no boundary is "due": ops can bound
+        # the pickling overhead, trading rework-after-crash for speed.
+        arch, scan = POINTS[0]
+        reference = run_scan(arch, scan, rows=ROWS, seed=1994).to_dict()
+        store = CheckpointStore(tmp_path)
+        monitor = RunMonitor(store=store, key="throttled",
+                             snapshot_min_interval=3600.0)
+        result = run_scan(arch, scan, rows=ROWS, seed=1994, monitor=monitor)
+        assert monitor.snapshots_taken == 0
+        assert not store.path_for("throttled").exists()
+        assert result.to_dict() == reference
+
+    def test_monitor_without_store_is_transparent(self):
+        arch, scan = POINTS[0]
+        reference = run_scan(arch, scan, rows=ROWS, seed=1994).to_dict()
+        beats = []
+        monitor = RunMonitor(heartbeat=beats.append, heartbeat_interval=0.0)
+        result = run_scan(arch, scan, rows=ROWS, seed=1994, monitor=monitor)
+        assert result.to_dict() == reference
+        assert beats, "heartbeats should flow while simulating"
+        assert all({"runs", "pass"} <= set(b) for b in beats)
+        assert beats[-1]["runs"] == monitor.runs_consumed
+
+    def test_entries_reports_resumable_points(self, tmp_path):
+        arch, scan = POINTS[0]
+        store = CheckpointStore(tmp_path)
+        _interrupt_at_pass(store, "visible-point", arch, scan)
+        (entry,) = store.entries()
+        assert entry["key"] == "visible-point"
+        assert entry["pass"] == 1
+        assert entry["runs"] > 0
+        assert entry["meta"] == {}
+        assert entry["size"] > 0
+
+
+# -- checkpoint file integrity -----------------------------------------------
+
+
+class TestCheckpointIntegrity:
+    def _saved(self, tmp_path):
+        arch, scan = POINTS[0]
+        store = CheckpointStore(tmp_path)
+        _interrupt_at_pass(store, "damaged", arch, scan)
+        return store, store.path_for("damaged")
+
+    @pytest.mark.parametrize("mode", ["truncate", "garbage", "bitflip",
+                                      "empty"])
+    def test_corruption_quarantines_and_misses(self, tmp_path, mode):
+        store, path = self._saved(tmp_path)
+        faults.corrupt_file(path, mode)
+        assert store.load("damaged") is None
+        assert store.quarantined == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".quarantine").exists()
+
+    def test_schema_skew_misses_without_quarantine(self, tmp_path):
+        store, path = self._saved(tmp_path)
+        with open(path, "rb") as handle:
+            header = json.loads(handle.readline())
+            payload = handle.read()
+        header["schema"] = CHECKPOINT_SCHEMA + 1
+        with open(path, "wb") as handle:
+            handle.write(json.dumps(header).encode() + b"\n" + payload)
+        assert store.load("damaged") is None
+        assert store.quarantined == 0  # honest version skew
+        assert path.exists()
+
+    def test_corrupted_checkpoint_degrades_to_fresh_run(self, tmp_path):
+        # The retry after quarantine starts from scratch and is still right.
+        arch, scan = POINTS[0]
+        reference = run_scan(arch, scan, rows=ROWS, seed=1994).to_dict()
+        store, path = self._saved(tmp_path)
+        faults.corrupt_file(path, "garbage")
+        monitor = RunMonitor(store=store, key="damaged")
+        result = run_scan(arch, scan, rows=ROWS, seed=1994, monitor=monitor)
+        assert monitor.resumed_from_pass is None  # no resume: from zero
+        assert result.to_dict() == reference
+
+    def test_purge_drops_old_snapshots(self, tmp_path):
+        store, path = self._saved(tmp_path)
+        old = time.time() - 10 * 24 * 3600
+        os.utime(path, (old, old))
+        assert store.purge() == 1
+        assert not path.exists()
+
+
+# -- result-cache integrity ---------------------------------------------------
+
+
+class TestCacheIntegrity:
+    def _warm(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path / "cache")
+        result = engine.sweep("warm", POINTS[:1], ROWS).runs[0]
+        cache = ResultCache(tmp_path / "cache")
+        files = list((tmp_path / "cache").glob("*.json"))
+        assert len(files) == 1
+        return result, cache, files[0]
+
+    @pytest.mark.parametrize("mode", ["truncate", "garbage", "bitflip",
+                                      "empty"])
+    def test_corruption_quarantines_and_misses(self, tmp_path, mode):
+        _, cache, path = self._warm(tmp_path)
+        key = path.stem
+        assert cache.load(key) is not None
+        faults.corrupt_file(path, mode)
+        assert cache.load(key) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".quarantine").exists()
+
+    def test_wrong_schema_misses_without_quarantine(self, tmp_path):
+        _, cache, path = self._warm(tmp_path)
+        faults.corrupt_file(path, "wrong_schema")
+        assert cache.load(path.stem) is None
+        assert cache.quarantined == 0
+        assert path.exists()
+
+    def test_engine_resimulates_after_corruption_bit_identically(
+        self, tmp_path
+    ):
+        original, _, path = self._warm(tmp_path)
+        faults.corrupt_file(path, "garbage")
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path / "cache")
+        again = engine.sweep("again", POINTS[:1], ROWS).runs[0]
+        assert engine.cache_hits == 0  # corrupt entry never surfaced
+        assert engine.simulated_points == 1
+        assert again == original
+
+    def test_service_resimulates_after_corruption_bit_identically(
+        self, tmp_path
+    ):
+        with SimulationService(jobs=1, cache_dir=tmp_path / "cache") as svc:
+            cold = svc.wait([svc.submit(*POINTS[0], ROWS)], timeout=120)[0]
+            entry = ResultCache(tmp_path / "cache").path_for(cold.ticket.key)
+            faults.corrupt_file(entry, "bitflip")
+            warm = svc.wait([svc.submit(*POINTS[0], ROWS)], timeout=120)[0]
+        assert cold.state is JobState.DONE
+        assert warm.state is JobState.DONE
+        assert warm.cached is False  # corruption degraded to a miss
+        assert warm.result == cold.result
+
+    def test_clear_sweeps_quarantined_entries(self, tmp_path):
+        _, cache, path = self._warm(tmp_path)
+        faults.corrupt_file(path, "garbage")
+        cache.load(path.stem)
+        assert list(cache.directory.glob("*.quarantine"))
+        cache.clear()
+        assert not list(cache.directory.glob("*.quarantine"))
+
+
+# -- service-level chaos (real processes, injected faults) --------------------
+
+
+class TestServiceChaos:
+    def test_kill_at_pass_resumes_bit_identically(self, tmp_path, monkeypatch):
+        reference = run_scan(*SERVICE_POINT, rows=SERVICE_ROWS,
+                             seed=1994).to_dict()
+        monkeypatch.setenv(faults.ENV_VAR, "kill@pass,pass=1,attempt=1")
+        with SimulationService(
+            jobs=1, use_cache=False, retries=1,
+            checkpoint_dir=tmp_path / "ckpt",
+        ) as service:
+            ticket = service.submit(*SERVICE_POINT, SERVICE_ROWS)
+            record = service.wait([ticket], timeout=180)[0]
+        assert record.state is JobState.DONE
+        assert record.attempts == 2
+        assert record.resumed_from_pass == 1  # not restarted from zero
+        assert service.resumed_jobs == 1
+        assert record.attempt_log[0]["kind"] == "crash"
+        assert record.attempt_log[0]["exitcode"] is not None
+        assert record.result.to_dict() == reference
+
+    def test_hang_is_killed_by_heartbeat_silence_and_retried(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(faults.ENV_VAR, "hang@start,attempt=1")
+        with SimulationService(
+            jobs=1, use_cache=False, retries=1, timeout=1.0,
+            checkpoint_dir=tmp_path / "ckpt",
+        ) as service:
+            ticket = service.submit(*SERVICE_POINT, SERVICE_ROWS)
+            record = service.wait([ticket], timeout=180)[0]
+        assert record.state is JobState.DONE
+        assert record.attempts == 2
+        assert record.attempt_log[0]["kind"] == "stalled"
+        assert "no heartbeat" in record.attempt_log[0]["reason"]
+
+    def test_dropped_result_recovered_by_watchdog(self, tmp_path, monkeypatch):
+        reference = run_scan(*SERVICE_POINT, rows=SERVICE_ROWS,
+                             seed=1994).to_dict()
+        monkeypatch.setenv(faults.ENV_VAR, "drop@result,attempt=1")
+        with SimulationService(
+            jobs=1, use_cache=False, retries=1, timeout=2.0,
+            checkpoint_dir=tmp_path / "ckpt",
+        ) as service:
+            ticket = service.submit(*SERVICE_POINT, SERVICE_ROWS)
+            record = service.wait([ticket], timeout=180)[0]
+        assert record.state is JobState.DONE
+        assert record.attempts == 2
+        assert record.attempt_log[0]["kind"] == "stalled"
+        assert record.result.to_dict() == reference
+
+    def test_retry_exhaustion_reports_attempt_history(
+        self, tmp_path, monkeypatch
+    ):
+        # No attempt condition: the kill fires on *every* attempt.
+        monkeypatch.setenv(faults.ENV_VAR, "kill@start")
+        with SimulationService(
+            jobs=1, use_cache=False, retries=1,
+            checkpoint_dir=tmp_path / "ckpt",
+        ) as service:
+            ticket = service.submit(*SERVICE_POINT, SERVICE_ROWS)
+            record = service.wait([ticket], timeout=180)[0]
+            assert record.state is JobState.FAILED
+            assert record.attempts == 2
+            assert [e["kind"] for e in record.attempt_log] == ["crash"] * 2
+            assert [e["attempt"] for e in record.attempt_log] == [1, 2]
+            assert "history" in record.error
+            with pytest.raises(PointExecutionError) as excinfo:
+                service.execute_points(
+                    [SERVICE_POINT], None, SERVICE_ROWS, 1994, 1,
+                )
+            assert len(excinfo.value.attempts) == 2
+            assert excinfo.value.attempts[0]["kind"] == "crash"
+
+
+# -- shared-memory hygiene ----------------------------------------------------
+
+
+class TestSharedMemoryHygiene:
+    def test_truncated_segment_fails_loudly(self):
+        data = generate_lineitem(128, seed=3)
+        image = DatasetImage(data, "a" * 40)
+        try:
+            handle = image.handle
+            lying = DatasetHandle(
+                shm_name=handle.shm_name,
+                digest="f" * 40,  # distinct digest: bypass the attach memo
+                rows=handle.rows,
+                columns=tuple(
+                    (name, dtype, offset, count * 1000)
+                    for name, dtype, offset, count in handle.columns
+                ),
+                schema=handle.schema,
+            )
+            with pytest.raises(ValueError, match="truncated"):
+                attach_dataset(lying)
+        finally:
+            detach_all()
+            image.close()
+
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                        reason="no POSIX shm filesystem")
+    def test_stale_segment_of_dead_publisher_is_swept(self):
+        from multiprocessing import Process, resource_tracker
+
+        probe = Process(target=lambda: None)
+        probe.start()
+        probe.join()
+        dead_pid = probe.pid  # guaranteed-dead pid
+        name = f"{SEGMENT_PREFIX}deadbeefdead_{dead_pid}_0"
+        segment = shared_memory.SharedMemory(create=True, name=name, size=64)
+        segment.close()
+        try:  # the sweeper unlinks it; keep our tracker out of the way
+            resource_tracker.unregister(
+                getattr(segment, "_name", "/" + name), "shared_memory"
+            )
+        except Exception:
+            pass
+        assert name in os.listdir("/dev/shm")
+        assert sweep_stale_segments() >= 1
+        assert name not in os.listdir("/dev/shm")
+
+    def test_live_segments_are_not_swept(self):
+        data = generate_lineitem(64, seed=5)
+        image = DatasetImage(data, "b" * 40)
+        try:
+            sweep_stale_segments()
+            # our own (live) publisher's segment survives the sweep
+            attached = attach_dataset(image.handle)
+            assert attached.rows == 64
+        finally:
+            detach_all()
+            image.close()

@@ -16,11 +16,15 @@ Usage::
         --unroll 8 --rows 262144 --jobs 4
     PYTHONPATH=src python tools/service_cli.py --rows 8192 --cancel-after 2
     PYTHONPATH=src python tools/service_cli.py --status-only --rows 8192
+    PYTHONPATH=src python tools/service_cli.py --show-checkpoints
 
 ``--cancel-after N`` cancels every still-outstanding job after N
 completions (exercising the cancellation path); ``--status-only``
 submits, prints one status snapshot per second until done, and never
 streams — the ticket/status/cancel surface without the iterator.
+``--show-checkpoints`` lists the resumable pass-boundary snapshots of
+interrupted points (and exits); a streamed result that recovered from a
+crash prints ``resumed from pass K``.
 """
 
 from __future__ import annotations
@@ -49,6 +53,39 @@ def build_points(args):
     return points
 
 
+def show_checkpoints(checkpoint_dir=None) -> int:
+    """Print every resumable pass-boundary snapshot in the sidecar."""
+    import os
+
+    from repro.sim.checkpoint import DEFAULT_CHECKPOINT_SUBDIR, CheckpointStore
+    from repro.sim.engine import DEFAULT_CACHE_DIR
+
+    if checkpoint_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        checkpoint_dir = os.environ.get(
+            "REPRO_CHECKPOINT_DIR",
+            os.path.join(cache_dir, DEFAULT_CHECKPOINT_SUBDIR),
+        )
+    store = CheckpointStore(checkpoint_dir)
+    entries = store.entries()
+    print(f"checkpoint sidecar: {store.directory}")
+    if not entries:
+        print("no resumable checkpoints (every point either finished or "
+              "never reached a pass boundary)")
+        return 0
+    for entry in entries:
+        meta = entry.get("meta") or {}
+        age = time.time() - entry.get("saved_at", time.time())
+        print(f"  {entry['key'][:16]}…  pass={entry['pass']} "
+              f"runs={entry['runs']} "
+              f"arch={meta.get('arch', '?')} rows={meta.get('rows', '?')} "
+              f"op={meta.get('op_bytes', '?')}B "
+              f"{entry['size'] / 1e6:.1f} MB  saved {age:.0f}s ago")
+    print(f"{len(entries)} resumable point(s); a resubmitted point resumes "
+          f"from its last completed pass")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -74,15 +111,24 @@ def main() -> int:
                         help="cancel outstanding jobs after N completions")
     parser.add_argument("--status-only", action="store_true",
                         help="poll status snapshots instead of streaming")
+    parser.add_argument("--show-checkpoints", action="store_true",
+                        help="list resumable pass-boundary checkpoints and exit")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="checkpoint sidecar directory (default: "
+                             "<cache dir>/checkpoints or REPRO_CHECKPOINT_DIR)")
     args = parser.parse_args()
 
     from repro.service import JobState, SimulationService
     from repro.sim.results import format_table
 
+    if args.show_checkpoints:
+        return show_checkpoints(args.checkpoint_dir)
+
     points = build_points(args)
     service = SimulationService(
         jobs=args.jobs, use_cache=False if args.no_cache else None,
         retries=args.retries, timeout=args.timeout,
+        checkpoint_dir=args.checkpoint_dir,
     )
     start = time.perf_counter()
     exit_code = 0
@@ -118,6 +164,9 @@ def main() -> int:
                 if record.state is JobState.DONE:
                     detail = (f"cycles={record.result.cycles:,} "
                               f"verified={record.result.verified}")
+                    if record.resumed_from_pass is not None:
+                        detail += (f" resumed from pass "
+                                   f"{record.resumed_from_pass}")
                 elif record.error:
                     detail = record.error.strip().splitlines()[-1]
                 print(f"[{n}/{total}] {elapsed:7.2f}s {record.ticket.label:<14} "
@@ -145,6 +194,7 @@ def main() -> int:
                            f"service sweep ({args.rows:,} rows)"))
     wall = time.perf_counter() - start
     print(f"\n{len(completed)} done, retried {service.retried_jobs}, "
+          f"resumed {service.resumed_jobs}, "
           f"cache hits {service.cache_hits}, "
           f"datasets published {service.datasets_published}, "
           f"wall {wall:.2f}s")
