@@ -130,7 +130,7 @@ from .sim.results import (
 from .sim.runner import DEFAULT_ROWS, build_workload, run_scan
 from .service import JobState, SimulationService, Ticket
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ARCHITECTURES",

@@ -16,10 +16,41 @@ and heartbeat while simulating, so the supervisor retries dead or
 silent workers from the last completed pass — bit-identical to an
 uninterrupted run — instead of restarting points from zero.
 
+Overload safety (see :mod:`repro.service.admission`): the pending queue
+is bounded and per-client / per-class quotas shed excess load with a
+structured :class:`ServiceOverloadError`; retries back off
+exponentially with deterministic jitter; jobs carry deadlines past
+which they checkpoint-stop; :meth:`SimulationService.drain` (or SIGTERM
+on the HTTP host) checkpoint-stops everything so a restarted service
+resumes from the snapshots.
+
+The HTTP front end (:mod:`repro.service.http_api`) serves the same
+engine over stdlib ``http.server``::
+
+    from repro.service import SimulationService, start_http_server
+
+    service = SimulationService()
+    server = start_http_server(service, port=8642)
+
 See :mod:`repro.service.service` for the engine and
 :mod:`repro.service.worker` for the worker-side protocol.
 """
 
+from .admission import (
+    AdmissionController,
+    ServiceDrainingError,
+    ServiceOverloadError,
+    backoff_delay,
+    parse_class_quotas,
+)
+from .http_api import (
+    HTTPServiceError,
+    ServiceClient,
+    ServiceHTTPServer,
+    describe_record,
+    install_drain_handler,
+    start_http_server,
+)
 from .service import (
     JobRecord,
     JobState,
@@ -32,13 +63,24 @@ from .service import (
 from .worker import execute_point_payload, make_task_payload
 
 __all__ = [
+    "AdmissionController",
+    "HTTPServiceError",
     "JobRecord",
     "JobState",
+    "ServiceClient",
+    "ServiceDrainingError",
+    "ServiceHTTPServer",
+    "ServiceOverloadError",
     "SimulationService",
     "Ticket",
+    "backoff_delay",
     "default_service",
+    "describe_record",
     "execute_point_payload",
+    "install_drain_handler",
     "make_task_payload",
+    "parse_class_quotas",
     "service_routing_enabled",
     "shutdown_default_service",
+    "start_http_server",
 ]

@@ -38,6 +38,7 @@ import itertools
 import multiprocessing
 import os
 import queue as queue_module
+import signal
 import threading
 import time
 from collections import deque
@@ -68,7 +69,16 @@ from ..sim.engine import (
     point_key,
 )
 from ..sim.results import ExperimentResult, RunResult
-from .worker import make_task_payload, worker_main
+from .admission import (
+    DEFAULT_CLASS,
+    DEFAULT_CLIENT,
+    AdmissionController,
+    ServiceDrainingError,
+    ServiceOverloadError,
+    backoff_delay,
+    resolve_block_timeout,
+)
+from .worker import make_task_payload, resolve_rss_watermark_mb, worker_main
 
 
 class JobState(str, Enum):
@@ -79,10 +89,17 @@ class JobState(str, Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: deadline passed — the attempt checkpoint-stopped; partial work
+    #: is preserved and a resubmission resumes from it
+    EXPIRED = "expired"
+    #: the service drained while this job was queued/running; its
+    #: checkpoint (if any) is preserved for the successor service
+    DRAINED = "drained"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED,
+                        JobState.EXPIRED, JobState.DRAINED)
 
 
 @dataclass(frozen=True)
@@ -127,8 +144,24 @@ class JobRecord:
     #: the pass the successful attempt resumed from (None = ran from zero)
     resumed_from_pass: Optional[int] = None
     #: post-mortem of every *failed* attempt: kind (crash/stalled/
-    #: exception), reason, duration, exitcode where known
+    #: exception/recycled/...), reason, duration, exitcode where known,
+    #: and — for retried attempts — the backoff delay (``retry_in``)
     attempt_log: List[Dict[str, Any]] = field(default_factory=list)
+    #: admission identity of the submitter (quota accounting)
+    client: str = DEFAULT_CLIENT
+    #: admission class of the job (quota accounting)
+    job_class: str = DEFAULT_CLASS
+    #: absolute wall-clock epoch past which the job checkpoint-abandons
+    deadline_at: Optional[float] = None
+    #: monotonic time before which a retry must not re-dispatch (backoff)
+    not_before: Optional[float] = None
+    #: the dataset digest this job holds a shared-image reference on
+    digest: Optional[str] = None
+    #: whether this job passed the admission gate (needs a release)
+    admitted: bool = False
+    #: voluntary checkpoint-and-requeue rounds (RSS recycles, stray
+    #: SIGTERMs) — these do *not* consume the crash-retry budget
+    recycles: int = 0
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -152,6 +185,52 @@ class _Worker:
 #: grace between observing a worker's death and retrying its job, so a
 #: "done" message flushed just before the crash can still drain
 _DEAD_WORKER_GRACE = 0.25
+
+
+class _ImageEntry:
+    """One published dataset image plus its reference accounting.
+
+    ``refs`` counts outstanding (non-terminal) jobs whose payload
+    carries this image's handle; only zero-ref images are eligible for
+    LRU unpublishing under the shared-memory budget.
+    """
+
+    __slots__ = ("image", "refs", "last_used")
+
+    def __init__(self, image: DatasetImage) -> None:
+        self.image = image
+        self.refs = 0
+        self.last_used = time.monotonic()
+
+
+def _resolve_drain_grace(explicit: Optional[float]) -> float:
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get("REPRO_SERVICE_DRAIN_GRACE")
+    if not raw:
+        return 30.0
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SERVICE_DRAIN_GRACE must be a number, got {raw!r}"
+        ) from None
+
+
+def _resolve_shm_max_bytes(explicit_mb: Optional[float]) -> Optional[int]:
+    if explicit_mb is None:
+        raw = os.environ.get("REPRO_SERVICE_SHM_MAX_MB")
+        if not raw:
+            return None
+        try:
+            explicit_mb = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SERVICE_SHM_MAX_MB must be a number, got {raw!r}"
+            ) from None
+    if explicit_mb <= 0:
+        return None
+    return int(explicit_mb * 1024 * 1024)
 
 
 def _resolve_retries(retries: Optional[int]) -> int:
@@ -202,6 +281,39 @@ class SimulationService:
         ``<cache dir>/checkpoints/`` or ``REPRO_CHECKPOINT_DIR``),
         and a retried job resumes from its predecessor's last
         completed pass, bit-identical to an uninterrupted run.
+    max_pending / client_quota / class_quotas:
+        Admission control (see :mod:`repro.service.admission`): the
+        pending queue is bounded (``REPRO_SERVICE_MAX_PENDING``,
+        default 256) and per-client / per-job-class outstanding quotas
+        (``REPRO_SERVICE_CLIENT_QUOTA`` /
+        ``REPRO_SERVICE_CLASS_QUOTAS``) shed excess load with a
+        structured :class:`ServiceOverloadError` instead of queuing
+        unboundedly.  ``submit(..., block=True)`` waits for room
+        instead (bounded by ``block_timeout`` /
+        ``REPRO_SERVICE_BLOCK_TIMEOUT``).
+    drain_grace:
+        How long :meth:`drain` waits for running points to
+        checkpoint-stop at a pass boundary before hard-killing their
+        workers (``REPRO_SERVICE_DRAIN_GRACE``, default 30 s).  Either
+        way the last completed pass is on disk and a restarted service
+        resumes from it.
+    deadline_grace:
+        Slack past a job's deadline before the supervisor stops
+        waiting for the worker's voluntary checkpoint-abandon and
+        kills it (covers single-pass streams that never reach a
+        boundary).  Default 5 s.
+    shm_max_mb:
+        Budget for concurrently published shared-memory dataset
+        images (``REPRO_SERVICE_SHM_MAX_MB``, default unbounded).
+        Publishing past it LRU-unpublishes *idle* images (no
+        outstanding job references); images still referenced are
+        never unpublished, so the budget can be transiently exceeded
+        rather than ever breaking a running job.
+    rss_watermark_mb:
+        Per-worker RSS watermark (``REPRO_SERVICE_WORKER_RSS_MB``,
+        default off): a worker crossing it checkpoints at the next
+        pass boundary and recycles itself onto a fresh process,
+        pre-empting the OOM killer instead of meeting it.
     """
 
     def __init__(
@@ -214,6 +326,14 @@ class SimulationService:
         poll_interval: float = 0.05,
         checkpoint_dir: Optional[str | os.PathLike] = None,
         checkpoints: Optional[bool] = None,
+        max_pending: Optional[int] = None,
+        client_quota: Optional[int] = None,
+        class_quotas: Optional[Dict[str, int]] = None,
+        block_timeout: Optional[float] = None,
+        drain_grace: Optional[float] = None,
+        deadline_grace: float = 5.0,
+        shm_max_mb: Optional[float] = None,
+        rss_watermark_mb: Optional[float] = None,
     ) -> None:
         self.jobs = _resolve_jobs(jobs)
         cache_directory = cache_dir or os.environ.get(
@@ -236,6 +356,15 @@ class SimulationService:
         self.retries = _resolve_retries(retries)
         self.timeout = timeout
         self._poll_interval = poll_interval
+        self.admission = AdmissionController(
+            max_pending=max_pending, client_quota=client_quota,
+            class_quotas=class_quotas,
+        )
+        self.block_timeout = resolve_block_timeout(block_timeout)
+        self.drain_grace = _resolve_drain_grace(drain_grace)
+        self.deadline_grace = deadline_grace
+        self.shm_max_bytes = _resolve_shm_max_bytes(shm_max_mb)
+        self.rss_watermark_mb = resolve_rss_watermark_mb(rss_watermark_mb)
         # Reclaim shared-memory segments a crashed predecessor left
         # behind before publishing any of our own.
         self.stale_segments_swept = sweep_stale_segments()
@@ -245,20 +374,26 @@ class SimulationService:
         )
         self._result_queue = self._ctx.Queue()
         self._workers: List[_Worker] = []
+        self._retired: List[_Worker] = []  # announced-exit, awaiting reap
         self._records: Dict[int, JobRecord] = {}
         self._pending: deque = deque()
         self._completed_order: List[int] = []
-        self._images: Dict[str, DatasetImage] = {}
+        self._images: Dict[str, _ImageEntry] = {}
         self._ids = itertools.count(1)
         self._cv = threading.Condition(threading.RLock())
         self._closed = False
         self._stopped = False
+        self._draining = False
         # telemetry
         self.cache_hits = 0
         self.simulated_points = 0
         self.retried_jobs = 0
         self.resumed_jobs = 0
         self.datasets_published = 0
+        self.datasets_unpublished = 0
+        self.drained_jobs = 0
+        self.expired_jobs = 0
+        self.recycled_workers = 0
         self._supervisor = threading.Thread(
             target=self._supervise, name="repro-service-supervisor", daemon=True
         )
@@ -276,14 +411,30 @@ class SimulationService:
         scale: int = DEFAULT_SCALE,
         data: Optional[LineitemData] = None,
         plan: Optional[QueryPlan] = None,
+        client: str = DEFAULT_CLIENT,
+        job_class: str = DEFAULT_CLASS,
+        deadline: Optional[float] = None,
+        block: bool = False,
+        block_timeout: Optional[float] = None,
     ) -> Ticket:
         """Enqueue one simulation point; returns its :class:`Ticket`.
 
         A cache hit completes the job immediately (it still appears in
-        the completion stream, flagged ``cached``).  ``data`` defaults
-        to the deterministic generated table of the plan's schema —
-        pass it explicitly when submitting many points over one table
-        so generation and digesting happen once.
+        the completion stream, flagged ``cached``) and bypasses
+        admission — serving a warm result costs nothing worth shedding.
+        ``data`` defaults to the deterministic generated table of the
+        plan's schema — pass it explicitly when submitting many points
+        over one table so generation and digesting happen once.
+
+        ``client``/``job_class`` are the admission identities quotas
+        bind to.  ``deadline`` (seconds from now) bounds the attempt's
+        wall clock: past it the worker checkpoint-then-abandons and the
+        job ends :attr:`JobState.EXPIRED` with its partial work
+        resumable.  On overload a non-``block`` submit raises
+        :class:`ServiceOverloadError` immediately; ``block=True`` waits
+        for room up to ``block_timeout`` before giving up the same way.
+        A draining service raises :class:`ServiceDrainingError` either
+        way.
         """
         arch = arch.lower()
         if data is None:
@@ -309,13 +460,17 @@ class SimulationService:
         except ValueError:
             key = None
         with self._cv:
-            if self._closed:
-                raise RuntimeError("service is closed")
+            self._check_open()
             ticket = Ticket(
                 id=next(self._ids), arch=arch, scan=scan,
                 rows=int(rows), seed=int(seed), scale=int(scale), key=key,
             )
-            record = JobRecord(ticket=ticket, submitted_at=time.monotonic())
+            record = JobRecord(
+                ticket=ticket, submitted_at=time.monotonic(),
+                client=client, job_class=job_class,
+            )
+            if deadline is not None:
+                record.deadline_at = time.time() + float(deadline)
             self._records[ticket.id] = record
             cached = (
                 self.cache.load(key)
@@ -327,21 +482,79 @@ class SimulationService:
                 record.cached = True
                 self._finish(record, JobState.DONE)
                 return ticket
-            handle = self._publish_dataset(digest, data)
-            checkpoint = None
-            if self.checkpoints is not None and key is not None:
-                checkpoint = {
-                    "dir": str(self.checkpoints.directory), "key": key,
-                }
-            record.payload = make_task_payload(
-                arch, scan.to_dict(), rows, seed, scale,
-                dataset_handle=handle,
-                plan_payload=plan.to_dict() if plan is not None else None,
-                checkpoint=checkpoint,
-            )
+            self._admit(record, block=block, block_timeout=block_timeout)
+            record.admitted = True
+            try:
+                handle = self._publish_dataset(digest, data)
+                entry = self._images[digest]
+                entry.refs += 1
+                record.digest = digest
+                checkpoint = None
+                if self.checkpoints is not None and key is not None:
+                    checkpoint = {
+                        "dir": str(self.checkpoints.directory), "key": key,
+                    }
+                record.payload = make_task_payload(
+                    arch, scan.to_dict(), rows, seed, scale,
+                    dataset_handle=handle,
+                    plan_payload=plan.to_dict() if plan is not None else None,
+                    checkpoint=checkpoint,
+                    deadline_at=record.deadline_at,
+                    rss_watermark_mb=self.rss_watermark_mb,
+                )
+            except BaseException:
+                # e.g. /dev/shm exhausted while publishing: undo the
+                # admission so the failed submit doesn't leak quota.
+                self.admission.release(record.client, record.job_class)
+                record.admitted = False
+                self._records.pop(ticket.id, None)
+                raise
             self._pending.append(ticket.id)
             self._cv.notify_all()
         return ticket
+
+    def _check_open(self) -> None:
+        """Raise the precise refusal for a closed/draining service."""
+        if self._draining:
+            raise ServiceDrainingError(
+                "service is draining: running jobs are checkpoint-stopping; "
+                "resubmit to a fresh service to resume them"
+            )
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    def _admit(
+        self,
+        record: JobRecord,
+        block: bool,
+        block_timeout: Optional[float],
+    ) -> None:
+        """Admission gate (lock held): fail fast, or park until room.
+
+        On rejection the record is dropped from the registry — an
+        unadmitted submit never existed as far as streaming, progress
+        counts and quota accounting are concerned.
+        """
+        patience = (
+            self.block_timeout if block_timeout is None else block_timeout
+        )
+        deadline = time.monotonic() + patience
+        while True:
+            try:
+                self.admission.admit(
+                    record.client, record.job_class, len(self._pending)
+                )
+                return
+            except ServiceOverloadError:
+                if not block or time.monotonic() >= deadline:
+                    self._records.pop(record.ticket.id, None)
+                    raise
+            self._cv.wait(min(self._poll_interval, patience))
+            try:
+                self._check_open()
+            except (ServiceDrainingError, RuntimeError):
+                self._records.pop(record.ticket.id, None)
+                raise
 
     def status(self, ticket: Ticket) -> JobRecord:
         """The current :class:`JobRecord` of one ticket."""
@@ -385,6 +598,60 @@ class SimulationService:
                 self._finish(record, JobState.CANCELLED)
                 return True
             return False
+
+    # -- id-addressed variants (the HTTP front end's view) ------------------
+
+    def record_for(self, job_id: int) -> JobRecord:
+        """The :class:`JobRecord` of one job id (KeyError if unknown)."""
+        with self._cv:
+            return self._records[job_id]
+
+    def cancel_id(self, job_id: int) -> bool:
+        """:meth:`cancel` addressed by job id (KeyError if unknown)."""
+        with self._cv:
+            return self.cancel(self._records[job_id].ticket)
+
+    def healthz(self) -> Dict[str, Any]:
+        """One structured snapshot of service health and telemetry."""
+        with self._cv:
+            states = {state.value: 0 for state in JobState}
+            for record in self._records.values():
+                states[record.state.value] += 1
+            return {
+                "status": (
+                    "draining" if self._draining
+                    else "closed" if self._closed else "ok"
+                ),
+                "workers": {
+                    "alive": sum(
+                        1 for w in self._workers if w.process.is_alive()
+                    ),
+                    "busy": sum(
+                        1 for w in self._workers if w.job_id is not None
+                    ),
+                    "max": self.jobs,
+                },
+                "pending": len(self._pending),
+                "jobs": states,
+                "admission": self.admission.snapshot(),
+                "shm": {
+                    "images": len(self._images),
+                    "bytes": sum(
+                        e.image.nbytes for e in self._images.values()
+                    ),
+                    "budget_bytes": self.shm_max_bytes,
+                },
+                "counters": {
+                    "cache_hits": self.cache_hits,
+                    "retried_jobs": self.retried_jobs,
+                    "resumed_jobs": self.resumed_jobs,
+                    "datasets_published": self.datasets_published,
+                    "datasets_unpublished": self.datasets_unpublished,
+                    "drained_jobs": self.drained_jobs,
+                    "expired_jobs": self.expired_jobs,
+                    "recycled_workers": self.recycled_workers,
+                },
+            }
 
     def stream(
         self,
@@ -456,8 +723,10 @@ class SimulationService:
         point context, exactly like the pool path.
         """
         tickets = [
+            # block=True: a sweep wider than the pending queue waits for
+            # room instead of shedding its own points
             self.submit(arch, scan, rows, seed=seed, scale=scale,
-                        data=data, plan=plan)
+                        data=data, plan=plan, block=True)
             for arch, scan in points
         ]
         by_id: Dict[int, RunResult] = {}
@@ -512,8 +781,91 @@ class SimulationService:
             result.runs.append(run)
         return result
 
-    def close(self, timeout: float = 30.0, force: bool = False) -> None:
-        """Drain (or with ``force`` abandon) jobs, stop workers, unlink images."""
+    def drain(self, grace: Optional[float] = None) -> Dict[str, int]:
+        """Graceful drain: checkpoint-stop running jobs, reject new ones.
+
+        Queued jobs move straight to :attr:`JobState.DRAINED`; running
+        workers get SIGTERM — whose handler only raises a flag, so an
+        in-flight checkpoint write completes untorn — and checkpoint-
+        stop at their next pass boundary.  Workers still busy after
+        ``grace`` (default ``drain_grace``) are hard-killed; either way
+        the last completed pass of every drained job is on disk, and a
+        restarted service that resubmits the same points resumes each
+        one from its checkpoint.
+
+        Idempotent; returns ``{"drained": n, "killed": m}``.  This is
+        also what the HTTP front end's SIGTERM handler calls.
+        """
+        grace = self.drain_grace if grace is None else grace
+        drained = killed = 0
+        with self._cv:
+            if self._stopped:
+                return {"drained": 0, "killed": 0}
+            self._draining = True
+            while self._pending:
+                job_id = self._pending.popleft()
+                record = self._records[job_id]
+                if record.state is JobState.PENDING:
+                    record.error = (
+                        "service drained before the job ran (resubmit to "
+                        "a fresh service)"
+                    )
+                    self._finish(record, JobState.DRAINED)
+                    drained += 1
+            for worker in self._workers:
+                if worker.job_id is not None and worker.process.is_alive():
+                    try:
+                        os.kill(worker.process.pid, signal.SIGTERM)
+                    except (OSError, TypeError):  # pragma: no cover
+                        pass
+            self._cv.notify_all()
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            with self._cv:
+                busy = any(w.job_id is not None for w in self._workers)
+            if not busy:
+                break
+            time.sleep(self._poll_interval)
+        with self._cv:
+            # Past the grace: hard-kill stragglers.  Their last completed
+            # pass was snapshotted before this drain began (boundary
+            # writes are atomic), so nothing resumable is lost.
+            for worker in list(self._workers):
+                if worker.job_id is None:
+                    continue
+                record = self._records.get(worker.job_id)
+                worker.job_id = None
+                self._kill_worker(worker)
+                killed += 1
+                if record is not None and not record.state.terminal:
+                    record.error = (
+                        "drained past the grace period (worker killed; "
+                        "resumes from its last checkpoint)"
+                    )
+                    self._finish(record, JobState.DRAINED)
+            drained = self.drained_jobs
+        return {"drained": drained, "killed": killed}
+
+    @property
+    def draining(self) -> bool:
+        with self._cv:
+            return self._draining
+
+    def close(
+        self,
+        timeout: float = 30.0,
+        force: bool = False,
+        drain: bool = False,
+    ) -> None:
+        """Drain (or with ``force`` abandon) jobs, stop workers, unlink images.
+
+        ``drain=True`` runs the graceful-drain protocol first:
+        checkpoint-stop everything within :attr:`drain_grace`, preserve
+        every snapshot, then tear down — the SIGTERM story for a
+        service host.
+        """
+        if drain:
+            self.drain()
         with self._cv:
             if self._stopped:
                 return
@@ -547,8 +899,8 @@ class SimulationService:
                 worker.process.terminate()
                 worker.process.join(timeout=1.0)
         self._workers.clear()
-        for image in self._images.values():
-            image.close()
+        for entry in self._images.values():
+            entry.image.close()
         self._images.clear()
 
     def __enter__(self) -> "SimulationService":
@@ -560,18 +912,69 @@ class SimulationService:
     # -- supervisor --------------------------------------------------------
 
     def _publish_dataset(self, digest: str, data: LineitemData):
-        """The shared-memory handle of ``data``, published at most once."""
-        image = self._images.get(digest)
-        if image is None:
-            image = DatasetImage(data, digest)
-            self._images[digest] = image
+        """The shared-memory handle of ``data``, published at most once.
+
+        Under a shared-memory budget (``shm_max_mb``) a publish that
+        pushes the total over it first LRU-unpublishes *idle* images —
+        ones no outstanding job references.  Referenced images are never
+        unpublished, so the budget is a pressure valve, not a hard cap:
+        it can be transiently exceeded rather than ever breaking a
+        running job.
+        """
+        entry = self._images.get(digest)
+        if entry is None:
+            entry = _ImageEntry(DatasetImage(data, digest))
+            self._images[digest] = entry
             self.datasets_published += 1
-        return image.handle
+            self._enforce_shm_budget(keep=digest)
+        entry.last_used = time.monotonic()
+        return entry.image.handle
+
+    def _enforce_shm_budget(self, keep: Optional[str] = None) -> None:
+        """LRU-unpublish idle images until under budget (lock held)."""
+        if self.shm_max_bytes is None:
+            return
+        while sum(e.image.nbytes for e in self._images.values()) \
+                > self.shm_max_bytes:
+            idle = [
+                (entry.last_used, digest)
+                for digest, entry in self._images.items()
+                if entry.refs <= 0 and digest != keep
+            ]
+            if not idle:
+                return  # everything is referenced; exceed transiently
+            _, victim = min(idle)
+            self._images.pop(victim).image.close()
+            self.datasets_unpublished += 1
+
+    def shm_published_bytes(self) -> int:
+        """Total bytes of currently published dataset images."""
+        with self._cv:
+            return sum(e.image.nbytes for e in self._images.values())
 
     def _finish(self, record: JobRecord, state: JobState) -> None:
-        """Move a record to a terminal state (lock held by caller)."""
+        """Move a record to a terminal state (lock held by caller).
+
+        Every terminal transition funnels through here, so this is
+        where admission quota and the job's dataset-image reference are
+        released — cancel, drain, expiry and failure all give their
+        resources back exactly once.
+        """
         record.state = state
         record.finished_at = time.monotonic()
+        if record.admitted:
+            record.admitted = False
+            self.admission.release(record.client, record.job_class)
+        if record.digest is not None:
+            entry = self._images.get(record.digest)
+            if entry is not None:
+                entry.refs = max(0, entry.refs - 1)
+                entry.last_used = time.monotonic()
+            record.digest = None
+        if state is JobState.DRAINED:
+            self.drained_jobs += 1
+        elif state is JobState.EXPIRED:
+            self.expired_jobs += 1
         self._completed_order.append(record.ticket.id)
         self._cv.notify_all()
 
@@ -581,7 +984,21 @@ class SimulationService:
             target=worker_main, args=(task_queue, self._result_queue),
             daemon=True, name="repro-service-worker",
         )
-        process.start()
+        # The child inherits this thread's signal mask through fork:
+        # keep SIGTERM blocked until worker_main has installed its
+        # drain-flag handler, so a drain (or stray kill) racing the
+        # fork bootstrap can't terminate the worker outright.
+        try:
+            old_mask = signal.pthread_sigmask(
+                signal.SIG_BLOCK, {signal.SIGTERM}
+            )
+        except (OSError, ValueError):  # pragma: no cover - exotic hosts
+            old_mask = None
+        try:
+            process.start()
+        finally:
+            if old_mask is not None:
+                signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
         worker = _Worker(process, task_queue)
         self._workers.append(worker)
         return worker
@@ -615,6 +1032,7 @@ class SimulationService:
                             break
                 self._reap_dead_workers()
                 self._check_timeouts()
+                self._check_deadlines()
                 self._dispatch()
                 if self._stopped:
                     return
@@ -631,6 +1049,13 @@ class SimulationService:
         for worker in self._workers:
             if worker.job_id == job_id:
                 worker.job_id = None
+                if kind in ("drained", "recycle"):
+                    # The sender exits right after announcing: retire it
+                    # (no kill — it may still be flushing the shared
+                    # result queue) so the requeued job can never be
+                    # dispatched into its dying task queue.
+                    self._workers.remove(worker)
+                    self._retired.append(worker)
                 break
         if record is None or record.state.terminal:
             return  # cancelled while running; result discarded
@@ -653,6 +1078,70 @@ class SimulationService:
                 "exitcode": None,
             })
             self._finish(record, JobState.FAILED)
+        elif kind == "expired":
+            stopped_at = payload.get("pass")
+            record.attempt_log.append({
+                "attempt": record.attempts, "kind": "expired",
+                "reason": (
+                    f"deadline passed; checkpoint-stopped at pass "
+                    f"{stopped_at}"
+                ),
+                "duration": self._attempt_duration(record),
+                "exitcode": None,
+            })
+            record.error = (
+                f"deadline exceeded; attempt checkpoint-stopped at pass "
+                f"{stopped_at} (partial work preserved; a resubmission "
+                f"resumes from it)"
+            )
+            self._finish(record, JobState.EXPIRED)
+        elif kind == "drained":
+            stopped_at = payload.get("pass")
+            if self._draining or self._closed:
+                record.error = (
+                    f"service drained; checkpoint-stopped at pass "
+                    f"{stopped_at} (a successor service resumes from it)"
+                )
+                self._finish(record, JobState.DRAINED)
+            else:
+                # A stray SIGTERM hit the worker, not a service drain:
+                # the point checkpointed cleanly, so requeue it — a
+                # fresh worker resumes from the snapshot.  Doesn't
+                # consume the crash-retry budget.
+                record.recycles += 1
+                record.attempt_log.append({
+                    "attempt": record.attempts, "kind": "drained",
+                    "reason": (
+                        f"worker SIGTERMed externally; checkpointed at "
+                        f"pass {stopped_at} and requeued"
+                    ),
+                    "duration": self._attempt_duration(record),
+                    "exitcode": None,
+                })
+                record.state = JobState.PENDING
+                record.worker_pid = None
+                self._pending.appendleft(record.ticket.id)
+                self._cv.notify_all()
+        elif kind == "recycle":
+            self.recycled_workers += 1
+            record.recycles += 1
+            rss = payload.get("rss_mb")
+            record.attempt_log.append({
+                "attempt": record.attempts, "kind": "recycled",
+                "reason": (
+                    f"worker RSS {rss:.0f} MB crossed the watermark; "
+                    f"checkpointed at pass {payload.get('pass')} and "
+                    f"recycled onto a fresh process"
+                    if isinstance(rss, (int, float)) else
+                    f"worker recycled at pass {payload.get('pass')}"
+                ),
+                "duration": self._attempt_duration(record),
+                "exitcode": None,
+            })
+            record.state = JobState.PENDING
+            record.worker_pid = None
+            self._pending.appendleft(record.ticket.id)
+            self._cv.notify_all()
 
     @staticmethod
     def _attempt_duration(record: JobRecord) -> Optional[float]:
@@ -661,8 +1150,29 @@ class SimulationService:
         return round(time.monotonic() - record.started_at, 3)
 
     def _retry_or_fail(self, record: JobRecord, reason: str) -> None:
-        if record.attempts <= self.retries:
+        if self._draining:
+            # No dispatch happens once a drain began, so a requeue would
+            # strand the job.  Its last completed pass (if any) is on
+            # disk; hand it to the successor service like every other
+            # drained job.
+            record.error = (
+                f"{reason} while the service was draining (a successor "
+                f"service resumes from the last checkpoint, if any)"
+            )
+            self._finish(record, JobState.DRAINED)
+            return
+        failures = record.attempts - record.recycles
+        if failures <= self.retries:
             self.retried_jobs += 1
+            # Exponential backoff with deterministic jitter (seeded from
+            # the point key + attempt) instead of the old immediate
+            # retry: a systemic fault (full disk, flapping host) is not
+            # hammered, and the delay sequence is reproducible run to
+            # run — chaos tests can pin the attempt log exactly.
+            delay = backoff_delay(failures, record.ticket.key)
+            record.not_before = time.monotonic() + delay
+            if record.attempt_log:
+                record.attempt_log[-1]["retry_in"] = delay
             record.state = JobState.PENDING
             record.worker_pid = None
             self._pending.appendleft(record.ticket.id)
@@ -682,6 +1192,10 @@ class SimulationService:
 
     def _reap_dead_workers(self) -> None:
         now = time.monotonic()
+        for worker in list(self._retired):
+            if not worker.process.is_alive():
+                worker.process.join(timeout=0)
+                self._retired.remove(worker)
         for worker in list(self._workers):
             if worker.process.is_alive():
                 continue
@@ -745,8 +1259,69 @@ class SimulationService:
                 f"attempt exceeded the {self.timeout:.1f}s heartbeat timeout",
             )
 
+    def _check_deadlines(self) -> None:
+        """Expire past-deadline jobs (lock held by the supervisor).
+
+        A *pending* job past its deadline expires without ever running.
+        A *running* one is the worker's to stop — it checkpoint-abandons
+        at the first pass boundary past the deadline — but a stream that
+        never reaches another boundary would wait forever, so past
+        ``deadline_grace`` the supervisor stops waiting and kills the
+        worker; the last completed pass (if any) is already on disk.
+        """
+        now = time.time()
+        for job_id in list(self._pending):
+            record = self._records[job_id]
+            if record.state is JobState.PENDING \
+                    and record.deadline_at is not None \
+                    and now > record.deadline_at:
+                try:
+                    self._pending.remove(job_id)
+                except ValueError:
+                    continue
+                record.error = "deadline passed while the job was queued"
+                self._finish(record, JobState.EXPIRED)
+        for worker in list(self._workers):
+            if worker.job_id is None:
+                continue
+            record = self._records.get(worker.job_id)
+            if record is None or record.deadline_at is None:
+                continue
+            if now <= record.deadline_at + self.deadline_grace:
+                continue
+            worker.job_id = None
+            self._kill_worker(worker)
+            record.attempt_log.append({
+                "attempt": record.attempts, "kind": "expired",
+                "reason": (
+                    f"deadline + {self.deadline_grace:.1f}s grace passed "
+                    f"without a voluntary checkpoint-stop; worker killed"
+                ),
+                "duration": self._attempt_duration(record),
+                "exitcode": None,
+            })
+            record.error = (
+                "deadline exceeded (worker killed after grace; any "
+                "completed pass is checkpointed and resumable)"
+            )
+            self._finish(record, JobState.EXPIRED)
+
     def _dispatch(self) -> None:
-        while self._pending:
+        if self._draining:
+            return  # drain: nothing new reaches a worker
+        now = time.monotonic()
+        for _ in range(len(self._pending)):
+            if not self._pending:
+                return
+            job_id = self._pending[0]
+            record = self._records[job_id]
+            if record.state is not JobState.PENDING:
+                self._pending.popleft()  # cancelled while queued
+                continue
+            if record.not_before is not None and now < record.not_before:
+                # backoff not elapsed: rotate it behind due jobs
+                self._pending.rotate(-1)
+                continue
             worker = next(
                 (w for w in self._workers
                  if w.job_id is None and w.process.is_alive()),
@@ -756,10 +1331,8 @@ class SimulationService:
                 if len(self._workers) >= self.jobs:
                     return
                 worker = self._spawn_worker()
-            job_id = self._pending.popleft()
-            record = self._records[job_id]
-            if record.state is not JobState.PENDING:
-                continue  # cancelled while queued
+            self._pending.popleft()
+            record.not_before = None
             record.attempts += 1
             record.state = JobState.RUNNING
             record.started_at = time.monotonic()
@@ -770,6 +1343,8 @@ class SimulationService:
                 record.payload["attempt"] = record.attempts
             worker.job_id = job_id
             worker.task_queue.put((job_id, record.payload))
+            # queue room opened: wake any submitter blocked on admission
+            self._cv.notify_all()
 
 
 # -- the process-wide default service ---------------------------------------

@@ -15,6 +15,23 @@ Messages on the result queue::
                            "resumed_from_pass": int | None})
     ("error",     job_id, formatted_traceback_str)
     ("heartbeat", job_id, {"runs": int, "pass": int})
+    ("expired",   job_id, {"pass": int})   # deadline: checkpointed, abandoned
+    ("drained",   job_id, {"pass": int})   # SIGTERM drain: checkpointed
+    ("recycle",   job_id, {"pass": int, "rss_mb": float})  # RSS watermark
+
+The last three are *voluntary* checkpoint-then-stop outcomes, decided
+at a pass boundary right after its snapshot went to disk:
+
+* a job submitted with a **deadline** (absolute wall-clock epoch in the
+  payload) abandons at the first boundary past it — partial work stays
+  resumable, only this attempt's clock is bounded;
+* a **SIGTERM** to the worker sets a drain flag (the handler does
+  nothing else, so an in-flight checkpoint write completes untorn) and
+  the running point checkpoint-stops at its next boundary;
+* a worker whose RSS crossed ``REPRO_SERVICE_WORKER_RSS_MB`` (or that
+  hit an armed ``oom@rss`` fault) checkpoints, reports ``recycle`` and
+  *exits* — the supervisor requeues the job on a fresh process, which
+  resumes from the snapshot with a clean address space.
 
 Heartbeats flow while a point simulates — at job start, throttled per
 consumed run, and at every pass boundary — and are what the
@@ -46,10 +63,55 @@ watchdog then recovers via heartbeat silence.
 from __future__ import annotations
 
 import os
+import signal
 import traceback
 from typing import Any, Callable, Dict, Optional
 
 from ..testing import faults
+
+#: set by the worker's SIGTERM handler; observed at pass boundaries
+_DRAIN_REQUESTED = False
+
+
+def _request_drain(signum, frame):  # pragma: no cover - signal path
+    global _DRAIN_REQUESTED
+    _DRAIN_REQUESTED = True
+
+
+def drain_requested() -> bool:
+    """Whether this worker process was asked (SIGTERM) to drain."""
+    return _DRAIN_REQUESTED
+
+
+def worker_rss_mb() -> float:
+    """This process's peak RSS in MB (0.0 where unknowable).
+
+    ``ru_maxrss`` is kilobytes on Linux; the one platform where it is
+    bytes (macOS) reads ~1000x high, which for a *watermark* check only
+    errs toward recycling sooner — acceptable for a guard rail.
+    """
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    except Exception:  # pragma: no cover - platforms without getrusage
+        return 0.0
+
+
+def resolve_rss_watermark_mb(explicit: Optional[float] = None) -> Optional[float]:
+    """``REPRO_SERVICE_WORKER_RSS_MB`` gate (None = no watermark)."""
+    if explicit is not None:
+        return explicit if explicit > 0 else None
+    raw = os.environ.get("REPRO_SERVICE_WORKER_RSS_MB")
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SERVICE_WORKER_RSS_MB must be a number, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
 
 
 def make_task_payload(
@@ -61,12 +123,18 @@ def make_task_payload(
     dataset_handle: Any = None,
     plan_payload: Dict[str, Any] | None = None,
     checkpoint: Dict[str, Any] | None = None,
+    deadline_at: Optional[float] = None,
+    rss_watermark_mb: Optional[float] = None,
 ) -> Dict[str, Any]:
     """The picklable job payload — note: no column arrays, ever.
 
     ``checkpoint`` is ``{"dir": <sidecar directory>, "key": <point
     key>}`` when pass-boundary checkpointing is on; the supervisor adds
-    the attempt number at dispatch time.
+    the attempt number at dispatch time.  ``deadline_at`` is an
+    absolute wall-clock epoch (``time.time()`` — comparable across
+    processes, unlike monotonic clocks) past which the worker
+    checkpoint-then-abandons; ``rss_watermark_mb`` is the
+    checkpoint-and-recycle memory watermark.
     """
     return {
         "arch": arch,
@@ -77,6 +145,8 @@ def make_task_payload(
         "dataset": dataset_handle,
         "plan": plan_payload,
         "checkpoint": checkpoint,
+        "deadline_at": deadline_at,
+        "rss_watermark_mb": rss_watermark_mb,
         "attempt": 1,
     }
 
@@ -85,7 +155,8 @@ def _build_monitor(
     payload: Dict[str, Any],
     heartbeat: Optional[Callable[[Dict[str, Any]], None]] = None,
 ):
-    """The payload's RunMonitor: checkpoints, heartbeats, fault hooks."""
+    """The payload's RunMonitor: checkpoints, heartbeats, fault hooks,
+    deadline enforcement and drain/RSS stop checks."""
     from ..sim.checkpoint import CheckpointStore, RunMonitor
 
     checkpoint = payload.get("checkpoint")
@@ -95,14 +166,26 @@ def _build_monitor(
         key = checkpoint.get("key")
     attempt = payload.get("attempt", 1)
     arch = payload.get("arch")
+    watermark = resolve_rss_watermark_mb(payload.get("rss_watermark_mb"))
 
     def pass_hook(pass_ordinal: int) -> None:
         faults.fire("pass", **{
             "pass": pass_ordinal, "attempt": attempt, "arch": arch,
         })
 
+    def stop_check(pass_ordinal: int) -> Optional[str]:
+        if _DRAIN_REQUESTED:
+            return "drain"
+        context = {"pass": pass_ordinal, "attempt": attempt, "arch": arch}
+        if faults.oom_pressure("rss", **context):
+            return "recycle"
+        if watermark is not None and worker_rss_mb() > watermark:
+            return "recycle"
+        return None
+
     return RunMonitor(
         store=store, key=key, heartbeat=heartbeat, pass_hook=pass_hook,
+        deadline=payload.get("deadline_at"), stop_check=stop_check,
         meta={"arch": arch, "rows": payload.get("rows"),
               "op_bytes": payload.get("scan", {}).get("op_bytes")},
     )
@@ -144,6 +227,19 @@ def execute_point_payload(
 
 def worker_main(task_queue, result_queue) -> None:
     """Loop of one persistent service worker process."""
+    from ..sim.checkpoint import CheckpointAbandon, DeadlineExceeded
+
+    # SIGTERM means *drain*, not die: the handler only raises a flag, so
+    # an in-flight checkpoint write finishes untorn and the running
+    # point checkpoint-stops at its next pass boundary.
+    try:
+        signal.signal(signal.SIGTERM, _request_drain)
+        # The parent forked us with SIGTERM blocked so no signal could
+        # land before the handler above existed; lift the mask now — a
+        # SIGTERM that arrived in between is delivered here, as a flag.
+        signal.pthread_sigmask(signal.SIG_UNBLOCK, {signal.SIGTERM})
+    except (OSError, ValueError):  # pragma: no cover - exotic hosts
+        pass
     while True:
         task = task_queue.get()
         if task is None:  # shutdown sentinel
@@ -164,6 +260,17 @@ def worker_main(task_queue, result_queue) -> None:
             monitor = _build_monitor(payload, heartbeat=heartbeat)
             heartbeat({"runs": 0, "pass": 0})  # job picked up
             result = execute_point_payload(payload, monitor=monitor)
+        except DeadlineExceeded as exc:
+            result_queue.put(("expired", job_id, {"pass": exc.pass_ordinal}))
+        except CheckpointAbandon as exc:
+            if exc.reason == "recycle":
+                result_queue.put(("recycle", job_id, {
+                    "pass": exc.pass_ordinal, "rss_mb": worker_rss_mb(),
+                }))
+                break  # exit: only a fresh process truly releases RSS
+            result_queue.put(("drained", job_id, {"pass": exc.pass_ordinal}))
+            if _DRAIN_REQUESTED:
+                break  # the service is going away; stop taking work
         except BaseException:
             result_queue.put(("error", job_id, traceback.format_exc()))
         else:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import time
@@ -43,6 +44,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
+
+from ..testing import faults
+
+logger = logging.getLogger("repro.checkpoint")
 
 #: bump when the checkpoint layout changes; old files quarantine-free miss
 CHECKPOINT_SCHEMA = 1
@@ -65,6 +70,36 @@ def checkpoints_enabled(explicit: Optional[bool] = None) -> bool:
     return os.environ.get("REPRO_CHECKPOINTS", "1").lower() not in (
         "0", "false", "no"
     )
+
+
+class CheckpointAbandon(Exception):
+    """A worker stopped a point *on purpose* at a pass boundary.
+
+    Raised by :class:`RunMonitor` right after the boundary's snapshot
+    went to disk, so whatever was simulated so far is preserved and a
+    later attempt resumes from this pass.  ``reason`` says why
+    (``"drain"``, ``"recycle"``, ...); the service maps it to the
+    matching non-error job outcome.
+    """
+
+    def __init__(self, reason: str, pass_ordinal: int) -> None:
+        super().__init__(f"abandoned at pass {pass_ordinal}: {reason}")
+        self.reason = reason
+        self.pass_ordinal = pass_ordinal
+
+
+class DeadlineExceeded(CheckpointAbandon):
+    """The point's deadline passed: checkpoint-then-abandon.
+
+    The partial work is on disk (the boundary snapshot preceded this
+    exception), so a resubmission with a fresh deadline resumes instead
+    of restarting — a deadline bounds *this attempt's* wall clock, it
+    does not discard progress.
+    """
+
+    def __init__(self, pass_ordinal: int, deadline: float) -> None:
+        CheckpointAbandon.__init__(self, "deadline", pass_ordinal)
+        self.deadline = deadline
 
 
 @dataclass
@@ -94,10 +129,16 @@ class CheckpointStore:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.quarantined = 0
+        self.save_failures = 0
         self.last_error: Optional[str] = None
+        self._warned = False
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.ckpt"
+
+    def prev_path_for(self, key: str) -> Path:
+        """The previous-generation snapshot (torn-write fallback)."""
+        return self.directory / f"{key}.ckpt.prev"
 
     # -- write side ---------------------------------------------------------
 
@@ -113,12 +154,18 @@ class CheckpointStore:
         """Persist one snapshot; True when it reached the disk.
 
         Degrades to "not checkpointed" instead of raising: a full disk
-        or an unpicklable state object must never kill the simulation it
-        was meant to protect (``last_error`` records what went wrong).
+        (``OSError``/ENOSPC, read-only filesystem) or an unpicklable
+        state object must never kill the simulation it was meant to
+        protect — the miss is *logged* (``last_error`` records what went
+        wrong, ``save_failures`` counts).  The previous snapshot, when
+        one exists, is rotated to ``<key>.ckpt.prev`` before the new one
+        lands, so a write torn by SIGKILL/power loss still leaves the
+        last *complete* pass resumable.
         """
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
+            faults.fire_enospc("pass", **{"pass": pass_ordinal, "key": key})
             payload = pickle.dumps(
                 (machine, execution), protocol=pickle.HIGHEST_PROTOCOL
             )
@@ -136,10 +183,20 @@ class CheckpointStore:
                 handle.write(json.dumps(header).encode("utf-8"))
                 handle.write(b"\n")
                 handle.write(payload)
+            if path.exists():
+                os.replace(path, self.prev_path_for(key))
             os.replace(tmp, path)
             return True
         except (OSError, TypeError, ValueError, pickle.PicklingError) as exc:
+            self.save_failures += 1
             self.last_error = f"{type(exc).__name__}: {exc}"
+            logger.log(
+                logging.DEBUG if self._warned else logging.WARNING,
+                "checkpoint save degraded to a miss for %s…: %s "
+                "(simulation continues unsnapshotted)",
+                key[:16], self.last_error,
+            )
+            self._warned = True
             return False
         finally:
             tmp.unlink(missing_ok=True)
@@ -161,10 +218,18 @@ class CheckpointStore:
         Missing file and stale schema are plain misses; a corrupt or
         truncated file (unparsable header, checksum mismatch, unpickle
         failure) is quarantined to ``<name>.quarantine`` so the broken
-        bytes never masquerade as machine state — the retry then starts
-        from scratch, which is slow but always right.
+        bytes never masquerade as machine state.  A quarantined *current*
+        snapshot falls back to the previous generation (rotated aside at
+        every save) — a write torn mid-flight costs one pass of rework,
+        not the whole point; only when both generations are unusable
+        does the retry start from scratch.
         """
-        path = self.path_for(key)
+        checkpoint = self._load_path(self.path_for(key))
+        if checkpoint is not None:
+            return checkpoint
+        return self._load_path(self.prev_path_for(key))
+
+    def _load_path(self, path: Path) -> Optional[Checkpoint]:
         try:
             handle = open(path, "rb")
         except OSError:
@@ -212,11 +277,12 @@ class CheckpointStore:
     # -- maintenance --------------------------------------------------------
 
     def discard(self, key: str) -> None:
-        """Drop the snapshot of a completed point (idempotent)."""
-        try:
-            self.path_for(key).unlink(missing_ok=True)
-        except OSError:
-            pass
+        """Drop the snapshots of a completed point (idempotent)."""
+        for path in (self.path_for(key), self.prev_path_for(key)):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def entries(self) -> List[Dict[str, Any]]:
         """Headers of every resumable snapshot (``--show-checkpoints``)."""
@@ -238,7 +304,7 @@ class CheckpointStore:
         """Drop snapshots (and quarantines) older than ``max_age_seconds``."""
         cutoff = time.time() - max_age_seconds
         removed = 0
-        for pattern in ("*.ckpt", "*.quarantine", "*.tmp.*"):
+        for pattern in ("*.ckpt", "*.ckpt.prev", "*.quarantine", "*.tmp.*"):
             for path in self.directory.glob(pattern):
                 try:
                     if path.stat().st_mtime <= cutoff:
@@ -268,7 +334,12 @@ class RunMonitor:
       from pass N),
     * on resume, silently skips the ``runs_consumed`` runs the snapshot
       already covers (their functional effects live in the restored
-      memory image).
+      memory image),
+    * enforces the overload-safety hooks *after* each boundary snapshot:
+      a ``deadline`` (absolute wall-clock ``time.time()`` epoch) raises
+      :class:`DeadlineExceeded`, and a ``stop_check`` callback returning
+      a reason string raises :class:`CheckpointAbandon` — either way the
+      pass just snapshotted is preserved and resumable.
 
     With no store the monitor is heartbeats-only; with no heartbeat it
     is checkpoints-only; both default to inert.
@@ -283,12 +354,16 @@ class RunMonitor:
         heartbeat_interval: float = 0.5,
         snapshot_min_interval: Optional[float] = None,
         meta: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+        stop_check: Optional[Callable[[int], Optional[str]]] = None,
     ) -> None:
         self.store = store
         self.key = key
         self.heartbeat = heartbeat
         self.pass_hook = pass_hook
         self.heartbeat_interval = heartbeat_interval
+        self.deadline = deadline
+        self.stop_check = stop_check
         # Snapshot throttle: pickling a large machine costs real time
         # (~1.2 s / 80 MB at 1M rows), so ops can bound the overhead by
         # spacing snapshots — rework after a crash is then bounded by
@@ -379,8 +454,22 @@ class RunMonitor:
             self._beat(consumed, force=False)
 
     def _boundary(self, consumed: int) -> None:
-        due = (time.monotonic() - self._last_snapshot
-               >= self.snapshot_min_interval)
+        # Decide *before* snapshotting whether this boundary abandons
+        # the point (deadline passed, drain/recycle requested): an
+        # abandoning boundary always snapshots, overriding the throttle,
+        # so "checkpoint then abandon" holds even under
+        # REPRO_CHECKPOINT_INTERVAL spacing.
+        abandon: Optional[CheckpointAbandon] = None
+        if self.deadline is not None and time.time() >= self.deadline:
+            abandon = DeadlineExceeded(self.pass_ordinal, self.deadline)
+        elif self.stop_check is not None:
+            reason = self.stop_check(self.pass_ordinal)
+            if reason:
+                abandon = CheckpointAbandon(reason, self.pass_ordinal)
+        due = abandon is not None or (
+            time.monotonic() - self._last_snapshot
+            >= self.snapshot_min_interval
+        )
         if self.store is not None and self.key and due:
             if self._settle is not None:
                 self._settle()
@@ -393,6 +482,8 @@ class RunMonitor:
         self._beat(consumed, force=True)
         if self.pass_hook is not None:
             self.pass_hook(self.pass_ordinal)
+        if abandon is not None:
+            raise abandon
 
     def _beat(self, consumed: int, force: bool) -> None:
         if self.heartbeat is None:

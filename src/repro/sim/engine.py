@@ -34,12 +34,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import multiprocessing
 import os
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+logger = logging.getLogger("repro.cache")
 
 from ..codegen.base import ScanConfig
 from ..common.config import DEFAULT_SCALE, machine_for
@@ -237,6 +240,9 @@ class ResultCache:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.quarantined = 0
+        self.store_failures = 0
+        self.last_error: Optional[str] = None
+        self._warned = False
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -286,17 +292,24 @@ class ResultCache:
     def store(self, key: str, result: RunResult) -> None:
         """Persist ``result`` under ``key`` (atomic replace).
 
-        Degrades to no caching instead of raising: a read-only cache
-        directory (``OSError``) and a result carrying a field the JSON
-        encoder rejects (``TypeError``/``ValueError``) both leave the
-        sweep running with the point simply uncached.  The ``finally``
-        unlink reclaims the temp file on every failure path (after a
-        successful ``os.replace`` it is already gone, so the unlink is
-        a no-op).
+        Degrades to a *logged* miss instead of raising: a full disk or
+        read-only cache directory (``OSError``/ENOSPC) and a result
+        carrying a field the JSON encoder rejects
+        (``TypeError``/``ValueError``) both leave the sweep running with
+        the point simply uncached — ``store_failures`` counts and
+        ``last_error`` records what went wrong.  The
+        ``enospc@result`` fault site (:mod:`repro.testing.faults`)
+        detonates inside this try block, so chaos tests exercise
+        exactly this degradation.  The ``finally`` unlink reclaims the
+        temp file on every failure path (after a successful
+        ``os.replace`` it is already gone, so the unlink is a no-op).
         """
+        from ..testing import faults
+
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
+            faults.fire_enospc("result", key=key)
             payload = result.to_dict()
             entry = {
                 "schema": CACHE_SCHEMA, "key": key,
@@ -305,8 +318,16 @@ class ResultCache:
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle)
             os.replace(tmp, path)
-        except (OSError, TypeError, ValueError):
-            pass
+        except (OSError, TypeError, ValueError) as exc:
+            self.store_failures += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            logger.log(
+                logging.DEBUG if self._warned else logging.WARNING,
+                "result-cache store degraded to a miss for %s…: %s "
+                "(sweep continues uncached)",
+                key[:16], self.last_error,
+            )
+            self._warned = True
         finally:
             tmp.unlink(missing_ok=True)
 

@@ -20,13 +20,33 @@ Actions
     ``drop``  — at message-producing sites, suppress the message (models
     a lost queue write); the injection point observes the ``True``
     return and swallows its send.
+    ``enospc`` — at disk-writing sites, raise ``OSError(ENOSPC)`` from
+    inside the write (models a full disk); the write path must degrade
+    to a logged miss, never crash the simulation it serves.
+    ``oom``   — at the worker's RSS-watermark probe, report the
+    watermark as exceeded (models runaway worker memory); the worker
+    must checkpoint and recycle itself.
 
 Sites (the production code passes matching context keys)
     ``start``  — worker picked up a job, before simulation.
-    ``pass``   — a pass boundary, *after* its checkpoint was written
-    (``pass=N`` selects the boundary; this ordering is what makes
-    "kill at pass N ⇒ resume from pass N" the contract).
-    ``result`` — worker about to send its result message.
+    ``pass``   — a pass boundary.  For ``kill``/``hang``/``drop`` this
+    fires *after* the checkpoint was written (``pass=N`` selects the
+    boundary; this ordering is what makes "kill at pass N ⇒ resume
+    from pass N" the contract).  For ``enospc`` it fires *inside*
+    :meth:`~repro.sim.checkpoint.CheckpointStore.save` — the snapshot
+    write itself fails.
+    ``result`` — for ``kill``/``hang``/``drop``: worker about to send
+    its result message.  For ``enospc``: inside
+    :meth:`~repro.sim.engine.ResultCache.store` — the cache entry
+    write itself fails.
+    ``rss``    — the worker's RSS-watermark probe at a pass boundary
+    (``oom`` only).
+
+``kill``/``hang``/``drop`` clauses and ``enospc``/``oom`` clauses are
+independent populations: :func:`fire` only detonates the former, the
+dedicated :func:`fire_enospc`/:func:`oom_pressure` probes only the
+latter, so ``drop@result;enospc@result`` arms both a lost message and
+a full disk without the two interfering.
 
 Every non-action key is a match condition against the context the
 injection point supplies (``pass``, ``attempt``, ``arch``, ...); a
@@ -48,6 +68,7 @@ integrity tests.
 
 from __future__ import annotations
 
+import errno
 import os
 import signal
 import time
@@ -56,7 +77,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 ENV_VAR = "REPRO_FAULTS"
 
-_ACTIONS = ("kill", "hang", "drop")
+_ACTIONS = ("kill", "hang", "drop", "enospc", "oom")
+
+#: the actions :func:`FaultPlan.fire` detonates itself; ``enospc``/``oom``
+#: clauses are probed by their dedicated helpers instead
+_FIRE_ACTIONS = ("kill", "hang", "drop")
 
 
 class FaultSpecError(ValueError):
@@ -117,9 +142,22 @@ class FaultPlan:
             clauses.append(FaultClause(action, site, tuple(match)))
         return cls(clauses)
 
-    def check(self, site: str, **context: Any) -> Optional[str]:
-        """The action armed for this (site, context), or None."""
+    def check(
+        self,
+        site: str,
+        actions: Optional[Tuple[str, ...]] = None,
+        **context: Any,
+    ) -> Optional[str]:
+        """The action armed for this (site, context), or None.
+
+        ``actions`` restricts the match to a subset — the process-level
+        injection points (:func:`fire`) and the resource-pressure probes
+        (:func:`fire_enospc`, :func:`oom_pressure`) draw from disjoint
+        action sets even when they share a site name.
+        """
         for clause in self.clauses:
+            if actions is not None and clause.action not in actions:
+                continue
             if clause.matches(site, context):
                 return clause.action
         return None
@@ -128,9 +166,10 @@ class FaultPlan:
         """Detonate whatever is armed here; True means "drop the message".
 
         ``kill`` and ``hang`` do not return; ``drop`` returns True so
-        the caller suppresses its send.  Unarmed sites return False.
+        the caller suppresses its send.  Unarmed sites return False
+        (``enospc``/``oom`` clauses never fire here — see their probes).
         """
-        action = self.check(site, **context)
+        action = self.check(site, actions=_FIRE_ACTIONS, **context)
         if action is None:
             return False
         self.fired.append((site, action, dict(context)))
@@ -166,6 +205,35 @@ def reset_plan() -> None:
 def fire(site: str, **context: Any) -> bool:
     """Module-level injection point: ``faults.fire("pass", **ctx)``."""
     return active_plan().fire(site, **context)
+
+
+def fire_enospc(site: str, **context: Any) -> None:
+    """Raise an injected ``OSError(ENOSPC)`` when armed at this site.
+
+    Called from *inside* the disk-writing try blocks of
+    :meth:`~repro.sim.engine.ResultCache.store` (site ``result``) and
+    :meth:`~repro.sim.checkpoint.CheckpointStore.save` (site ``pass``),
+    so the injected full disk exercises exactly the degradation path a
+    real one would.
+    """
+    plan = active_plan()
+    if plan.check(site, actions=("enospc",), **context) is not None:
+        plan.fired.append((site, "enospc", dict(context)))
+        raise OSError(errno.ENOSPC, "No space left on device (injected)")
+
+
+def oom_pressure(site: str = "rss", **context: Any) -> bool:
+    """True when an ``oom`` clause is armed at this site.
+
+    The worker's RSS-watermark probe ORs this in, so chaos tests force
+    a checkpoint-and-recycle deterministically without actually
+    ballooning worker memory.
+    """
+    plan = active_plan()
+    if plan.check(site, actions=("oom",), **context) is not None:
+        plan.fired.append((site, "oom", dict(context)))
+        return True
+    return False
 
 
 # -- passive damage: deterministic file corruption ----------------------------

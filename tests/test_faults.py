@@ -387,6 +387,144 @@ class TestServiceChaos:
             assert excinfo.value.attempts[0]["kind"] == "crash"
 
 
+# -- resource exhaustion degrades, never fails ---------------------------------
+
+
+class TestResourceExhaustion:
+    def test_enospc_result_cache_degrades_to_uncached(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(faults.ENV_VAR, "enospc@result")
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path / "cache")
+        result = engine.sweep("full-disk", POINTS[:1], ROWS).runs[0]
+        assert engine.cache.store_failures >= 1
+        assert "ENOSPC" in engine.cache.last_error \
+            or "No space" in engine.cache.last_error
+        assert not list((tmp_path / "cache").glob("*.json"))  # nothing stored
+        # the sweep itself was untouched: re-run (disk "repaired") matches
+        monkeypatch.delenv(faults.ENV_VAR)
+        again_engine = ExperimentEngine(jobs=1, cache_dir=tmp_path / "cache")
+        again = again_engine.sweep("again", POINTS[:1], ROWS).runs[0]
+        assert again_engine.cache_hits == 0  # the miss was honest
+        assert again == result
+
+    def test_enospc_checkpoint_save_runs_unsnapshotted(
+        self, tmp_path, monkeypatch
+    ):
+        arch, scan = POINTS[0]
+        reference = run_scan(arch, scan, rows=ROWS, seed=1994).to_dict()
+        monkeypatch.setenv(faults.ENV_VAR, "enospc@pass")
+        store = CheckpointStore(tmp_path)
+        monitor = RunMonitor(store=store, key="full-disk")
+        result = run_scan(arch, scan, rows=ROWS, seed=1994, monitor=monitor)
+        assert result.to_dict() == reference  # simulation survived
+        assert monitor.snapshots_taken == 0
+        assert store.save_failures >= 1
+        assert "ENOSPC" in store.last_error or "No space" in store.last_error
+        assert not store.path_for("full-disk").exists()
+
+    def test_enospc_service_job_still_completes(self, tmp_path, monkeypatch):
+        # Both stores full at once: the job neither caches nor
+        # checkpoints, and still answers correctly.
+        reference = run_scan(*SERVICE_POINT, rows=SERVICE_ROWS,
+                             seed=1994).to_dict()
+        monkeypatch.setenv(faults.ENV_VAR, "enospc@result;enospc@pass")
+        with SimulationService(
+            jobs=1, cache_dir=tmp_path / "cache",
+            checkpoint_dir=tmp_path / "ckpt",
+        ) as service:
+            record = service.wait(
+                [service.submit(*SERVICE_POINT, SERVICE_ROWS)], timeout=180
+            )[0]
+        assert record.state is JobState.DONE
+        assert record.result.to_dict() == reference
+        assert not list((tmp_path / "cache").glob("*.json"))
+        assert not list((tmp_path / "ckpt").glob("*.ckpt"))
+
+
+# -- two-generation checkpoints: torn writes cost one pass, not the point ------
+
+
+class TestCheckpointGenerations:
+    def test_second_snapshot_rotates_the_first_to_prev(self, tmp_path):
+        arch, scan = POINTS[0]  # x86: two interior pass boundaries
+        store = CheckpointStore(tmp_path)
+        _interrupt_at_pass(store, "gen", arch, scan, at_pass=2)
+        assert store.path_for("gen").exists()
+        assert store.prev_path_for("gen").exists()
+        current = store.load("gen")
+        assert current.pass_ordinal == 2
+
+    def test_torn_current_falls_back_to_prev_and_resumes_bit_identically(
+        self, tmp_path
+    ):
+        # Models SIGKILL/power loss tearing the in-flight checkpoint
+        # write: the corrupt current generation quarantines, the
+        # previous generation answers, and the resume is bit-identical —
+        # one pass of rework, not the whole point.
+        arch, scan = POINTS[0]
+        reference = run_scan(arch, scan, rows=ROWS, seed=1994).to_dict()
+        store = CheckpointStore(tmp_path)
+        _interrupt_at_pass(store, "torn", arch, scan, at_pass=2)
+        faults.corrupt_file(store.path_for("torn"), "truncate")
+        checkpoint = store.load("torn")
+        assert store.quarantined == 1
+        assert checkpoint is not None
+        assert checkpoint.pass_ordinal == 1  # the previous generation
+        resumed = RunMonitor(store=store, key="torn")
+        result = run_scan(arch, scan, rows=ROWS, seed=1994, monitor=resumed)
+        assert resumed.resumed_from_pass == 1
+        assert result.to_dict() == reference
+
+    def test_both_generations_corrupt_degrades_to_fresh_run(self, tmp_path):
+        arch, scan = POINTS[0]
+        reference = run_scan(arch, scan, rows=ROWS, seed=1994).to_dict()
+        store = CheckpointStore(tmp_path)
+        _interrupt_at_pass(store, "ashes", arch, scan, at_pass=2)
+        faults.corrupt_file(store.path_for("ashes"), "truncate")
+        faults.corrupt_file(store.prev_path_for("ashes"), "garbage")
+        assert store.load("ashes") is None
+        assert store.quarantined == 2
+        monitor = RunMonitor(store=store, key="ashes")
+        result = run_scan(arch, scan, rows=ROWS, seed=1994, monitor=monitor)
+        assert monitor.resumed_from_pass is None  # honest from-zero retry
+        assert result.to_dict() == reference
+
+    def test_discard_drops_both_generations(self, tmp_path):
+        arch, scan = POINTS[0]
+        store = CheckpointStore(tmp_path)
+        _interrupt_at_pass(store, "bye", arch, scan, at_pass=2)
+        store.discard("bye")
+        assert not store.path_for("bye").exists()
+        assert not store.prev_path_for("bye").exists()
+
+
+# -- worker RSS watermark: checkpoint and recycle, not OOM ---------------------
+
+
+class TestWorkerRecycle:
+    def test_oom_pressure_recycles_without_consuming_retry_budget(
+        self, tmp_path, monkeypatch
+    ):
+        reference = run_scan(*SERVICE_POINT, rows=SERVICE_ROWS,
+                             seed=1994).to_dict()
+        monkeypatch.setenv(faults.ENV_VAR, "oom@rss,attempt=1")
+        # retries=0: a *crash* would fail the job outright, so the pass
+        # below proves recycling is budget-free by construction.
+        with SimulationService(
+            jobs=1, use_cache=False, retries=0,
+            checkpoint_dir=tmp_path / "ckpt",
+        ) as service:
+            ticket = service.submit(*SERVICE_POINT, SERVICE_ROWS)
+            record = service.wait([ticket], timeout=180)[0]
+        assert record.state is JobState.DONE
+        assert record.recycles == 1
+        assert service.recycled_workers == 1
+        assert record.attempt_log[0]["kind"] == "recycled"
+        assert record.resumed_from_pass is not None  # resumed, not redone
+        assert record.result.to_dict() == reference
+
+
 # -- shared-memory hygiene ----------------------------------------------------
 
 

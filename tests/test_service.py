@@ -6,11 +6,20 @@ warm hits in both directions), results stream back completed-first,
 a killed worker is retried with identical results, and each distinct
 dataset crosses to workers as one shared-memory image, never as
 per-point pickled columns.
+
+ISSUE 9 adds the overload-safety contract: bounded admission with
+structured load-shedding and per-client/per-class quotas, blocking
+admission, exponential backoff with deterministic jitter on retries,
+per-job deadlines that checkpoint-then-expire, graceful drain with
+checkpoint-resume in a successor service, stray-SIGTERM checkpoint
+requeue, and a shared-memory budget that LRU-unpublishes idle dataset
+images without ever breaking a referenced one.
 """
 
 import os
 import pickle
 import signal
+import threading
 import time
 
 import numpy as np
@@ -24,8 +33,15 @@ from repro.memory.shared_data import (
     attached_count,
     detach_all,
 )
-from repro.service import JobState, SimulationService
+from repro.service import (
+    JobState,
+    ServiceDrainingError,
+    ServiceOverloadError,
+    SimulationService,
+    backoff_delay,
+)
 from repro.sim.engine import ExperimentEngine, PointExecutionError, data_digest
+from repro.sim.runner import run_scan
 
 ROWS = 256
 POINTS = [
@@ -273,6 +289,296 @@ class TestEngineRouting:
         assert service_routing_enabled() is True
 
 
+QUICK_POINT = ("hive", ScanConfig("dsm", "column", 256))
+
+
+class TestAdmission:
+    def test_queue_full_sheds_with_structured_error(self):
+        with SimulationService(jobs=1, use_cache=False,
+                               max_pending=1) as service:
+            running = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            wait_for_running(service, running)
+            queued = service.submit(*QUICK_POINT, ROWS)
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                service.submit(*QUICK_POINT, ROWS, seed=7)
+            assert excinfo.value.reason == "queue_full"
+            assert excinfo.value.limit == 1
+            payload = excinfo.value.to_dict()
+            assert payload["error"] == "overload"
+            assert payload["retry_after"] > 0
+            assert service.admission.rejected == 1
+            # a shed submit leaves no trace in the job registry
+            assert service.progress()["total"] == 2
+            service.cancel(running)
+            service.cancel(queued)
+
+    def test_client_quota_binds_per_client_and_releases_on_terminal(self):
+        with SimulationService(jobs=1, use_cache=False, client_quota=1,
+                               max_pending=64) as service:
+            held = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS,
+                                  client="alice")
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                service.submit(*QUICK_POINT, ROWS, client="alice")
+            assert excinfo.value.reason == "client_quota"
+            # another client is not starved by alice's quota
+            other = service.submit(*QUICK_POINT, ROWS, client="bob")
+            # a terminal state releases the quota: alice may submit again
+            service.cancel(held)
+            again = service.submit(*QUICK_POINT, ROWS, client="alice")
+            records = service.wait([other, again], timeout=120)
+            assert [r.state for r in records] == [JobState.DONE] * 2
+            assert service.admission.outstanding_by_client == {}
+
+    def test_class_quota_bounds_one_class_only(self):
+        with SimulationService(jobs=1, use_cache=False,
+                               class_quotas={"bulk": 1}) as service:
+            bulk = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS,
+                                  job_class="bulk")
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                service.submit(*QUICK_POINT, ROWS, job_class="bulk")
+            assert excinfo.value.reason == "class_quota"
+            # the default class rides along untouched
+            ok = service.wait([service.submit(*QUICK_POINT, ROWS)],
+                              timeout=120)[0]
+            assert ok.state is JobState.DONE
+            service.cancel(bulk)
+
+    def test_blocking_submit_parks_until_room_opens(self):
+        with SimulationService(jobs=1, use_cache=False,
+                               max_pending=1) as service:
+            running = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            wait_for_running(service, running)
+            queued = service.submit(*QUICK_POINT, ROWS)
+            admitted = {}
+
+            def blocked():
+                admitted["ticket"] = service.submit(
+                    *QUICK_POINT, ROWS, seed=7, block=True,
+                    block_timeout=30.0,
+                )
+
+            thread = threading.Thread(target=blocked)
+            thread.start()
+            time.sleep(0.3)
+            assert "ticket" not in admitted  # parked, not shed
+            service.cancel(queued)  # room opens
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert "ticket" in admitted
+            service.cancel(running)
+            service.cancel(admitted["ticket"])
+
+    def test_blocking_submit_gives_up_after_its_patience(self):
+        with SimulationService(jobs=1, use_cache=False,
+                               max_pending=1) as service:
+            running = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            wait_for_running(service, running)
+            service.submit(*QUICK_POINT, ROWS)
+            with pytest.raises(ServiceOverloadError):
+                service.submit(*QUICK_POINT, ROWS, seed=7, block=True,
+                               block_timeout=0.2)
+            service.cancel(running)
+
+    def test_cache_hit_bypasses_admission(self, tmp_path):
+        with SimulationService(jobs=1, cache_dir=tmp_path / "c",
+                               max_pending=1) as service:
+            warm = service.wait([service.submit(*QUICK_POINT, ROWS)],
+                                timeout=120)[0]
+            assert warm.state is JobState.DONE
+            running = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            wait_for_running(service, running)
+            service.submit(*QUICK_POINT, ROWS, seed=7)  # queue now full
+            # a warm point still answers instantly under overload
+            hit = service.wait([service.submit(*QUICK_POINT, ROWS)],
+                               timeout=30)[0]
+            assert hit.cached is True
+            assert hit.state is JobState.DONE
+            service.cancel(running)
+
+
+class TestBackoff:
+    def test_delay_doubles_and_jitters_deterministically(self):
+        assert backoff_delay(1, "k") == backoff_delay(1, "k")
+        assert backoff_delay(1, "k") != backoff_delay(1, "other")
+        assert backoff_delay(1, "k") != backoff_delay(2, "k")
+        for attempt in (1, 2, 3, 4):
+            delay = backoff_delay(attempt, "k", base=0.1, cap=100.0)
+            nominal = 0.1 * 2 ** (attempt - 1)
+            assert nominal * 0.5 <= delay < nominal  # jitter in [0.5, 1.0)
+        assert backoff_delay(12, "k", base=1.0, cap=2.0) <= 2.0  # capped
+
+    def test_retry_is_delayed_and_the_delay_is_logged(self):
+        with SimulationService(jobs=1, use_cache=False) as service:
+            ticket = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            record = wait_for_running(service, ticket)
+            os.kill(record.worker_pid, signal.SIGKILL)
+            done = service.wait([ticket], timeout=180)[0]
+        assert done.state is JobState.DONE
+        assert done.attempts == 2
+        entry = done.attempt_log[0]
+        assert entry["kind"] == "crash"
+        # the backoff before attempt 2 is surfaced, positive, and exactly
+        # the deterministic schedule for this point key
+        assert entry["retry_in"] == backoff_delay(1, ticket.key)
+        assert entry["retry_in"] > 0
+
+
+class TestDeadlines:
+    DEADLINE_ROWS = 262_144  # first pass boundary lands ~1s into the run
+
+    def test_queued_job_past_deadline_expires_without_running(self):
+        with SimulationService(jobs=1, use_cache=False) as service:
+            running = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            wait_for_running(service, running)
+            doomed = service.submit(*QUICK_POINT, ROWS, deadline=0.05)
+            record = service.wait([doomed], timeout=30)[0]
+            assert record.state is JobState.EXPIRED
+            assert record.attempts == 0  # never reached a worker
+            assert "queued" in record.error
+            assert service.expired_jobs == 1
+            service.cancel(running)
+
+    def test_running_job_checkpoint_stops_at_deadline_then_resumes(
+        self, tmp_path
+    ):
+        reference = run_scan(*SLOW_POINT, rows=self.DEADLINE_ROWS,
+                             seed=1994).to_dict()
+        with SimulationService(
+            jobs=1, use_cache=False, checkpoint_dir=tmp_path / "ckpt",
+            deadline_grace=60.0,
+        ) as service:
+            ticket = service.submit(SLOW_POINT[0], SLOW_POINT[1],
+                                    self.DEADLINE_ROWS, deadline=0.6)
+            record = service.wait([ticket], timeout=120)[0]
+            assert record.state is JobState.EXPIRED
+            assert record.attempt_log[-1]["kind"] == "expired"
+            assert "checkpoint-stopped" in record.error
+            # the deadline bounded the attempt, not the progress: a
+            # resubmission resumes from the snapshot, bit-identically
+            again = service.submit(SLOW_POINT[0], SLOW_POINT[1],
+                                   self.DEADLINE_ROWS)
+            done = service.wait([again], timeout=180)[0]
+            assert done.state is JobState.DONE
+            assert done.resumed_from_pass is not None
+            assert done.result.to_dict() == reference
+
+
+class TestDrain:
+    def test_drain_checkpoints_running_drains_queued_and_resumes(
+        self, tmp_path
+    ):
+        reference = run_scan(*SLOW_POINT, rows=SLOW_ROWS, seed=1994).to_dict()
+        with SimulationService(
+            jobs=1, use_cache=False, checkpoint_dir=tmp_path / "ckpt",
+            drain_grace=60.0,
+        ) as service:
+            running = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            queued = service.submit(*QUICK_POINT, ROWS)
+            wait_for_running(service, running)
+            summary = service.drain()
+            assert service.draining
+            assert summary["drained"] == 2
+            assert summary["killed"] == 0  # voluntary stop within grace
+            assert service.status(queued).state is JobState.DRAINED
+            stopped = service.status(running)
+            assert stopped.state is JobState.DRAINED
+            assert "checkpoint-stopped" in stopped.error
+            with pytest.raises(ServiceDrainingError):
+                service.submit(*QUICK_POINT, ROWS, seed=7)
+            service.close()
+        # a successor service resumes the drained point from its snapshot
+        with SimulationService(
+            jobs=1, use_cache=False, checkpoint_dir=tmp_path / "ckpt",
+        ) as successor:
+            done = successor.wait(
+                [successor.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)],
+                timeout=180,
+            )[0]
+            assert done.state is JobState.DONE
+            assert done.resumed_from_pass is not None
+            assert successor.resumed_jobs == 1
+            assert done.result.to_dict() == reference
+
+    def test_close_drain_true_is_the_sigterm_story(self, tmp_path):
+        service = SimulationService(jobs=1, use_cache=False,
+                                    checkpoint_dir=tmp_path / "ckpt",
+                                    drain_grace=60.0)
+        ticket = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+        wait_for_running(service, ticket)
+        service.close(drain=True)
+        assert service.status(ticket).state is JobState.DRAINED
+        assert service.drained_jobs == 1
+
+    def test_stray_worker_sigterm_checkpoints_and_requeues(self, tmp_path):
+        # SIGTERM to a *worker* (not a service drain) must not lose the
+        # job: the handler only raises a flag, any in-flight checkpoint
+        # write completes untorn, the point checkpoint-stops at its next
+        # boundary and a fresh worker resumes it — without consuming the
+        # crash-retry budget (retries=0 here).
+        reference = run_scan(*SLOW_POINT, rows=SLOW_ROWS, seed=1994).to_dict()
+        with SimulationService(
+            jobs=1, use_cache=False, retries=0,
+            checkpoint_dir=tmp_path / "ckpt",
+        ) as service:
+            ticket = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS)
+            record = wait_for_running(service, ticket)
+            os.kill(record.worker_pid, signal.SIGTERM)
+            done = service.wait([ticket], timeout=180)[0]
+            assert done.state is JobState.DONE
+            assert done.recycles == 1
+            assert done.attempt_log[0]["kind"] == "drained"
+            assert done.resumed_from_pass is not None
+            assert done.result.to_dict() == reference
+
+
+class TestResourceGovernance:
+    def test_cancel_midrun_releases_admission_and_image_refs(self):
+        with SimulationService(jobs=2, use_cache=False) as service:
+            ticket = service.submit(SLOW_POINT[0], SLOW_POINT[1], SLOW_ROWS,
+                                    client="c")
+            wait_for_running(service, ticket)
+            with service._cv:
+                assert [e.refs for e in service._images.values()] == [1]
+            service.cancel(ticket)
+            with service._cv:
+                assert [e.refs for e in service._images.values()] == [0]
+            assert service.admission.outstanding_by_client == {}
+            # the service keeps serving and the idle image stays reusable
+            after = service.wait([service.submit(*QUICK_POINT, ROWS)],
+                                 timeout=120)[0]
+            assert after.state is JobState.DONE
+
+    def test_shm_budget_unpublishes_idle_images_lru(self):
+        # 0.01 MB is below one image: the budget is always exceeded, so
+        # each new publish evicts the *idle* predecessor — and never a
+        # referenced image (the publish that exceeds it still succeeds).
+        with SimulationService(jobs=1, use_cache=False,
+                               shm_max_mb=0.01) as service:
+            first = service.wait([service.submit(*QUICK_POINT, 2048)],
+                                 timeout=120)[0]
+            assert first.state is JobState.DONE
+            assert service.datasets_published == 1
+            assert service.datasets_unpublished == 0  # referenced, kept
+            second = service.wait([service.submit(*QUICK_POINT, 4096)],
+                                  timeout=120)[0]
+            assert second.state is JobState.DONE
+            assert service.datasets_published == 2
+            assert service.datasets_unpublished == 1  # idle LRU evicted
+            with service._cv:
+                assert len(service._images) == 1
+
+    def test_healthz_snapshot_shape(self):
+        with SimulationService(jobs=1, use_cache=False) as service:
+            service.wait([service.submit(*QUICK_POINT, ROWS)], timeout=120)
+            snapshot = service.healthz()
+        assert snapshot["status"] == "ok"
+        assert snapshot["jobs"]["done"] == 1
+        assert snapshot["workers"]["max"] == 1
+        assert "max_pending" in snapshot["admission"]
+        assert snapshot["shm"]["images"] >= 1
+        assert snapshot["counters"]["drained_jobs"] == 0
+
+
 class TestLifecycle:
     def test_submit_after_close_rejected(self):
         service = SimulationService(jobs=1, use_cache=False)
@@ -284,7 +590,9 @@ class TestLifecycle:
         service = SimulationService(jobs=1, use_cache=False)
         ticket = service.submit("hive", ScanConfig("dsm", "column", 256), ROWS)
         service.wait([ticket], timeout=60)
-        names = [image._shm.name for image in service._images.values()]
+        names = [
+            entry.image._shm.name for entry in service._images.values()
+        ]
         service.close()
         service.close()
         for name in names:

@@ -18,6 +18,16 @@ Usage::
     PYTHONPATH=src python tools/service_cli.py --status-only --rows 8192
     PYTHONPATH=src python tools/service_cli.py --show-checkpoints
 
+    # serve the HTTP API (SIGTERM = graceful drain)...
+    PYTHONPATH=src python tools/service_cli.py --serve 127.0.0.1:8642
+    # ...and sweep against it from another shell/host
+    PYTHONPATH=src python tools/service_cli.py --http http://127.0.0.1:8642 \
+        --rows 32768
+    PYTHONPATH=src python tools/service_cli.py --http http://127.0.0.1:8642 \
+        --healthz
+    PYTHONPATH=src python tools/service_cli.py --http http://127.0.0.1:8642 \
+        --drain
+
 ``--cancel-after N`` cancels every still-outstanding job after N
 completions (exercising the cancellation path); ``--status-only``
 submits, prints one status snapshot per second until done, and never
@@ -25,6 +35,14 @@ streams — the ticket/status/cancel surface without the iterator.
 ``--show-checkpoints`` lists the resumable pass-boundary snapshots of
 interrupted points (and exits); a streamed result that recovered from a
 crash prints ``resumed from pass K``.
+
+``--serve HOST:PORT`` turns this process into a long-lived service
+host: one :class:`SimulationService` behind the stdlib HTTP API, with
+SIGTERM/SIGINT wired to graceful drain (running jobs checkpoint-stop;
+a restarted host resumes them).  ``--http URL`` makes the sweep a
+*client* of such a host instead of spawning workers locally —
+overload answers (HTTP 429) are retried with the server-suggested
+backoff, a draining host (503) aborts with a clear message.
 """
 
 from __future__ import annotations
@@ -86,6 +104,99 @@ def show_checkpoints(checkpoint_dir=None) -> int:
     return 0
 
 
+def serve(address: str, args) -> int:
+    """Host the HTTP API until SIGTERM/SIGINT drains it."""
+    from repro.service import (
+        ServiceHTTPServer,
+        SimulationService,
+        install_drain_handler,
+    )
+
+    host, _, port = address.rpartition(":")
+    host = host or "127.0.0.1"
+    service = SimulationService(
+        jobs=args.jobs, use_cache=False if args.no_cache else None,
+        retries=args.retries, timeout=args.timeout,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    server = ServiceHTTPServer((host, int(port)), service)
+    install_drain_handler(service, server)
+    bound = server.server_address
+    print(f"serving on http://{bound[0]}:{bound[1]} "
+          f"(workers={service.jobs}; SIGTERM drains gracefully)",
+          flush=True)
+    try:
+        # Serve on the main thread: the drain handler's shutdown()
+        # (issued from its helper thread) unblocks this loop.
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close(drain=True, force=True)
+        server.server_close()
+    print(f"drained: {service.drained_jobs} job(s) checkpoint-stopped")
+    return 0
+
+
+def http_sweep(args) -> int:
+    """Run the sweep as a *client* of a remote service host."""
+    from repro.service import HTTPServiceError, ServiceClient
+
+    client = ServiceClient(args.http)
+    if args.healthz:
+        import json
+
+        print(json.dumps(client.healthz(), indent=2))
+        return 0
+    if args.drain:
+        summary = client.drain()
+        print(f"drain requested: {summary}")
+        return 0
+
+    points = build_points(args)
+    start = time.perf_counter()
+    job_ids = []
+    for arch, scan in points:
+        while True:
+            try:
+                record = client.submit(
+                    arch, scan, args.rows, seed=args.seed,
+                    client=args.client, job_class=args.job_class,
+                    deadline=args.deadline,
+                )
+            except HTTPServiceError as exc:
+                if exc.overloaded:
+                    delay = float(exc.payload.get("retry_after", 1.0))
+                    print(f"overloaded ({exc.payload.get('reason')}); "
+                          f"retrying in {delay:g}s", file=sys.stderr)
+                    time.sleep(delay)
+                    continue
+                if exc.draining:
+                    print("service is draining; aborting", file=sys.stderr)
+                    return 1
+                raise
+            job_ids.append(record["id"])
+            print(f"submitted #{record['id']} {record['label']} "
+                  f"rows={record['rows']}")
+            break
+    records = client.wait(job_ids, timeout=args.timeout)
+    failed = 0
+    for n, record in enumerate(records, 1):
+        elapsed = time.perf_counter() - start
+        detail = ""
+        if record["state"] == "done":
+            detail = (f"cycles={record['result']['cycles']:,} "
+                      f"verified={record['result']['verified']}")
+            if record.get("resumed_from_pass") is not None:
+                detail += f" resumed from pass {record['resumed_from_pass']}"
+        elif record.get("error"):
+            detail = record["error"].strip().splitlines()[-1]
+            failed += 1
+        print(f"[{n}/{len(records)}] {elapsed:7.2f}s {record['label']:<14} "
+              f"{record['state']:<9} {detail}")
+    return 1 if failed else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -116,6 +227,23 @@ def main() -> int:
     parser.add_argument("--checkpoint-dir", default=None,
                         help="checkpoint sidecar directory (default: "
                              "<cache dir>/checkpoints or REPRO_CHECKPOINT_DIR)")
+    parser.add_argument("--serve", default=None, metavar="HOST:PORT",
+                        help="host the HTTP API instead of sweeping "
+                             "(SIGTERM drains gracefully)")
+    parser.add_argument("--http", default=None, metavar="URL",
+                        help="sweep against a remote service host instead "
+                             "of spawning local workers")
+    parser.add_argument("--healthz", action="store_true",
+                        help="with --http: print the health snapshot and exit")
+    parser.add_argument("--drain", action="store_true",
+                        help="with --http: request a graceful drain and exit")
+    parser.add_argument("--client", default="cli",
+                        help="admission client identity (default: cli)")
+    parser.add_argument("--job-class", default="default",
+                        help="admission job class (default: default)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-job deadline in seconds (past it the job "
+                             "checkpoint-stops and expires)")
     args = parser.parse_args()
 
     from repro.service import JobState, SimulationService
@@ -123,6 +251,10 @@ def main() -> int:
 
     if args.show_checkpoints:
         return show_checkpoints(args.checkpoint_dir)
+    if args.serve:
+        return serve(args.serve, args)
+    if args.http:
+        return http_sweep(args)
 
     points = build_points(args)
     service = SimulationService(
